@@ -1,0 +1,5 @@
+//! Runs experiment e10 standalone.
+fn main() {
+    let ok = bench::experiments::e10_forwarding::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,5 @@
+//! Runs experiment E11 standalone.
+fn main() {
+    let ok = bench::experiments::e11_recovery::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

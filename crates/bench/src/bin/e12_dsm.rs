@@ -1,0 +1,5 @@
+//! Runs experiment E12 standalone.
+fn main() {
+    let ok = bench::experiments::e12_dsm::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,5 @@
+//! Runs experiment e1 standalone.
+fn main() {
+    let ok = bench::experiments::e1_access_methods::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,5 @@
+//! Runs experiment e2 standalone.
+fn main() {
+    let ok = bench::experiments::e2_cache_sweep::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,5 @@
+//! Runs experiment e3 standalone.
+fn main() {
+    let ok = bench::experiments::e3_migration::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

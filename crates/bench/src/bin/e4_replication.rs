@@ -1,0 +1,5 @@
+//! Runs experiment e4 standalone.
+fn main() {
+    let ok = bench::experiments::e4_replication::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,5 @@
+//! Runs experiment e5 standalone.
+fn main() {
+    let ok = bench::experiments::e5_local_fastpath::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,5 @@
+//! Runs experiment e6 standalone.
+fn main() {
+    let ok = bench::experiments::e6_binding_cost::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

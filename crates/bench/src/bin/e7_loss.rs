@@ -1,0 +1,5 @@
+//! Runs experiment e7 standalone.
+fn main() {
+    let ok = bench::experiments::e7_loss::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

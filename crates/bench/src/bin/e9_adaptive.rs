@@ -1,0 +1,5 @@
+//! Runs experiment e9 standalone.
+fn main() {
+    let ok = bench::experiments::e9_adaptive::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,208 @@
+//! # bench — the experiment harness
+//!
+//! One module per experiment in `DESIGN.md` §3 (E1–E12). Each experiment
+//! builds a deterministic simulation, runs its workload sweep, prints the
+//! table(s) the paper's evaluation would contain, and then *checks its
+//! expected qualitative shape* (who wins, where the crossover falls) so a
+//! regression in any layer turns the run red.
+//!
+//! Run one experiment: `cargo run -p bench --bin e2_cache_sweep`
+//! Run everything:     `cargo run -p bench --bin all_experiments`
+//!
+//! Simulated-time results (latency, message counts) come from these
+//! binaries; real-CPU-time results (marshalling throughput, dispatch
+//! overhead — experiment E8) live in the Criterion bench
+//! `benches/overhead.rs`.
+
+pub mod experiments;
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A result table, printed with aligned columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (stringified by the experiment).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n  {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("  | ");
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>w$} | ", c, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", s.trim_end());
+        };
+        line(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// One asserted property of an experiment's shape.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being checked.
+    pub name: String,
+    /// Whether it held.
+    pub pass: bool,
+    /// Supporting numbers.
+    pub detail: String,
+}
+
+/// Builds a check.
+pub fn check(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> Check {
+    Check {
+        name: name.into(),
+        pass,
+        detail: detail.into(),
+    }
+}
+
+/// Everything an experiment produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. "E2".
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Shape assertions.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentOutput {
+    /// Prints tables and checks; returns whether every check passed.
+    pub fn print(&self) -> bool {
+        println!("\n================================================================");
+        println!("{} — {}", self.id, self.title);
+        println!("================================================================");
+        for t in &self.tables {
+            print!("{}", t.render());
+        }
+        println!();
+        let mut all = true;
+        for c in &self.checks {
+            let mark = if c.pass { "PASS" } else { "FAIL" };
+            println!("  [{mark}] {} — {}", c.name, c.detail);
+            all &= c.pass;
+        }
+        all
+    }
+}
+
+/// Shared single-value cell used to smuggle a measurement out of a
+/// simulated process.
+pub type Slot<T> = Arc<Mutex<Option<T>>>;
+
+/// A slot for smuggling one value out of a simulated process.
+pub fn slot<T>() -> (Slot<T>, Slot<T>) {
+    let a = Arc::new(Mutex::new(None));
+    (Arc::clone(&a), a)
+}
+
+/// Reads a slot after the simulation finished.
+///
+/// # Panics
+///
+/// Panics if the process never filled it.
+pub fn take<T>(s: Slot<T>) -> T {
+    s.lock()
+        .unwrap()
+        .take()
+        .expect("measurement never recorded")
+}
+
+/// Formats a duration as microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Formats a mean per-op duration from a total and a count.
+pub fn us_per_op(total: Duration, ops: u64) -> String {
+    if ops == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}", total.as_secs_f64() * 1e6 / ops as f64)
+    }
+}
+
+/// Mean microseconds per op as a number (for shape checks).
+pub fn us_per_op_f(total: Duration, ops: u64) -> f64 {
+    total.as_secs_f64() * 1e6 / ops.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("long-name"));
+        // Both data rows have the same width.
+        let lines: Vec<&str> = r.lines().filter(|l| l.contains('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(Duration::from_micros(1500)), "1500.0");
+        assert_eq!(us_per_op(Duration::from_millis(1), 10), "100.0");
+        assert_eq!(us_per_op(Duration::ZERO, 0), "-");
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let (w, r) = slot::<u32>();
+        *w.lock().unwrap() = Some(7);
+        assert_eq!(take(r), 7);
+    }
+}

@@ -1,0 +1,349 @@
+//! The caching proxy: read results cached in the client context.
+//!
+//! Reads declared in the service interface are cached under their *tag*
+//! (see [`crate::OpDesc::tag`]). Coherence follows the service-chosen
+//! [`Coherence`] mode:
+//!
+//! * **Leases** — every entry expires after a fixed duration; stale
+//!   windows are bounded by the lease with zero server state.
+//! * **Invalidations** — the proxy subscribes at bind time; the service
+//!   pushes an `inv {svc, tag}` notification on every write, and the
+//!   proxy drops the tag when it arrives (at its next mailbox poll).
+//!
+//! The proxy always invalidates its own tag on its own writes, so a
+//! client reads its own writes regardless of mode.
+
+use std::collections::{HashMap, VecDeque};
+
+use naming::NameClient;
+use rpc::{endpoint_to_value, RpcClient, RpcError};
+use simnet::{Ctx, Endpoint, SimTime};
+use wire::Value;
+
+use super::robust_call;
+use crate::interface::InterfaceDesc;
+use crate::proxy::{protocol, OnewaySink, Proxy, ProxyStats};
+use crate::spec::CachingParams;
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    value: Value,
+    expires: Option<SimTime>,
+}
+
+/// A proxy that caches read results.
+#[derive(Debug)]
+pub struct CachingProxy {
+    service: String,
+    rpc: RpcClient,
+    ns: NameClient,
+    iface: InterfaceDesc,
+    params: CachingParams,
+    subscribed: bool,
+    /// tag → (request key → entry).
+    cache: HashMap<String, HashMap<Vec<u8>, CacheEntry>>,
+    /// Insertion order for capacity eviction (FIFO).
+    order: VecDeque<(String, Vec<u8>)>,
+    len: usize,
+    stats: ProxyStats,
+}
+
+impl CachingProxy {
+    /// Creates the proxy and, if the coherence mode calls for it,
+    /// subscribes for invalidations.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the subscribe call.
+    pub fn bind(
+        ctx: &mut Ctx,
+        service: impl Into<String>,
+        server: Endpoint,
+        ns: Endpoint,
+        iface: InterfaceDesc,
+        params: CachingParams,
+    ) -> Result<CachingProxy, RpcError> {
+        let mut proxy = CachingProxy {
+            service: service.into(),
+            rpc: RpcClient::new(server),
+            ns: NameClient::new(ns),
+            iface,
+            params,
+            subscribed: false,
+            cache: HashMap::new(),
+            order: VecDeque::new(),
+            len: 0,
+            stats: ProxyStats::default(),
+        };
+        if proxy.params.coherence.subscribes() {
+            proxy.subscribe(ctx)?;
+        }
+        Ok(proxy)
+    }
+
+    /// Subscribes for invalidation pushes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the call.
+    pub(crate) fn subscribe(&mut self, ctx: &mut Ctx) -> Result<(), RpcError> {
+        self.rpc.call(
+            ctx,
+            protocol::OP_SUBSCRIBE,
+            Value::record([("cb", endpoint_to_value(ctx.endpoint()))]),
+        )?;
+        self.subscribed = true;
+        Ok(())
+    }
+
+    /// Cancels the invalidation subscription.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the call.
+    pub(crate) fn unsubscribe(&mut self, ctx: &mut Ctx) -> Result<(), RpcError> {
+        if self.subscribed {
+            self.rpc.call(
+                ctx,
+                protocol::OP_UNSUBSCRIBE,
+                Value::record([("cb", endpoint_to_value(ctx.endpoint()))]),
+            )?;
+            self.subscribed = false;
+        }
+        Ok(())
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.len
+    }
+
+    /// Replaces the caching parameters (used by the adaptive proxy when
+    /// it flips strategies). Existing entries keep their old expiry.
+    pub(crate) fn set_params(&mut self, params: CachingParams) {
+        self.params = params;
+    }
+
+    /// Drops every cached entry.
+    pub(crate) fn clear(&mut self) {
+        self.cache.clear();
+        self.order.clear();
+        self.len = 0;
+    }
+
+    /// Drops all entries under one tag (`"*"` clears everything: a
+    /// whole-object write invalidates every read).
+    fn invalidate_tag(&mut self, tag: &str) {
+        if tag == "*" {
+            self.clear();
+            return;
+        }
+        if let Some(entries) = self.cache.remove(tag) {
+            self.len -= entries.len();
+        }
+        // Whole-object reads observe every key, so any write staleness
+        // also invalidates the "*" tag.
+        if let Some(entries) = self.cache.remove("*") {
+            self.len -= entries.len();
+        }
+    }
+
+    fn cache_key(op: &str, args: &Value) -> Vec<u8> {
+        wire::encode(&Value::record([
+            ("op", Value::str(op)),
+            ("a", args.clone()),
+        ]))
+        .to_vec()
+    }
+
+    fn lookup(&mut self, tag: &str, key: &[u8], now: SimTime) -> Option<Value> {
+        let entries = self.cache.get_mut(tag)?;
+        let entry = entries.get(key)?;
+        if let Some(expires) = entry.expires {
+            if expires <= now {
+                entries.remove(key);
+                self.len -= 1;
+                return None;
+            }
+        }
+        Some(entry.value.clone())
+    }
+
+    fn insert(&mut self, tag: String, key: Vec<u8>, value: Value, now: SimTime) {
+        while self.len >= self.params.capacity {
+            // FIFO eviction: pop until we actually remove a live entry
+            // (entries may already be gone via invalidation).
+            match self.order.pop_front() {
+                Some((t, k)) => {
+                    if let Some(entries) = self.cache.get_mut(&t) {
+                        if entries.remove(&k).is_some() {
+                            self.len -= 1;
+                            if entries.is_empty() {
+                                self.cache.remove(&t);
+                            }
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        let expires = self.params.coherence.lease().map(|d| now + d);
+        let fresh = self
+            .cache
+            .entry(tag.clone())
+            .or_default()
+            .insert(key.clone(), CacheEntry { value, expires })
+            .is_none();
+        if fresh {
+            self.len += 1;
+            self.order.push_back((tag, key));
+        }
+    }
+
+    /// Forwards a call without consulting or filling the cache (used by
+    /// the adaptive proxy while caching is disabled).
+    pub(crate) fn invoke_nocache(
+        &mut self,
+        ctx: &mut Ctx,
+        op: &str,
+        args: Value,
+        strays: &mut dyn OnewaySink,
+    ) -> Result<Value, RpcError> {
+        self.stats.invocations += 1;
+        self.stats.remote_calls += 1;
+        robust_call(
+            &mut self.rpc,
+            &mut self.ns,
+            &self.service,
+            ctx,
+            op,
+            args,
+            strays,
+            &mut self.stats,
+        )
+    }
+
+    /// Drains invalidations already sitting in the process mailbox so a
+    /// read that follows a remote write observes it promptly.
+    fn drain_mailbox(&mut self, ctx: &mut Ctx, strays: &mut dyn OnewaySink) {
+        while let Ok(Some(msg)) = ctx.try_recv() {
+            // Anything that is not a one-way notification is stale here
+            // (late duplicate replies); drop it.
+            if let Ok(rpc::Packet::Oneway(o)) = rpc::Packet::from_bytes(&msg.payload) {
+                if o.args.get("svc").and_then(Value::as_str) == Some(self.service.as_str()) {
+                    self.handle_oneway(&o);
+                } else {
+                    strays.push(o);
+                }
+            }
+        }
+    }
+
+    fn handle_oneway(&mut self, o: &rpc::Oneway) {
+        if o.op == protocol::MSG_INVALIDATE {
+            if let Some(tag) = o.args.get("tag").and_then(Value::as_str) {
+                let tag = tag.to_owned();
+                self.invalidate_tag(&tag);
+                self.stats.invalidations_rx += 1;
+            }
+        }
+    }
+}
+
+impl Proxy for CachingProxy {
+    fn service(&self) -> &str {
+        &self.service
+    }
+
+    fn invoke(
+        &mut self,
+        ctx: &mut Ctx,
+        op: &str,
+        args: Value,
+        strays: &mut dyn OnewaySink,
+    ) -> Result<Value, RpcError> {
+        if self.subscribed {
+            self.drain_mailbox(ctx, strays);
+        }
+        self.stats.invocations += 1;
+        let desc = self.iface.op(op).cloned();
+        match desc {
+            Some(d) if d.kind == crate::interface::OpKind::Read => {
+                let tag = d.tag(&args);
+                let key = Self::cache_key(op, &args);
+                if let Some(v) = self.lookup(&tag, &key, ctx.now()) {
+                    self.stats.local_hits += 1;
+                    return Ok(v);
+                }
+                self.stats.remote_calls += 1;
+                let v = robust_call(
+                    &mut self.rpc,
+                    &mut self.ns,
+                    &self.service,
+                    ctx,
+                    op,
+                    args,
+                    strays,
+                    &mut self.stats,
+                )?;
+                self.insert(tag, key, v.clone(), ctx.now());
+                Ok(v)
+            }
+            Some(d) => {
+                // A write: forward, then drop our own stale reads of the
+                // tag so we read our own writes.
+                let tag = d.tag(&args);
+                self.stats.remote_calls += 1;
+                let v = robust_call(
+                    &mut self.rpc,
+                    &mut self.ns,
+                    &self.service,
+                    ctx,
+                    op,
+                    args,
+                    strays,
+                    &mut self.stats,
+                )?;
+                self.invalidate_tag(&tag);
+                Ok(v)
+            }
+            None => {
+                // Undeclared (system or unknown) op: pass through.
+                self.stats.remote_calls += 1;
+                robust_call(
+                    &mut self.rpc,
+                    &mut self.ns,
+                    &self.service,
+                    ctx,
+                    op,
+                    args,
+                    strays,
+                    &mut self.stats,
+                )
+            }
+        }
+    }
+
+    fn on_oneway(&mut self, _ctx: &mut Ctx, oneway: &rpc::Oneway) {
+        self.handle_oneway(oneway);
+    }
+
+    fn poll(&mut self, ctx: &mut Ctx) {
+        if self.subscribed {
+            let mut sink: Vec<rpc::Oneway> = Vec::new();
+            self.drain_mailbox(ctx, &mut sink);
+            // Strays for other services found during a poll cannot be
+            // routed from here; the runtime's pump drains the mailbox
+            // itself, so this path only runs for standalone proxies.
+        }
+    }
+
+    fn detach(&mut self, ctx: &mut Ctx) {
+        let _ = self.unsubscribe(ctx);
+        self.clear();
+    }
+
+    fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+}

@@ -1,0 +1,72 @@
+//! The stub proxy: marshal and forward.
+
+use naming::NameClient;
+use rpc::{RpcClient, RpcError};
+use simnet::{Ctx, Endpoint};
+use wire::Value;
+
+use super::robust_call;
+use crate::proxy::{OnewaySink, Proxy, ProxyStats};
+
+/// The degenerate proxy: every invocation becomes one remote call.
+///
+/// This is exactly the stub of classic RPC (Birrell & Nelson 1984) —
+/// the baseline the paper generalizes. It still benefits from the
+/// binding protocol: `Moved` redirects and dead-endpoint re-lookups are
+/// handled transparently.
+#[derive(Debug)]
+pub struct StubProxy {
+    service: String,
+    rpc: RpcClient,
+    ns: NameClient,
+    stats: ProxyStats,
+}
+
+impl StubProxy {
+    /// Creates a stub proxy for `service` at `server`, using the name
+    /// server at `ns` for rebinds.
+    pub fn new(service: impl Into<String>, server: Endpoint, ns: Endpoint) -> StubProxy {
+        StubProxy {
+            service: service.into(),
+            rpc: RpcClient::new(server),
+            ns: NameClient::new(ns),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// The endpoint currently called (may change after redirects).
+    pub fn server(&self) -> Endpoint {
+        self.rpc.server()
+    }
+}
+
+impl Proxy for StubProxy {
+    fn service(&self) -> &str {
+        &self.service
+    }
+
+    fn invoke(
+        &mut self,
+        ctx: &mut Ctx,
+        op: &str,
+        args: Value,
+        strays: &mut dyn OnewaySink,
+    ) -> Result<Value, RpcError> {
+        self.stats.invocations += 1;
+        self.stats.remote_calls += 1;
+        robust_call(
+            &mut self.rpc,
+            &mut self.ns,
+            &self.service,
+            ctx,
+            op,
+            args,
+            strays,
+            &mut self.stats,
+        )
+    }
+
+    fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+}

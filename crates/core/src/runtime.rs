@@ -1,0 +1,363 @@
+//! The binding protocol and the client-context runtime.
+//!
+//! [`Binder::bind`] is the proxy principle's installation step: resolve
+//! the service name, read the **service-chosen** [`ProxySpec`] from the
+//! binding metadata, and instantiate the corresponding proxy in the
+//! client's context. The client never picks the strategy.
+//!
+//! [`ClientRuntime`] is the per-process context manager: it owns every
+//! proxy bound in this context, routes incoming one-way notifications
+//! (invalidations, recalls) to the right proxy, and pumps deferred work.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use naming::{NameClient, NameRecord};
+use rpc::{Oneway, RpcError};
+use simnet::{Ctx, Endpoint};
+use wire::{Value, WireError};
+
+use crate::interface::InterfaceDesc;
+use crate::object::FactoryRegistry;
+use crate::proxies::{AdaptiveProxy, CachingProxy, MigratoryProxy, StubProxy};
+use crate::proxy::{Proxy, ProxyStats};
+use crate::spec::ProxySpec;
+
+/// Everything a custom proxy factory gets to work with.
+#[derive(Debug)]
+pub struct BindContext<'a> {
+    /// The service name being bound.
+    pub service: &'a str,
+    /// The resolved name record.
+    pub record: &'a NameRecord,
+    /// The service interface from the binding metadata.
+    pub iface: &'a InterfaceDesc,
+    /// Spec parameters (for [`ProxySpec::Custom`]).
+    pub params: &'a Value,
+    /// The name server, for proxies that need rebinds.
+    pub ns: Endpoint,
+    /// Object factories available in this context.
+    pub factories: &'a FactoryRegistry,
+}
+
+/// Constructor for a [`ProxySpec::Custom`] proxy.
+pub type ProxyCtor =
+    dyn for<'a> Fn(&mut Ctx, &BindContext<'a>) -> Result<Box<dyn Proxy>, RpcError> + Send + Sync;
+
+/// Client-side half of the binding protocol.
+pub struct Binder {
+    ns_ep: Endpoint,
+    ns: NameClient,
+    factories: FactoryRegistry,
+    proxy_ctors: HashMap<String, Arc<ProxyCtor>>,
+}
+
+impl fmt::Debug for Binder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Binder")
+            .field("ns", &self.ns_ep)
+            .field("factories", &self.factories)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Binder {
+    /// Creates a binder talking to the name server at `ns`.
+    pub fn new(ns: Endpoint) -> Binder {
+        Binder {
+            ns_ep: ns,
+            ns: NameClient::new(ns),
+            factories: FactoryRegistry::new(),
+            proxy_ctors: HashMap::new(),
+        }
+    }
+
+    /// Supplies object factories (needed to host migrated objects).
+    pub fn with_factories(mut self, factories: FactoryRegistry) -> Binder {
+        self.factories = factories;
+        self
+    }
+
+    /// Registers a constructor for [`ProxySpec::Custom`] specs of the
+    /// given kind. This is the Rust substitute for shipping proxy code:
+    /// the client pre-registers implementations, the service selects one
+    /// by name (see `DESIGN.md` §6).
+    pub fn register_proxy(
+        &mut self,
+        kind: impl Into<String>,
+        ctor: impl for<'a> Fn(&mut Ctx, &BindContext<'a>) -> Result<Box<dyn Proxy>, RpcError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.proxy_ctors.insert(kind.into(), Arc::new(ctor));
+    }
+
+    /// Binds to `service`: resolves the name and instantiates the proxy
+    /// the service asked for.
+    ///
+    /// # Errors
+    ///
+    /// * name-service errors (unknown name, transport),
+    /// * [`RpcError::Wire`] if the binding metadata is malformed,
+    /// * any error from the proxy's own bind step (e.g. subscribe).
+    pub fn bind(&mut self, ctx: &mut Ctx, service: &str) -> Result<Box<dyn Proxy>, RpcError> {
+        let record = self.ns.resolve(ctx, service)?;
+        let spec_v = record
+            .meta
+            .get("spec")
+            .ok_or(RpcError::Wire(WireError::MissingField("spec")))?;
+        let iface_v = record
+            .meta
+            .get("iface")
+            .ok_or(RpcError::Wire(WireError::MissingField("iface")))?;
+        let spec = ProxySpec::from_value(spec_v)?;
+        let iface = InterfaceDesc::from_value(iface_v)?;
+        self.instantiate(ctx, service, &record, spec, iface)
+    }
+
+    /// Binds, retrying while the name is not yet registered (services
+    /// register asynchronously at simulation start).
+    ///
+    /// # Errors
+    ///
+    /// The final error if the deadline passes without a successful bind.
+    pub fn bind_wait(
+        &mut self,
+        ctx: &mut Ctx,
+        service: &str,
+        within: std::time::Duration,
+    ) -> Result<Box<dyn Proxy>, RpcError> {
+        let deadline = ctx.now() + within;
+        loop {
+            match self.bind(ctx, service) {
+                Ok(p) => return Ok(p),
+                Err(e) if naming::is_not_found(&e) && ctx.now() < deadline => {
+                    self.ns.forget(service);
+                    ctx.sleep(std::time::Duration::from_millis(1))
+                        .map_err(|_| RpcError::Stopped)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn instantiate(
+        &mut self,
+        ctx: &mut Ctx,
+        service: &str,
+        record: &NameRecord,
+        spec: ProxySpec,
+        iface: InterfaceDesc,
+    ) -> Result<Box<dyn Proxy>, RpcError> {
+        let server = record.endpoint;
+        match spec {
+            ProxySpec::Stub => Ok(Box::new(StubProxy::new(service, server, self.ns_ep))),
+            ProxySpec::Caching(params) => Ok(Box::new(CachingProxy::bind(
+                ctx, service, server, self.ns_ep, iface, params,
+            )?)),
+            ProxySpec::Migratory { threshold } => Ok(Box::new(MigratoryProxy::new(
+                service,
+                server,
+                self.ns_ep,
+                iface,
+                self.factories.clone(),
+                threshold,
+            ))),
+            ProxySpec::Adaptive(params) => Ok(Box::new(AdaptiveProxy::bind(
+                ctx, service, server, self.ns_ep, iface, params,
+            )?)),
+            ProxySpec::Replicated { .. } => {
+                // The replica proxy lives in the `replication` crate; it
+                // registers itself here under this custom kind.
+                let params = spec.to_value();
+                self.bind_custom(ctx, "replicated", service, record, &iface, &params)
+            }
+            ProxySpec::Custom { kind, params } => {
+                self.bind_custom(ctx, &kind, service, record, &iface, &params)
+            }
+        }
+    }
+
+    fn bind_custom(
+        &mut self,
+        ctx: &mut Ctx,
+        kind: &str,
+        service: &str,
+        record: &NameRecord,
+        iface: &InterfaceDesc,
+        params: &Value,
+    ) -> Result<Box<dyn Proxy>, RpcError> {
+        let ctor = self.proxy_ctors.get(kind).cloned().ok_or_else(|| {
+            RpcError::Remote(rpc::RemoteError::new(
+                rpc::ErrorCode::Unavailable,
+                format!("no proxy implementation registered for kind `{kind}`"),
+            ))
+        })?;
+        let bind_ctx = BindContext {
+            service,
+            record,
+            iface,
+            params,
+            ns: self.ns_ep,
+            factories: &self.factories,
+        };
+        ctor(ctx, &bind_ctx)
+    }
+}
+
+/// Handle to a proxy owned by a [`ClientRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProxyHandle(usize);
+
+/// The per-process context manager.
+///
+/// Owns all proxies bound in this context and routes one-way
+/// notifications between them, so invalidations for service A arriving
+/// while a call to service B is in flight are never lost.
+pub struct ClientRuntime {
+    binder: Binder,
+    proxies: Vec<Box<dyn Proxy>>,
+    by_service: HashMap<String, usize>,
+}
+
+impl fmt::Debug for ClientRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientRuntime")
+            .field("proxies", &self.proxies.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientRuntime {
+    /// Creates a runtime talking to the name server at `ns`.
+    pub fn new(ns: Endpoint) -> ClientRuntime {
+        ClientRuntime {
+            binder: Binder::new(ns),
+            proxies: Vec::new(),
+            by_service: HashMap::new(),
+        }
+    }
+
+    /// Supplies object factories (for migratory services).
+    pub fn with_factories(mut self, factories: FactoryRegistry) -> ClientRuntime {
+        self.binder = self.binder.with_factories(factories);
+        self
+    }
+
+    /// Access to the underlying binder (to register custom proxy kinds).
+    pub fn binder_mut(&mut self) -> &mut Binder {
+        &mut self.binder
+    }
+
+    /// Binds to `service`, waiting up to 100ms of virtual time for it to
+    /// register.
+    ///
+    /// # Errors
+    ///
+    /// See [`Binder::bind_wait`].
+    pub fn bind(&mut self, ctx: &mut Ctx, service: &str) -> Result<ProxyHandle, RpcError> {
+        let proxy = self
+            .binder
+            .bind_wait(ctx, service, std::time::Duration::from_millis(100))?;
+        let idx = self.proxies.len();
+        self.by_service.insert(proxy.service().to_owned(), idx);
+        self.proxies.push(proxy);
+        Ok(ProxyHandle(idx))
+    }
+
+    /// Invokes an operation through a bound proxy.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this runtime.
+    pub fn invoke(
+        &mut self,
+        ctx: &mut Ctx,
+        handle: ProxyHandle,
+        op: &str,
+        args: Value,
+    ) -> Result<Value, RpcError> {
+        self.pump(ctx);
+        let mut strays: Vec<Oneway> = Vec::new();
+        let result = self.proxies[handle.0].invoke(ctx, op, args, &mut strays);
+        self.route(ctx, strays);
+        result
+    }
+
+    /// Hosts an object directly in this context under `service` — the
+    /// same-context fast path (experiment E5): invocations through the
+    /// returned handle are ordinary procedure calls, no messages at all.
+    pub fn host_local(
+        &mut self,
+        service: impl Into<String>,
+        object: Box<dyn crate::ServiceObject>,
+    ) -> ProxyHandle {
+        let service = service.into();
+        let idx = self.proxies.len();
+        self.by_service.insert(service.clone(), idx);
+        self.proxies
+            .push(Box::new(crate::proxies::LocalProxy::new(service, object)));
+        ProxyHandle(idx)
+    }
+
+    /// Drains the process mailbox and routes notifications; gives every
+    /// proxy a chance to do deferred work (honour recalls, etc.). Call
+    /// this periodically from client loops that go quiet.
+    pub fn pump(&mut self, ctx: &mut Ctx) {
+        let mut pending: Vec<Oneway> = Vec::new();
+        while let Ok(Some(msg)) = ctx.try_recv() {
+            if let Ok(rpc::Packet::Oneway(o)) = rpc::Packet::from_bytes(&msg.payload) {
+                pending.push(o);
+            }
+            // Replies outside any call are late duplicates: dropped.
+        }
+        self.route(ctx, pending);
+        for p in &mut self.proxies {
+            p.poll(ctx);
+        }
+    }
+
+    fn route(&mut self, ctx: &mut Ctx, oneways: Vec<Oneway>) {
+        for o in oneways {
+            let target = o
+                .args
+                .get("svc")
+                .and_then(Value::as_str)
+                .and_then(|svc| self.by_service.get(svc).copied());
+            if let Some(idx) = target {
+                self.proxies[idx].on_oneway(ctx, &o);
+            }
+        }
+    }
+
+    /// Stats for one proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this runtime.
+    pub fn stats(&self, handle: ProxyHandle) -> ProxyStats {
+        self.proxies[handle.0].stats()
+    }
+
+    /// Cleanly detaches one proxy (unsubscribe, check state back in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this runtime.
+    pub fn unbind(&mut self, ctx: &mut Ctx, handle: ProxyHandle) {
+        self.proxies[handle.0].detach(ctx);
+    }
+
+    /// Detaches every proxy (call before client exit).
+    pub fn shutdown(&mut self, ctx: &mut Ctx) {
+        for p in &mut self.proxies {
+            p.detach(ctx);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The service context: a process hosting objects behind the proxy
+//! protocol.
+//!
+//! A [`ServiceServer`] is the paper's *server context*: it owns a
+//! [`ServiceObject`], registers it with the name service together with
+//! the [`ProxySpec`] its clients must run, and then serves the proxy
+//! protocol — ordinary operations, plus the system operations that smart
+//! proxies rely on (interface fetch, invalidation subscriptions,
+//! checkout/checkin for migration).
+
+use naming::NameClient;
+use rpc::{
+    endpoint_from_value, send_oneway, ErrorCode, RemoteError, Request, RpcError, RpcServer,
+    ServeStats, Served,
+};
+use simnet::{Ctx, Endpoint, NodeId, Simulation};
+use wire::Value;
+
+use crate::interface::InterfaceDesc;
+use crate::object::{FactoryRegistry, ServiceObject};
+use crate::proxy::protocol;
+use crate::spec::ProxySpec;
+use crate::stable::CheckpointPolicy;
+
+/// Counters accumulated by a service context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Ordinary operations dispatched to the object.
+    pub dispatched: u64,
+    /// Of those, writes.
+    pub writes: u64,
+    /// Invalidation notifications pushed to subscribers.
+    pub invalidations_sent: u64,
+    /// Successful checkouts (object left this context).
+    pub checkouts: u64,
+    /// Successful checkins (object returned).
+    pub checkins: u64,
+    /// Recall notifications sent to the current holder.
+    pub recalls_sent: u64,
+    /// Requests refused because the object was checked out.
+    pub unavailable: u64,
+    /// Checkpoints written to stable storage.
+    pub checkpoints: u64,
+}
+
+/// Everything but the RPC machinery, so the dispatch closure can borrow
+/// it while [`RpcServer`] is borrowed separately.
+struct Core {
+    name: String,
+    spec: ProxySpec,
+    iface: InterfaceDesc,
+    /// `None` while the object is checked out to a client context.
+    object: Option<Box<dyn ServiceObject>>,
+    holder: Option<Endpoint>,
+    subscribers: Vec<Endpoint>,
+    factories: Option<FactoryRegistry>,
+    checkpoint: Option<CheckpointPolicy>,
+    writes_since_checkpoint: u64,
+    stats: ServerStats,
+}
+
+impl Core {
+    fn send_recall(&mut self, ctx: &Ctx) {
+        if let Some(holder) = self.holder {
+            send_oneway(
+                ctx,
+                holder,
+                protocol::MSG_RECALL,
+                Value::record([("svc", Value::str(self.name.clone()))]),
+            );
+            self.stats.recalls_sent += 1;
+        }
+    }
+
+    fn broadcast_invalidation(&mut self, ctx: &Ctx, op: &str, args: &Value, writer: Endpoint) {
+        let tag = match self.iface.op(op) {
+            Some(desc) => desc.tag(args),
+            None => "*".to_owned(),
+        };
+        for sub in &self.subscribers {
+            if *sub == writer {
+                continue; // the writer invalidated (or updated) locally
+            }
+            send_oneway(
+                ctx,
+                *sub,
+                protocol::MSG_INVALIDATE,
+                Value::record([
+                    ("svc", Value::str(self.name.clone())),
+                    ("tag", Value::str(tag.clone())),
+                ]),
+            );
+            self.stats.invalidations_sent += 1;
+        }
+    }
+
+    /// Writes a checkpoint to this node's stable storage if the policy
+    /// says it is due.
+    fn maybe_checkpoint(&mut self, ctx: &Ctx) {
+        let Some(policy) = &self.checkpoint else {
+            return;
+        };
+        self.writes_since_checkpoint += 1;
+        if self.writes_since_checkpoint < policy.every_writes {
+            return;
+        }
+        if let Some(obj) = &self.object {
+            if let Ok(snapshot) = obj.snapshot() {
+                policy.store.save(ctx.node(), &self.name, snapshot);
+                self.stats.checkpoints += 1;
+                self.writes_since_checkpoint = 0;
+            }
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx, req: &Request) -> Result<Value, RemoteError> {
+        match req.op.as_str() {
+            protocol::OP_IFACE => Ok(self.iface.to_value()),
+            protocol::OP_PING => Ok(Value::Null),
+            protocol::OP_SUBSCRIBE => {
+                let cb = endpoint_from_value(
+                    req.args
+                        .get("cb")
+                        .ok_or_else(|| RemoteError::new(ErrorCode::BadArgs, "missing cb"))?,
+                )
+                .map_err(|e| RemoteError::new(ErrorCode::BadArgs, e.to_string()))?;
+                if !self.subscribers.contains(&cb) {
+                    self.subscribers.push(cb);
+                }
+                Ok(Value::Null)
+            }
+            protocol::OP_UNSUBSCRIBE => {
+                let cb = endpoint_from_value(
+                    req.args
+                        .get("cb")
+                        .ok_or_else(|| RemoteError::new(ErrorCode::BadArgs, "missing cb"))?,
+                )
+                .map_err(|e| RemoteError::new(ErrorCode::BadArgs, e.to_string()))?;
+                self.subscribers.retain(|s| *s != cb);
+                Ok(Value::Null)
+            }
+            protocol::OP_SNAPSHOT => match &self.object {
+                Some(obj) => obj.snapshot(),
+                None => Err(RemoteError::new(
+                    ErrorCode::Unavailable,
+                    "object is checked out",
+                )),
+            },
+            protocol::OP_CHECKOUT => match self.object.take() {
+                Some(obj) => match obj.snapshot() {
+                    Ok(state) => {
+                        self.holder = Some(req.reply_to);
+                        self.stats.checkouts += 1;
+                        Ok(Value::record([("state", state)]))
+                    }
+                    Err(e) => {
+                        self.object = Some(obj);
+                        Err(e)
+                    }
+                },
+                None => {
+                    // Someone else holds it: ask for it back, tell the
+                    // caller to retry later.
+                    self.send_recall(ctx);
+                    self.stats.unavailable += 1;
+                    Err(RemoteError::new(
+                        ErrorCode::Unavailable,
+                        "object is checked out elsewhere",
+                    ))
+                }
+            },
+            protocol::OP_CHECKIN => {
+                let state = req
+                    .args
+                    .get("state")
+                    .ok_or_else(|| RemoteError::new(ErrorCode::BadArgs, "missing state"))?;
+                let factories = self.factories.as_ref().ok_or_else(|| {
+                    RemoteError::new(
+                        ErrorCode::Unavailable,
+                        "service cannot restore objects (no factories)",
+                    )
+                })?;
+                let obj = factories.create(&self.iface.type_name, state)?;
+                self.object = Some(obj);
+                self.holder = None;
+                self.stats.checkins += 1;
+                Ok(Value::Null)
+            }
+            op if op.starts_with('_') => Err(RemoteError::new(ErrorCode::NoSuchOp, op.to_owned())),
+            op => match &mut self.object {
+                None => {
+                    self.send_recall(ctx);
+                    self.stats.unavailable += 1;
+                    Err(RemoteError::new(
+                        ErrorCode::Unavailable,
+                        "object is checked out; retry shortly",
+                    ))
+                }
+                Some(obj) => {
+                    let result = obj.dispatch(ctx, op, &req.args);
+                    self.stats.dispatched += 1;
+                    if result.is_ok() && self.iface.is_write(op) {
+                        self.stats.writes += 1;
+                        self.broadcast_invalidation(ctx, op, &req.args, req.reply_to);
+                        self.maybe_checkpoint(ctx);
+                    }
+                    result
+                }
+            },
+        }
+    }
+}
+
+/// A process hosting one service object behind the proxy protocol.
+pub struct ServiceServer {
+    core: Core,
+    rpc: RpcServer,
+}
+
+impl std::fmt::Debug for ServiceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceServer")
+            .field("name", &self.core.name)
+            .field("spec", &self.core.spec)
+            .field("checked_out", &self.core.object.is_none())
+            .field("subscribers", &self.core.subscribers.len())
+            .finish()
+    }
+}
+
+impl ServiceServer {
+    /// Creates a server hosting `object` under `name`, exporting `spec`
+    /// as the proxy its clients must run.
+    pub fn new(
+        name: impl Into<String>,
+        object: Box<dyn ServiceObject>,
+        spec: ProxySpec,
+    ) -> ServiceServer {
+        let iface = object.interface();
+        ServiceServer {
+            core: Core {
+                name: name.into(),
+                spec,
+                iface,
+                object: Some(object),
+                holder: None,
+                subscribers: Vec::new(),
+                factories: None,
+                checkpoint: None,
+                writes_since_checkpoint: 0,
+                stats: ServerStats::default(),
+            },
+            rpc: RpcServer::new(),
+        }
+    }
+
+    /// Supplies the factory registry needed to restore checked-in
+    /// objects (required for [`ProxySpec::Migratory`] services).
+    pub fn with_factories(mut self, factories: FactoryRegistry) -> ServiceServer {
+        self.core.factories = Some(factories);
+        self
+    }
+
+    /// Enables periodic checkpointing of the object's snapshot to the
+    /// node's stable storage. Combine with [`spawn_service_recovered`]
+    /// to survive crashes.
+    pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> ServiceServer {
+        self.core.checkpoint = Some(policy);
+        self
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    /// The hosted object's interface.
+    pub fn interface(&self) -> &InterfaceDesc {
+        &self.core.iface
+    }
+
+    /// The binding metadata published to the name service:
+    /// `{spec, iface}`.
+    pub fn meta(&self) -> Value {
+        Value::record([
+            ("spec", self.core.spec.to_value()),
+            ("iface", self.core.iface.to_value()),
+        ])
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats
+    }
+
+    /// Transport-level counters (duplicate suppression etc.).
+    pub fn rpc_stats(&self) -> ServeStats {
+        self.rpc.stats
+    }
+
+    /// Registers this service with the name server at `ns`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the registration call.
+    pub fn register(&self, ctx: &mut Ctx, ns: Endpoint) -> Result<(), RpcError> {
+        let mut nc = NameClient::new(ns);
+        nc.register(ctx, &self.core.name, ctx.endpoint(), self.meta())?;
+        Ok(())
+    }
+
+    /// Processes one incoming datagram (for custom server loops).
+    pub fn handle_msg(&mut self, ctx: &mut Ctx, msg: &simnet::Message) -> Served {
+        let core = &mut self.core;
+        self.rpc.handle(ctx, msg, |ctx, req| core.execute(ctx, req))
+    }
+
+    /// Registers with the name service and serves until shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if registration fails for a reason other than simulation
+    /// shutdown.
+    pub fn run(mut self, ctx: &mut Ctx, ns: Endpoint) {
+        match self.register(ctx, ns) {
+            Ok(()) => {}
+            Err(RpcError::Stopped) => return,
+            Err(e) => panic!("service `{}` failed to register: {e}", self.core.name),
+        }
+        while let Ok(msg) = ctx.recv() {
+            self.handle_msg(ctx, &msg);
+        }
+    }
+}
+
+/// Spawns a service process on `node`, hosting the object produced by
+/// `make_object`, registered with the name server at `ns`. Returns the
+/// service's endpoint.
+pub fn spawn_service<F>(
+    sim: &Simulation,
+    node: NodeId,
+    ns: Endpoint,
+    name: &str,
+    spec: ProxySpec,
+    make_object: F,
+) -> Endpoint
+where
+    F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
+{
+    let name = name.to_owned();
+    let label = format!("svc-{name}");
+    sim.spawn(label, node, move |ctx| {
+        ServiceServer::new(name, make_object(), spec).run(ctx, ns);
+    })
+}
+
+/// Spawns a service that recovers from the node's last checkpoint if
+/// one exists (otherwise hosts the object from `make_default`), and
+/// keeps checkpointing under `policy`. Re-registering bumps the naming
+/// generation, so stub proxies whose calls time out against the dead
+/// incarnation transparently re-resolve to the new one.
+#[allow(clippy::too_many_arguments)] // spawn helpers mirror ServiceServer's builder knobs
+pub fn spawn_service_recovered<F>(
+    sim: &Simulation,
+    node: NodeId,
+    ns: Endpoint,
+    name: &str,
+    spec: ProxySpec,
+    factories: FactoryRegistry,
+    policy: CheckpointPolicy,
+    make_default: F,
+) -> Endpoint
+where
+    F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
+{
+    let name = name.to_owned();
+    let label = format!("svc-{name}");
+    sim.spawn(label, node, move |ctx| {
+        let default = make_default();
+        let object = match policy.store.load(ctx.node(), &name) {
+            Some(snapshot) => factories
+                .create(&default.interface().type_name, &snapshot)
+                .unwrap_or(default),
+            None => default,
+        };
+        ServiceServer::new(name, object, spec)
+            .with_factories(factories)
+            .with_checkpointing(policy)
+            .run(ctx, ns);
+    })
+}
+
+/// Like [`spawn_service`], with a factory registry for checkin support.
+pub fn spawn_service_with_factories<F>(
+    sim: &Simulation,
+    node: NodeId,
+    ns: Endpoint,
+    name: &str,
+    spec: ProxySpec,
+    factories: FactoryRegistry,
+    make_object: F,
+) -> Endpoint
+where
+    F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
+{
+    let name = name.to_owned();
+    let label = format!("svc-{name}");
+    sim.spawn(label, node, move |ctx| {
+        ServiceServer::new(name, make_object(), spec)
+            .with_factories(factories)
+            .run(ctx, ns);
+    })
+}

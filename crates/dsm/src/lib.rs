@@ -1,0 +1,103 @@
+//! # dsm — page-based distributed shared memory
+//!
+//! The third access method in the classic comparison the proxy paper sits
+//! inside (RPC stubs / proxies / distributed virtual memory): instead of
+//! invoking operations on a remote object, a context *maps* shared pages
+//! into its local memory and reads/writes them directly; a fault fetches
+//! the page, and a single-writer/multiple-reader **ownership protocol**
+//! keeps copies coherent.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  app context (node A)          manager (directory)       app context (node B)
+//! ┌─────────────────────┐      ┌────────────────────┐     ┌─────────────────────┐
+//! │ DsmClient           │ fetch│ per-page state:    │     │ DsmClient           │
+//! │   read/write  ──────┼─────▶│  Shared{copyset}   │◀────┼──────               │
+//! │   (local after map) │      │  Exclusive{owner}  │     │                     │
+//! │ PageCache (shared)  │      └──────────┬─────────┘     │ PageCache (shared)  │
+//! │   ▲                 │   downgrade /   │               │   ▲                 │
+//! │ Pager (sibling proc)│◀── invalidate / ┴──────────────▶│ Pager               │
+//! └─────────────────────┘     surrender  (synchronous RPC)└─────────────────────┘
+//! ```
+//!
+//! Each [`DsmClient`] spawns a sibling **pager** process in its context
+//! that shares the page cache and serves the manager's coherence traffic
+//! (`downgrade`, `invalidate`, `surrender`) synchronously — the analogue
+//! of an MMU trap handler. This gives real single-writer/multi-reader
+//! coherence: at any instant a page has either one writable mapping or
+//! any number of read-only mappings.
+//!
+//! ## The trade the paper's contemporaries argued about
+//!
+//! * **Locality wins.** Once mapped, reads and writes are local memory
+//!   operations — zero messages (experiment E12's first half).
+//! * **Fine-grained sharing loses.** Two contexts alternately writing
+//!   the same page ping-pong it: every access costs a 3-hop transfer,
+//!   worse than one RPC per operation (E12's second half).
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::{Simulation, NetworkConfig, NodeId};
+//! use dsm::{spawn_dsm_manager, DsmClient, PageId};
+//!
+//! let mut sim = Simulation::new(NetworkConfig::lan(), 1);
+//! let manager = spawn_dsm_manager(&sim, NodeId(0), 64);
+//! sim.spawn("writer", NodeId(1), move |ctx| {
+//!     let mut mem = DsmClient::attach(ctx, manager);
+//!     mem.write(ctx, PageId(0), 0, b"hello").unwrap();
+//!     // Mapped exclusively now: further writes are local.
+//!     mem.write(ctx, PageId(0), 5, b" dsm").unwrap();
+//!     let bytes = mem.read(ctx, PageId(0), 0, 9).unwrap();
+//!     assert_eq!(&bytes[..], b"hello dsm");
+//! });
+//! sim.run();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod manager;
+mod pager;
+
+pub use client::{DsmClient, DsmError, DsmStats};
+pub use manager::{spawn_dsm_manager, ManagerStats};
+
+use std::fmt;
+
+/// Identifier of a shared page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page{}", self.0)
+    }
+}
+
+/// How a context currently holds a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Read-only mapping; other read copies may exist.
+    Read,
+    /// Exclusive writable mapping; no other copies exist.
+    Write,
+}
+
+pub(crate) mod proto {
+    //! Operation names of the DSM coherence protocol.
+    /// App → manager: map a page read-only.
+    pub const OP_FETCH_RO: &str = "fetch_ro";
+    /// App → manager: map a page exclusively.
+    pub const OP_FETCH_RW: &str = "fetch_rw";
+    /// Manager → pager: demote an exclusive mapping to read-only,
+    /// returning the current bytes.
+    pub const OP_DOWNGRADE: &str = "downgrade";
+    /// Manager → pager: drop a read-only mapping.
+    pub const OP_INVALIDATE: &str = "invalidate";
+    /// Manager → pager: give up an exclusive mapping entirely,
+    /// returning the current bytes.
+    pub const OP_SURRENDER: &str = "surrender";
+}

@@ -1,0 +1,282 @@
+//! The name server process.
+
+use std::collections::BTreeMap;
+
+use rpc::{endpoint_from_value, ErrorCode, RemoteError, Request, RpcServer};
+use simnet::{Ctx, Endpoint, NodeId, PortId, Simulation};
+use wire::{Value, WireError};
+
+use crate::record::NameRecord;
+
+/// The well-known port the name server listens on.
+pub const NAME_SERVER_PORT: PortId = PortId(1);
+
+/// In-memory name table (process-local state of the server).
+#[derive(Debug, Default)]
+struct NameTable {
+    records: BTreeMap<String, NameRecord>,
+    next_gen: u64,
+}
+
+impl NameTable {
+    fn bump(&mut self) -> u64 {
+        self.next_gen += 1;
+        self.next_gen
+    }
+}
+
+fn bad_args(e: WireError) -> RemoteError {
+    RemoteError::new(ErrorCode::BadArgs, e.to_string())
+}
+
+fn handle(table: &mut NameTable, req: &Request) -> Result<Value, RemoteError> {
+    match req.op.as_str() {
+        "register" => {
+            let name = req.args.get_str("name").map_err(bad_args)?.to_owned();
+            let ep = endpoint_from_value(
+                req.args
+                    .get("ep")
+                    .ok_or_else(|| RemoteError::new(ErrorCode::BadArgs, "missing ep"))?,
+            )
+            .map_err(bad_args)?;
+            let meta = req.args.get("meta").cloned().unwrap_or(Value::Null);
+            let gen = table.bump();
+            table.records.insert(
+                name,
+                NameRecord {
+                    endpoint: ep,
+                    meta,
+                    generation: gen,
+                },
+            );
+            Ok(Value::record([("gen", Value::U64(gen))]))
+        }
+        "update" => {
+            let name = req.args.get_str("name").map_err(bad_args)?;
+            let ep = endpoint_from_value(
+                req.args
+                    .get("ep")
+                    .ok_or_else(|| RemoteError::new(ErrorCode::BadArgs, "missing ep"))?,
+            )
+            .map_err(bad_args)?;
+            let meta = req.args.get("meta").cloned().unwrap_or(Value::Null);
+            let gen = table.bump();
+            match table.records.get_mut(name) {
+                Some(rec) => {
+                    rec.endpoint = ep;
+                    if meta != Value::Null {
+                        rec.meta = meta;
+                    }
+                    rec.generation = gen;
+                    Ok(Value::record([("gen", Value::U64(gen))]))
+                }
+                None => Err(RemoteError::new(
+                    ErrorCode::NoSuchObject,
+                    format!("unknown name `{name}`"),
+                )),
+            }
+        }
+        "unregister" => {
+            let name = req.args.get_str("name").map_err(bad_args)?;
+            match table.records.remove(name) {
+                Some(_) => Ok(Value::Null),
+                None => Err(RemoteError::new(
+                    ErrorCode::NoSuchObject,
+                    format!("unknown name `{name}`"),
+                )),
+            }
+        }
+        "lookup" => {
+            let name = req.args.get_str("name").map_err(bad_args)?;
+            match table.records.get(name) {
+                Some(rec) => Ok(rec.to_value()),
+                None => Err(RemoteError::new(
+                    ErrorCode::NoSuchObject,
+                    format!("unknown name `{name}`"),
+                )),
+            }
+        }
+        "list" => Ok(Value::record([(
+            "names",
+            Value::list(table.records.keys().map(Value::str)),
+        )])),
+        other => Err(RemoteError::new(ErrorCode::NoSuchOp, other.to_owned())),
+    }
+}
+
+/// The name-server process body; spawn it yourself for custom placements:
+///
+/// ```
+/// use simnet::{Simulation, NetworkConfig, NodeId, PortId};
+///
+/// let sim = Simulation::new(NetworkConfig::lan(), 0);
+/// sim.spawn_at("names", NodeId(2), PortId(1), naming::name_server_body);
+/// ```
+pub fn name_server_body(ctx: &mut Ctx) {
+    let mut table = NameTable::default();
+    let mut server = RpcServer::new();
+    server.serve(ctx, |_ctx, req| handle(&mut table, req), |_, _| {});
+}
+
+/// Spawns the name server on `node` at [`NAME_SERVER_PORT`], returning
+/// its endpoint.
+///
+/// # Panics
+///
+/// Panics if the port is already bound on that node.
+pub fn spawn_name_server(sim: &Simulation, node: NodeId) -> Endpoint {
+    sim.spawn_at("name-server", node, NAME_SERVER_PORT, name_server_body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(op: &str, args: Value) -> Request {
+        Request {
+            call_id: 1,
+            reply_to: Endpoint::new(NodeId(9), PortId(70000)),
+            object: String::new(),
+            op: op.into(),
+            args,
+        }
+    }
+
+    fn ep_value(n: u32, p: u32) -> Value {
+        rpc::endpoint_to_value(Endpoint::new(NodeId(n), PortId(p)))
+    }
+
+    #[test]
+    fn register_then_lookup() {
+        let mut t = NameTable::default();
+        let r = handle(
+            &mut t,
+            &req(
+                "register",
+                Value::record([("name", Value::str("kv")), ("ep", ep_value(1, 2))]),
+            ),
+        )
+        .unwrap();
+        assert_eq!(r.get_u64("gen").unwrap(), 1);
+        let rec = handle(
+            &mut t,
+            &req("lookup", Value::record([("name", Value::str("kv"))])),
+        )
+        .unwrap();
+        let rec = NameRecord::from_value(&rec).unwrap();
+        assert_eq!(rec.endpoint, Endpoint::new(NodeId(1), PortId(2)));
+    }
+
+    #[test]
+    fn update_bumps_generation_and_moves() {
+        let mut t = NameTable::default();
+        handle(
+            &mut t,
+            &req(
+                "register",
+                Value::record([("name", Value::str("kv")), ("ep", ep_value(1, 2))]),
+            ),
+        )
+        .unwrap();
+        let r = handle(
+            &mut t,
+            &req(
+                "update",
+                Value::record([("name", Value::str("kv")), ("ep", ep_value(3, 4))]),
+            ),
+        )
+        .unwrap();
+        assert_eq!(r.get_u64("gen").unwrap(), 2);
+        let rec = NameRecord::from_value(
+            &handle(
+                &mut t,
+                &req("lookup", Value::record([("name", Value::str("kv"))])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(rec.endpoint, Endpoint::new(NodeId(3), PortId(4)));
+        assert_eq!(rec.generation, 2);
+    }
+
+    #[test]
+    fn unknown_name_is_no_such_object() {
+        let mut t = NameTable::default();
+        let e = handle(
+            &mut t,
+            &req("lookup", Value::record([("name", Value::str("x"))])),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::NoSuchObject);
+        let e = handle(
+            &mut t,
+            &req(
+                "update",
+                Value::record([("name", Value::str("x")), ("ep", ep_value(0, 0))]),
+            ),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::NoSuchObject);
+        let e = handle(
+            &mut t,
+            &req("unregister", Value::record([("name", Value::str("x"))])),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::NoSuchObject);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let mut t = NameTable::default();
+        for n in ["zeta", "alpha", "mid"] {
+            handle(
+                &mut t,
+                &req(
+                    "register",
+                    Value::record([("name", Value::str(n)), ("ep", ep_value(0, 1))]),
+                ),
+            )
+            .unwrap();
+        }
+        let r = handle(&mut t, &req("list", Value::Null)).unwrap();
+        let names: Vec<&str> = r
+            .get_list("names")
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn bad_args_reported() {
+        let mut t = NameTable::default();
+        let e = handle(&mut t, &req("register", Value::Null)).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadArgs);
+    }
+
+    #[test]
+    fn reregister_replaces_binding() {
+        let mut t = NameTable::default();
+        for p in [2u32, 7] {
+            handle(
+                &mut t,
+                &req(
+                    "register",
+                    Value::record([("name", Value::str("kv")), ("ep", ep_value(1, p))]),
+                ),
+            )
+            .unwrap();
+        }
+        let rec = NameRecord::from_value(
+            &handle(
+                &mut t,
+                &req("lookup", Value::record([("name", Value::str("kv"))])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(rec.endpoint, Endpoint::new(NodeId(1), PortId(7)));
+        assert_eq!(rec.generation, 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of replication guarantees under arbitrary
+//! schedules: read-your-writes and monotonic reads must hold for every
+//! interleaving of writes, reads and pauses, under both propagation
+//! modes, with the client placed anywhere.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use proxy_core::{InterfaceDesc, OpDesc, ReadTarget, ServiceObject};
+use replication::{client_runtime, spawn_replica_group, Propagation, ReplicaGroupConfig};
+use rpc::{ErrorCode, RemoteError};
+use simnet::{Ctx, NetworkConfig, NodeId, Simulation};
+use wire::Value;
+
+struct Register(u64);
+
+impl ServiceObject for Register {
+    fn interface(&self) -> InterfaceDesc {
+        InterfaceDesc::new(
+            "register",
+            [OpDesc::read_whole("read"), OpDesc::write_whole("write")],
+        )
+    }
+    fn dispatch(&mut self, _ctx: &mut Ctx, op: &str, args: &Value) -> Result<Value, RemoteError> {
+        match op {
+            "read" => Ok(Value::U64(self.0)),
+            "write" => {
+                self.0 = args
+                    .get_u64("v")
+                    .map_err(|e| RemoteError::new(ErrorCode::BadArgs, e.to_string()))?;
+                Ok(Value::Null)
+            }
+            other => Err(RemoteError::new(ErrorCode::NoSuchOp, other.to_owned())),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Write,
+    Read,
+    Pause(u8),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Step::Write),
+            Just(Step::Read),
+            (1u8..30).prop_map(Step::Pause),
+        ],
+        1..30,
+    )
+}
+
+fn run_schedule(
+    steps: Vec<Step>,
+    propagation: Propagation,
+    replicas: u32,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut sim = Simulation::new(NetworkConfig::lan().with_jitter(0.2), seed);
+    let ns = naming::spawn_name_server(&sim, NodeId(0));
+    spawn_replica_group(
+        &sim,
+        ns,
+        ReplicaGroupConfig {
+            service: "reg".into(),
+            nodes: (0..replicas).map(|r| NodeId(1 + r)).collect(),
+            propagation,
+            read_target: ReadTarget::Nearest,
+        },
+        || Box::new(Register(0)),
+    );
+    let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let f2 = Arc::clone(&failure);
+    sim.spawn("driver", NodeId(50), move |ctx| {
+        let mut rt = client_runtime(ns);
+        let reg = rt.bind(ctx, "reg").unwrap();
+        let mut last_written = 0u64;
+        let mut last_seen = 0u64;
+        let mut counter = 0u64;
+        for (i, step) in steps.iter().enumerate() {
+            match step {
+                Step::Write => {
+                    counter += 1;
+                    rt.invoke(ctx, reg, "write", Value::record([("v", Value::U64(counter))]))
+                        .unwrap();
+                    last_written = counter;
+                }
+                Step::Read => {
+                    let v = rt
+                        .invoke(ctx, reg, "read", Value::Null)
+                        .unwrap()
+                        .as_u64()
+                        .unwrap();
+                    if v < last_written {
+                        *f2.lock().unwrap() = Some(format!(
+                            "step {i}: read {v} < own last write {last_written} (RYW violated)"
+                        ));
+                        return;
+                    }
+                    if v < last_seen {
+                        *f2.lock().unwrap() = Some(format!(
+                            "step {i}: read {v} < previously seen {last_seen} (monotonic reads violated)"
+                        ));
+                        return;
+                    }
+                    last_seen = v;
+                }
+                Step::Pause(ms) => {
+                    let _ = ctx.sleep(Duration::from_millis(*ms as u64));
+                }
+            }
+        }
+    });
+    sim.run();
+    if let Some(msg) = failure.lock().unwrap().take() {
+        return Err(TestCaseError::fail(msg));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ryw_and_monotonic_reads_sync(steps in arb_steps(), replicas in 1u32..4, seed in 0u64..10_000) {
+        run_schedule(steps, Propagation::Sync, replicas, seed)?;
+    }
+
+    #[test]
+    fn ryw_and_monotonic_reads_async(steps in arb_steps(), replicas in 1u32..4, seed in 0u64..10_000) {
+        run_schedule(steps, Propagation::Async, replicas, seed)?;
+    }
+}

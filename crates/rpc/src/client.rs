@@ -1,0 +1,291 @@
+//! The RPC client: synchronous calls with retransmission.
+//!
+//! A [`RpcClient`] issues one call at a time against a fixed server
+//! endpoint. Retransmissions reuse the call id, so together with the
+//! server's duplicate suppression the protocol gives **at-most-once**
+//! execution (the Birrell & Nelson design the paper's stubs assume).
+
+use std::time::Duration;
+
+use simnet::{Ctx, Endpoint, Message};
+use wire::Value;
+
+use crate::error::RpcError;
+use crate::proto::{Oneway, Packet, Request};
+
+/// Retransmission policy for a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// How long to wait for the first reply.
+    pub timeout: Duration,
+    /// Total attempts (first send plus retransmissions).
+    pub max_attempts: u32,
+    /// Multiplier applied to the timeout after each attempt
+    /// (1.0 = fixed interval, 2.0 = exponential backoff).
+    pub backoff: f64,
+}
+
+impl RetryPolicy {
+    /// A policy that never retransmits: one attempt with the given timeout.
+    pub fn no_retry(timeout: Duration) -> RetryPolicy {
+        RetryPolicy {
+            timeout,
+            max_attempts: 1,
+            backoff: 1.0,
+        }
+    }
+
+    /// Fixed-interval retransmission.
+    pub fn fixed(timeout: Duration, max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            timeout,
+            max_attempts,
+            backoff: 1.0,
+        }
+    }
+
+    /// Exponential backoff with factor 2.
+    pub fn exponential(timeout: Duration, max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            timeout,
+            max_attempts,
+            backoff: 2.0,
+        }
+    }
+
+    fn attempt_timeout(&self, attempt: u32) -> Duration {
+        let factor = self.backoff.powi(attempt as i32);
+        Duration::from_nanos((self.timeout.as_nanos() as f64 * factor) as u64)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 10ms initial timeout, 4 attempts, exponential backoff — sized for
+    /// the default LAN profile (500µs one-way latency).
+    fn default() -> RetryPolicy {
+        RetryPolicy::exponential(Duration::from_millis(10), 4)
+    }
+}
+
+/// Counters accumulated by a client across calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallStats {
+    /// Calls issued.
+    pub calls: u64,
+    /// Retransmissions sent (excludes the first send of each call).
+    pub retries: u64,
+    /// Calls that exhausted their retry budget.
+    pub timeouts: u64,
+    /// Replies discarded because their id or source did not match the
+    /// outstanding call (late duplicates).
+    pub stale_replies: u64,
+    /// Non-reply datagrams seen while waiting and not consumed by a
+    /// stray handler.
+    pub strays_dropped: u64,
+}
+
+/// A synchronous RPC client bound to one server endpoint.
+///
+/// One call may be outstanding at a time (calls are blocking). Replies are
+/// matched on `(server endpoint, call id)`.
+#[derive(Debug)]
+pub struct RpcClient {
+    server: Endpoint,
+    policy: RetryPolicy,
+    /// Counters (readable by experiment harnesses).
+    pub stats: CallStats,
+}
+
+impl RpcClient {
+    /// Creates a client for `server` with the default [`RetryPolicy`].
+    pub fn new(server: Endpoint) -> RpcClient {
+        RpcClient::with_policy(server, RetryPolicy::default())
+    }
+
+    /// Creates a client with an explicit policy.
+    pub fn with_policy(server: Endpoint, policy: RetryPolicy) -> RpcClient {
+        RpcClient {
+            server,
+            policy,
+            stats: CallStats::default(),
+        }
+    }
+
+    /// The server endpoint this client calls.
+    pub fn server(&self) -> Endpoint {
+        self.server
+    }
+
+    /// Repoints the client at a new server endpoint (after a migration
+    /// or rebind). In-flight duplicate replies from the old server are
+    /// filtered out by the source check.
+    pub fn rebind(&mut self, server: Endpoint) {
+        self.server = server;
+    }
+
+    /// Calls `op` on the server's default object.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcClient::call_object`].
+    pub fn call(&mut self, ctx: &mut Ctx, op: &str, args: Value) -> Result<Value, RpcError> {
+        self.call_object(ctx, "", op, args)
+    }
+
+    /// Calls `op` on a named object in the server context.
+    ///
+    /// # Errors
+    ///
+    /// * [`RpcError::Timeout`] — no reply within the retry budget.
+    /// * [`RpcError::Remote`] — the server executed and reported failure.
+    /// * [`RpcError::Stopped`] — simulation shutdown.
+    pub fn call_object(
+        &mut self,
+        ctx: &mut Ctx,
+        object: &str,
+        op: &str,
+        args: Value,
+    ) -> Result<Value, RpcError> {
+        self.call_with_strays(ctx, object, op, args, |_, _| StrayVerdict::Drop)
+    }
+
+    /// Like [`RpcClient::call_object`], but non-reply datagrams that
+    /// arrive while waiting are offered to `on_stray` (smart proxies use
+    /// this to process invalidations without losing them).
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcClient::call_object`].
+    pub fn call_with_strays(
+        &mut self,
+        ctx: &mut Ctx,
+        object: &str,
+        op: &str,
+        args: Value,
+        mut on_stray: impl FnMut(&mut Ctx, Stray<'_>) -> StrayVerdict,
+    ) -> Result<Value, RpcError> {
+        // Call ids come from the per-process counter so every client
+        // object in a process shares one id space: the server's
+        // duplicate-suppression window (keyed by our endpoint) then
+        // sees strictly increasing fresh ids.
+        let call_id = ctx.next_seq();
+        self.stats.calls += 1;
+
+        let request = Request {
+            call_id,
+            reply_to: ctx.endpoint(),
+            object: object.to_owned(),
+            op: op.to_owned(),
+            args,
+        };
+        let datagram = request.to_bytes();
+
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            ctx.send(self.server, datagram.clone());
+            let deadline = ctx.now() + self.policy.attempt_timeout(attempt);
+            loop {
+                let Some(msg) = ctx.recv_deadline(deadline)? else {
+                    break; // attempt timed out; retransmit
+                };
+                match Packet::from_bytes(&msg.payload) {
+                    Ok(Packet::Reply(rep)) => {
+                        if rep.call_id == call_id && msg.src == self.server {
+                            return rep.result.map_err(RpcError::Remote);
+                        }
+                        self.stats.stale_replies += 1;
+                    }
+                    Ok(Packet::Oneway(o)) => match on_stray(ctx, Stray::Oneway(&o, &msg)) {
+                        StrayVerdict::Consumed => {}
+                        StrayVerdict::Drop => self.stats.strays_dropped += 1,
+                    },
+                    Ok(Packet::Request(r)) => match on_stray(ctx, Stray::Request(&r, &msg)) {
+                        StrayVerdict::Consumed => {}
+                        StrayVerdict::Drop => self.stats.strays_dropped += 1,
+                    },
+                    Err(_) => self.stats.strays_dropped += 1,
+                }
+            }
+        }
+        self.stats.timeouts += 1;
+        Err(RpcError::Timeout {
+            attempts: self.policy.max_attempts,
+        })
+    }
+
+    /// Sends a one-way notification to the server (no reply, no retry).
+    pub fn notify(&self, ctx: &Ctx, op: &str, args: Value) {
+        let msg = Oneway {
+            from: ctx.endpoint(),
+            op: op.to_owned(),
+            args,
+        };
+        ctx.send(self.server, msg.to_bytes());
+    }
+}
+
+/// A non-reply datagram observed while a call was waiting.
+#[derive(Debug)]
+pub enum Stray<'a> {
+    /// A one-way notification (e.g. a cache invalidation).
+    Oneway(&'a Oneway, &'a Message),
+    /// A request addressed to this process (e.g. callback traffic).
+    Request(&'a Request, &'a Message),
+}
+
+/// What the stray handler did with the datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrayVerdict {
+    /// The handler processed it.
+    Consumed,
+    /// Not interesting; count it as dropped.
+    Drop,
+}
+
+/// Sends a one-way notification outside any client (helper for servers
+/// pushing invalidations or replication traffic).
+pub fn send_oneway(ctx: &Ctx, to: Endpoint, op: &str, args: Value) {
+    let msg = Oneway {
+        from: ctx.endpoint(),
+        op: op.to_owned(),
+        args,
+    };
+    ctx.send(to, msg.to_bytes());
+}
+
+/// Sends a one-way notification from a specific bound source endpoint.
+pub fn send_oneway_from(ctx: &Ctx, from: Endpoint, to: Endpoint, op: &str, args: Value) {
+    let msg = Oneway {
+        from,
+        op: op.to_owned(),
+        args,
+    };
+    ctx.send_from(from, to, msg.to_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_backoff_grows() {
+        let p = RetryPolicy::exponential(Duration::from_millis(10), 4);
+        assert_eq!(p.attempt_timeout(0), Duration::from_millis(10));
+        assert_eq!(p.attempt_timeout(1), Duration::from_millis(20));
+        assert_eq!(p.attempt_timeout(2), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn policy_fixed_is_flat() {
+        let p = RetryPolicy::fixed(Duration::from_millis(5), 3);
+        assert_eq!(p.attempt_timeout(0), p.attempt_timeout(2));
+    }
+
+    #[test]
+    fn no_retry_is_single_attempt() {
+        let p = RetryPolicy::no_retry(Duration::from_millis(1));
+        assert_eq!(p.max_attempts, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! RPC error types.
+
+use std::fmt;
+
+use simnet::Stopped;
+use wire::{Value, WireError};
+
+/// Machine-readable category of a server-side failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The target object does not expose the requested operation.
+    NoSuchOp,
+    /// The target object does not exist in the addressed context.
+    NoSuchObject,
+    /// Arguments failed validation or decoding.
+    BadArgs,
+    /// The object has migrated; `data` carries its new location.
+    Moved,
+    /// The server is temporarily unable to execute (e.g. mid-migration).
+    Unavailable,
+    /// Not the primary replica; writes must go to the primary.
+    NotPrimary,
+    /// Application-defined failure.
+    App,
+}
+
+impl ErrorCode {
+    /// Stable wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::NoSuchOp => "no_such_op",
+            ErrorCode::NoSuchObject => "no_such_object",
+            ErrorCode::BadArgs => "bad_args",
+            ErrorCode::Moved => "moved",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::NotPrimary => "not_primary",
+            ErrorCode::App => "app",
+        }
+    }
+
+    /// Parses a wire name back to a code.
+    pub fn from_str_loose(s: &str) -> ErrorCode {
+        match s {
+            "no_such_op" => ErrorCode::NoSuchOp,
+            "no_such_object" => ErrorCode::NoSuchObject,
+            "bad_args" => ErrorCode::BadArgs,
+            "moved" => ErrorCode::Moved,
+            "unavailable" => ErrorCode::Unavailable,
+            "not_primary" => ErrorCode::NotPrimary,
+            _ => ErrorCode::App,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A failure reported by the remote side of a call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteError {
+    /// Category of the failure.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+    /// Structured payload (e.g. the new location for [`ErrorCode::Moved`]).
+    pub data: Value,
+}
+
+impl RemoteError {
+    /// Creates an error with no structured payload.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> RemoteError {
+        RemoteError {
+            code,
+            message: message.into(),
+            data: Value::Null,
+        }
+    }
+
+    /// Creates an error carrying a structured payload.
+    pub fn with_data(code: ErrorCode, message: impl Into<String>, data: Value) -> RemoteError {
+        RemoteError {
+            code,
+            message: message.into(),
+            data,
+        }
+    }
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "remote error [{}]: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Error returned by RPC client operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcError {
+    /// No reply within the retry budget.
+    Timeout {
+        /// Number of attempts made (initial send plus retransmissions).
+        attempts: u32,
+    },
+    /// The simulation is shutting down.
+    Stopped,
+    /// A reply arrived but could not be decoded.
+    Wire(WireError),
+    /// The server executed the call and reported a failure.
+    Remote(RemoteError),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Timeout { attempts } => {
+                write!(f, "call timed out after {attempts} attempt(s)")
+            }
+            RpcError::Stopped => write!(f, "simulation stopped"),
+            RpcError::Wire(e) => write!(f, "wire error: {e}"),
+            RpcError::Remote(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Wire(e) => Some(e),
+            RpcError::Remote(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> RpcError {
+        RpcError::Wire(e)
+    }
+}
+
+impl From<Stopped> for RpcError {
+    fn from(_: Stopped) -> RpcError {
+        RpcError::Stopped
+    }
+}
+
+impl From<RemoteError> for RpcError {
+    fn from(e: RemoteError) -> RpcError {
+        RpcError::Remote(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for c in [
+            ErrorCode::NoSuchOp,
+            ErrorCode::NoSuchObject,
+            ErrorCode::BadArgs,
+            ErrorCode::Moved,
+            ErrorCode::Unavailable,
+            ErrorCode::NotPrimary,
+            ErrorCode::App,
+        ] {
+            assert_eq!(ErrorCode::from_str_loose(c.as_str()), c);
+        }
+        assert_eq!(ErrorCode::from_str_loose("mystery"), ErrorCode::App);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RpcError::Remote(RemoteError::new(ErrorCode::NoSuchOp, "nope"));
+        assert!(e.to_string().contains("no_such_op"));
+        assert!(e.to_string().contains("nope"));
+        let t = RpcError::Timeout { attempts: 3 };
+        assert!(t.to_string().contains('3'));
+    }
+
+    #[test]
+    fn conversions() {
+        let w: RpcError = WireError::BadMagic.into();
+        assert!(matches!(w, RpcError::Wire(WireError::BadMagic)));
+        let s: RpcError = Stopped.into();
+        assert_eq!(s, RpcError::Stopped);
+    }
+}

@@ -1,0 +1,258 @@
+//! The RPC wire protocol: requests, replies and one-way notifications.
+//!
+//! Every datagram is a framed [`Value`] record whose `"t"` field
+//! discriminates the envelope kind: `"req"`, `"rep"` or `"msg"`.
+
+use bytes::Bytes;
+use simnet::{Endpoint, NodeId, PortId};
+use wire::{frame, unframe, Value, WireError};
+
+use crate::error::{ErrorCode, RemoteError};
+
+/// Encodes an endpoint as a wire value.
+pub fn endpoint_to_value(ep: Endpoint) -> Value {
+    Value::record([
+        ("n", Value::U64(ep.node.0.into())),
+        ("p", Value::U64(ep.port.0.into())),
+    ])
+}
+
+/// Decodes an endpoint from a wire value.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if fields are missing or out of range.
+pub fn endpoint_from_value(v: &Value) -> Result<Endpoint, WireError> {
+    let node = u32::try_from(v.get_u64("n")?).map_err(|_| WireError::TooLong(u64::MAX))?;
+    let port = u32::try_from(v.get_u64("p")?).map_err(|_| WireError::TooLong(u64::MAX))?;
+    Ok(Endpoint::new(NodeId(node), PortId(port)))
+}
+
+/// An RPC request envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-assigned identifier, monotonic per client endpoint.
+    /// Retransmissions reuse the id so the server can suppress duplicates.
+    pub call_id: u64,
+    /// Where the reply should be sent.
+    pub reply_to: Endpoint,
+    /// Target object within the server context (services may host many).
+    /// Empty string addresses the context's default object.
+    pub object: String,
+    /// Operation name.
+    pub op: String,
+    /// Operation arguments.
+    pub args: Value,
+}
+
+impl Request {
+    /// Encodes this request into a framed datagram payload.
+    pub fn to_bytes(&self) -> Bytes {
+        frame(&Value::record([
+            ("t", Value::str("req")),
+            ("id", Value::U64(self.call_id)),
+            ("rt", endpoint_to_value(self.reply_to)),
+            ("obj", Value::str(self.object.clone())),
+            ("op", Value::str(self.op.clone())),
+            ("args", self.args.clone()),
+        ]))
+    }
+
+    fn from_value(v: &Value) -> Result<Request, WireError> {
+        Ok(Request {
+            call_id: v.get_u64("id")?,
+            reply_to: endpoint_from_value(v.get("rt").ok_or(WireError::MissingField("rt"))?)?,
+            object: v.get_str("obj")?.to_owned(),
+            op: v.get_str("op")?.to_owned(),
+            args: v.get("args").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+/// An RPC reply envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Echoes the request's `call_id`.
+    pub call_id: u64,
+    /// Success value or remote failure.
+    pub result: Result<Value, RemoteError>,
+}
+
+impl Reply {
+    /// Encodes this reply into a framed datagram payload.
+    pub fn to_bytes(&self) -> Bytes {
+        let fields = match &self.result {
+            Ok(v) => Value::record([
+                ("t", Value::str("rep")),
+                ("id", Value::U64(self.call_id)),
+                ("ok", v.clone()),
+            ]),
+            Err(e) => Value::record([
+                ("t", Value::str("rep")),
+                ("id", Value::U64(self.call_id)),
+                ("err", Value::str(e.code.as_str())),
+                ("msg", Value::str(e.message.clone())),
+                ("data", e.data.clone()),
+            ]),
+        };
+        frame(&fields)
+    }
+
+    fn from_value(v: &Value) -> Result<Reply, WireError> {
+        let call_id = v.get_u64("id")?;
+        let result = if let Some(ok) = v.get("ok") {
+            Ok(ok.clone())
+        } else {
+            Err(RemoteError {
+                code: ErrorCode::from_str_loose(v.get_str("err")?),
+                message: v.get_str("msg")?.to_owned(),
+                data: v.get("data").cloned().unwrap_or(Value::Null),
+            })
+        };
+        Ok(Reply { call_id, result })
+    }
+}
+
+/// A one-way notification (no reply expected): cache invalidations,
+/// callbacks, replication traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Oneway {
+    /// Sender endpoint (for follow-up contact).
+    pub from: Endpoint,
+    /// Notification kind.
+    pub op: String,
+    /// Notification body.
+    pub args: Value,
+}
+
+impl Oneway {
+    /// Encodes this notification into a framed datagram payload.
+    pub fn to_bytes(&self) -> Bytes {
+        frame(&Value::record([
+            ("t", Value::str("msg")),
+            ("from", endpoint_to_value(self.from)),
+            ("op", Value::str(self.op.clone())),
+            ("args", self.args.clone()),
+        ]))
+    }
+
+    fn from_value(v: &Value) -> Result<Oneway, WireError> {
+        Ok(Oneway {
+            from: endpoint_from_value(v.get("from").ok_or(WireError::MissingField("from"))?)?,
+            op: v.get_str("op")?.to_owned(),
+            args: v.get("args").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+/// Any decoded RPC datagram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// A request expecting a reply.
+    Request(Request),
+    /// A reply to an earlier request.
+    Reply(Reply),
+    /// A one-way notification.
+    Oneway(Oneway),
+}
+
+impl Packet {
+    /// Decodes a framed datagram payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed frames or unknown envelope
+    /// kinds.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Packet, WireError> {
+        let v = unframe(bytes)?;
+        match v.get_str("t")? {
+            "req" => Ok(Packet::Request(Request::from_value(&v)?)),
+            "rep" => Ok(Packet::Reply(Reply::from_value(&v)?)),
+            "msg" => Ok(Packet::Oneway(Oneway::from_value(&v)?)),
+            _ => Err(WireError::WrongKind {
+                expected: "req|rep|msg",
+                actual: "unknown envelope",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u32, p: u32) -> Endpoint {
+        Endpoint::new(NodeId(n), PortId(p))
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            call_id: 42,
+            reply_to: ep(1, 70000),
+            object: "kv0".into(),
+            op: "get".into(),
+            args: Value::record([("key", Value::str("color"))]),
+        };
+        match Packet::from_bytes(&req.to_bytes()).unwrap() {
+            Packet::Request(r) => assert_eq!(r, req),
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_ok_roundtrip() {
+        let rep = Reply {
+            call_id: 7,
+            result: Ok(Value::str("blue")),
+        };
+        match Packet::from_bytes(&rep.to_bytes()).unwrap() {
+            Packet::Reply(r) => assert_eq!(r, rep),
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_err_roundtrip_with_data() {
+        let rep = Reply {
+            call_id: 8,
+            result: Err(RemoteError::with_data(
+                ErrorCode::Moved,
+                "object moved",
+                endpoint_to_value(ep(3, 12)),
+            )),
+        };
+        match Packet::from_bytes(&rep.to_bytes()).unwrap() {
+            Packet::Reply(r) => {
+                let e = r.result.unwrap_err();
+                assert_eq!(e.code, ErrorCode::Moved);
+                assert_eq!(endpoint_from_value(&e.data).unwrap(), ep(3, 12));
+            }
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oneway_roundtrip() {
+        let m = Oneway {
+            from: ep(2, 5),
+            op: "invalidate".into(),
+            args: Value::str("key1"),
+        };
+        match Packet::from_bytes(&m.to_bytes()).unwrap() {
+            Packet::Oneway(o) => assert_eq!(o, m),
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Packet::from_bytes(b"not a frame").is_err());
+    }
+
+    #[test]
+    fn endpoint_value_roundtrip() {
+        let e = ep(9, 65537);
+        assert_eq!(endpoint_from_value(&endpoint_to_value(e)).unwrap(), e);
+    }
+}

@@ -1,0 +1,204 @@
+//! The RPC server: dispatch with duplicate suppression.
+//!
+//! [`RpcServer`] implements the server half of at-most-once semantics: it
+//! remembers, per client endpoint, which call ids it has executed and the
+//! encoded replies for recent ones. A retransmitted request is answered
+//! from the reply cache without re-executing the handler — the property
+//! experiment E7 verifies under loss and duplication.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use simnet::{Ctx, Endpoint, Message};
+use wire::Value;
+
+use crate::error::RemoteError;
+use crate::proto::{Oneway, Packet, Reply, Request};
+
+/// How many encoded replies to retain per client endpoint. A synchronous
+/// client has one outstanding call, so a small window is ample.
+const REPLY_CACHE_PER_CLIENT: usize = 32;
+
+/// Counters accumulated by a server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests executed (handler invoked).
+    pub executed: u64,
+    /// Duplicate requests answered from the reply cache.
+    pub duplicates_suppressed: u64,
+    /// Duplicates of calls too old to still be cached (dropped).
+    pub duplicates_dropped: u64,
+    /// One-way notifications received.
+    pub oneways: u64,
+    /// Datagrams that failed to decode.
+    pub undecodable: u64,
+}
+
+/// What [`RpcServer::handle`] did with one datagram.
+#[derive(Debug)]
+pub enum Served {
+    /// A fresh request was executed and replied to.
+    Executed(Request),
+    /// A duplicate was answered from the reply cache (handler not run).
+    DuplicateSuppressed,
+    /// A duplicate too old to be cached was dropped.
+    DuplicateDropped,
+    /// A one-way notification; the caller decides what to do with it.
+    Oneway(Oneway),
+    /// A reply datagram (this process is also a client; the caller
+    /// should not normally see these here).
+    Reply(Reply),
+    /// The datagram failed to decode and was dropped.
+    Undecodable,
+}
+
+#[derive(Debug, Default)]
+struct ClientWindow {
+    /// Highest call id executed for this client.
+    max_executed: u64,
+    /// Recent (call_id, encoded reply) pairs, oldest first.
+    cached: VecDeque<(u64, Bytes)>,
+}
+
+impl ClientWindow {
+    fn lookup(&self, id: u64) -> Option<&Bytes> {
+        self.cached.iter().find(|(i, _)| *i == id).map(|(_, b)| b)
+    }
+
+    fn insert(&mut self, id: u64, reply: Bytes) {
+        if self.cached.len() >= REPLY_CACHE_PER_CLIENT {
+            self.cached.pop_front();
+        }
+        self.cached.push_back((id, reply));
+        self.max_executed = self.max_executed.max(id);
+    }
+}
+
+/// Server-side call dispatch with per-client duplicate suppression.
+///
+/// Use [`RpcServer::serve`] for a simple request loop, or
+/// [`RpcServer::handle`] inside a custom loop that also processes
+/// one-way control traffic.
+#[derive(Debug, Default)]
+pub struct RpcServer {
+    windows: HashMap<Endpoint, ClientWindow>,
+    /// Counters (readable by experiment harnesses).
+    pub stats: ServeStats,
+}
+
+impl RpcServer {
+    /// Creates a server with empty duplicate-suppression state.
+    pub fn new() -> RpcServer {
+        RpcServer::default()
+    }
+
+    /// Processes one incoming datagram. Fresh requests run `handler`;
+    /// its result is encoded, cached for duplicate suppression, and sent
+    /// to the request's `reply_to`.
+    pub fn handle(
+        &mut self,
+        ctx: &mut Ctx,
+        msg: &Message,
+        handler: impl FnOnce(&mut Ctx, &Request) -> Result<Value, RemoteError>,
+    ) -> Served {
+        let packet = match Packet::from_bytes(&msg.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.undecodable += 1;
+                return Served::Undecodable;
+            }
+        };
+        match packet {
+            Packet::Request(req) => self.handle_request(ctx, req, handler),
+            Packet::Oneway(o) => {
+                self.stats.oneways += 1;
+                Served::Oneway(o)
+            }
+            Packet::Reply(r) => Served::Reply(r),
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        ctx: &mut Ctx,
+        req: Request,
+        handler: impl FnOnce(&mut Ctx, &Request) -> Result<Value, RemoteError>,
+    ) -> Served {
+        let window = self.windows.entry(req.reply_to).or_default();
+        if let Some(cached) = window.lookup(req.call_id) {
+            // Retransmission of a call we already executed: resend the
+            // recorded reply; do NOT run the handler again.
+            let cached = cached.clone();
+            self.stats.duplicates_suppressed += 1;
+            ctx.send(req.reply_to, cached);
+            return Served::DuplicateSuppressed;
+        }
+        if req.call_id <= window.max_executed {
+            // Executed long ago and evicted: the client cannot still be
+            // waiting (ids are monotonic and calls synchronous) — drop.
+            self.stats.duplicates_dropped += 1;
+            return Served::DuplicateDropped;
+        }
+        let result = handler(ctx, &req);
+        let reply = Reply {
+            call_id: req.call_id,
+            result,
+        };
+        let encoded = reply.to_bytes();
+        self.windows
+            .entry(req.reply_to)
+            .or_default()
+            .insert(req.call_id, encoded.clone());
+        self.stats.executed += 1;
+        ctx.send(req.reply_to, encoded);
+        Served::Executed(req)
+    }
+
+    /// Runs a request loop until the simulation stops. One-way traffic is
+    /// passed to `on_oneway`; replies and undecodable datagrams are
+    /// dropped (counted).
+    pub fn serve(
+        &mut self,
+        ctx: &mut Ctx,
+        mut handler: impl FnMut(&mut Ctx, &Request) -> Result<Value, RemoteError>,
+        mut on_oneway: impl FnMut(&mut Ctx, &Oneway),
+    ) {
+        while let Ok(msg) = ctx.recv() {
+            if let Served::Oneway(o) = self.handle(ctx, &msg, &mut handler) {
+                on_oneway(ctx, &o);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NodeId, PortId};
+
+    fn ep(n: u32, p: u32) -> Endpoint {
+        Endpoint::new(NodeId(n), PortId(p))
+    }
+
+    #[test]
+    fn window_caches_and_evicts() {
+        let mut w = ClientWindow::default();
+        for id in 1..=(REPLY_CACHE_PER_CLIENT as u64 + 5) {
+            w.insert(id, Bytes::from_static(b"r"));
+        }
+        assert_eq!(w.max_executed, REPLY_CACHE_PER_CLIENT as u64 + 5);
+        assert!(w.lookup(1).is_none(), "oldest evicted");
+        assert!(w.lookup(REPLY_CACHE_PER_CLIENT as u64 + 5).is_some());
+        assert!(w.lookup(6).is_some(), "recent retained");
+    }
+
+    #[test]
+    fn windows_are_per_client() {
+        let mut s = RpcServer::new();
+        s.windows
+            .entry(ep(0, 1))
+            .or_default()
+            .insert(5, Bytes::new());
+        assert!(s.windows.entry(ep(0, 2)).or_default().lookup(5).is_none());
+    }
+}

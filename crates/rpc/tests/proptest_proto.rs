@@ -1,0 +1,119 @@
+//! Property-based tests of the RPC protocol encoding.
+
+use proptest::prelude::*;
+use rpc::{endpoint_to_value, ErrorCode, Oneway, Packet, RemoteError, Reply, Request};
+use simnet::{Endpoint, NodeId, PortId};
+use wire::Value;
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<u32>(), any::<u32>()).prop_map(|(n, p)| Endpoint::new(NodeId(n), PortId(p)))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        "[a-zA-Z0-9 _./-]{0,16}".prop_map(Value::str),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::blob),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(Value::Record),
+        ]
+    })
+}
+
+fn arb_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::NoSuchOp),
+        Just(ErrorCode::NoSuchObject),
+        Just(ErrorCode::BadArgs),
+        Just(ErrorCode::Moved),
+        Just(ErrorCode::Unavailable),
+        Just(ErrorCode::NotPrimary),
+        Just(ErrorCode::App),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrips(
+        call_id in any::<u64>(),
+        reply_to in arb_endpoint(),
+        object in "[a-z0-9]{0,8}",
+        op in "[a-z_]{1,12}",
+        args in arb_value(),
+    ) {
+        let req = Request { call_id, reply_to, object, op, args };
+        match Packet::from_bytes(&req.to_bytes()).unwrap() {
+            Packet::Request(r) => prop_assert_eq!(r, req),
+            other => prop_assert!(false, "wrong packet {:?}", other),
+        }
+    }
+
+    #[test]
+    fn reply_ok_roundtrips(call_id in any::<u64>(), v in arb_value()) {
+        let rep = Reply { call_id, result: Ok(v) };
+        match Packet::from_bytes(&rep.to_bytes()).unwrap() {
+            Packet::Reply(r) => prop_assert_eq!(r, rep),
+            other => prop_assert!(false, "wrong packet {:?}", other),
+        }
+    }
+
+    #[test]
+    fn reply_err_roundtrips(
+        call_id in any::<u64>(),
+        code in arb_code(),
+        msg in ".{0,40}",
+        data in arb_value(),
+    ) {
+        let rep = Reply {
+            call_id,
+            result: Err(RemoteError { code, message: msg, data }),
+        };
+        match Packet::from_bytes(&rep.to_bytes()).unwrap() {
+            Packet::Reply(r) => prop_assert_eq!(r, rep),
+            other => prop_assert!(false, "wrong packet {:?}", other),
+        }
+    }
+
+    #[test]
+    fn oneway_roundtrips(from in arb_endpoint(), op in "[a-z_]{1,12}", args in arb_value()) {
+        let m = Oneway { from, op, args };
+        match Packet::from_bytes(&m.to_bytes()).unwrap() {
+            Packet::Oneway(o) => prop_assert_eq!(o, m),
+            other => prop_assert!(false, "wrong packet {:?}", other),
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Packet::from_bytes(&bytes); // must return, never panic
+    }
+
+    #[test]
+    fn envelope_kinds_never_confused(
+        call_id in any::<u64>(),
+        reply_to in arb_endpoint(),
+        op in "[a-z]{1,8}",
+        args in arb_value(),
+    ) {
+        // A request and a reply with identical ids/payloads must decode
+        // to their own kinds (the "t" discriminator does its job).
+        let req = Request { call_id, reply_to, object: String::new(), op: op.clone(), args: args.clone() };
+        let rep = Reply { call_id, result: Ok(args.clone()) };
+        let one = Oneway { from: reply_to, op, args };
+        prop_assert!(matches!(Packet::from_bytes(&req.to_bytes()).unwrap(), Packet::Request(_)));
+        prop_assert!(matches!(Packet::from_bytes(&rep.to_bytes()).unwrap(), Packet::Reply(_)));
+        prop_assert!(matches!(Packet::from_bytes(&one.to_bytes()).unwrap(), Packet::Oneway(_)));
+    }
+
+    #[test]
+    fn endpoint_encoding_roundtrips(ep in arb_endpoint()) {
+        let v = endpoint_to_value(ep);
+        prop_assert_eq!(rpc::endpoint_from_value(&v).unwrap(), ep);
+    }
+}

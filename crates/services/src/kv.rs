@@ -1,0 +1,342 @@
+//! A key-value store service.
+
+use std::collections::BTreeMap;
+
+use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject};
+use rpc::{ErrorCode, RemoteError, RpcError};
+use simnet::Ctx;
+use wire::Value;
+
+use crate::bad_args;
+
+/// The interface type name (keys the factory registry).
+pub const TYPE_NAME: &str = "proxide.kv";
+
+/// Server-side state of the key-value store.
+#[derive(Debug, Default, Clone)]
+pub struct KvStore {
+    map: BTreeMap<String, String>,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> KvStore {
+        KvStore::default()
+    }
+
+    /// The interface every `KvStore` exports.
+    pub fn interface() -> InterfaceDesc {
+        InterfaceDesc::new(
+            TYPE_NAME,
+            [
+                OpDesc::read("get", "key"),
+                OpDesc::read("contains", "key"),
+                OpDesc::write("put", "key"),
+                OpDesc::write("del", "key"),
+                OpDesc::read_whole("len"),
+                OpDesc::read_whole("keys"),
+                OpDesc::write_whole("clear"),
+            ],
+        )
+    }
+
+    /// Rebuilds a store from a snapshot (factory entry point).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for well-formed snapshots produced by
+    /// [`ServiceObject::snapshot`]; malformed fields are skipped.
+    pub fn from_snapshot(v: &Value) -> Result<Box<dyn ServiceObject>, RemoteError> {
+        let mut store = KvStore::new();
+        if let Some(fields) = v.as_record() {
+            for (k, val) in fields {
+                if let Some(s) = val.as_str() {
+                    store.map.insert(k.clone(), s.to_owned());
+                }
+            }
+        }
+        Ok(Box::new(store))
+    }
+}
+
+impl ServiceObject for KvStore {
+    fn interface(&self) -> InterfaceDesc {
+        KvStore::interface()
+    }
+
+    fn dispatch(&mut self, _ctx: &mut Ctx, op: &str, args: &Value) -> Result<Value, RemoteError> {
+        match op {
+            "get" => {
+                let key = args.get_str("key").map_err(bad_args)?;
+                Ok(self
+                    .map
+                    .get(key)
+                    .map(|v| Value::str(v.clone()))
+                    .unwrap_or(Value::Null))
+            }
+            "contains" => {
+                let key = args.get_str("key").map_err(bad_args)?;
+                Ok(Value::Bool(self.map.contains_key(key)))
+            }
+            "put" => {
+                let key = args.get_str("key").map_err(bad_args)?;
+                let value = args.get_str("value").map_err(bad_args)?;
+                let prev = self.map.insert(key.to_owned(), value.to_owned());
+                Ok(prev.map(Value::Str).unwrap_or(Value::Null))
+            }
+            "del" => {
+                let key = args.get_str("key").map_err(bad_args)?;
+                Ok(Value::Bool(self.map.remove(key).is_some()))
+            }
+            "len" => Ok(Value::U64(self.map.len() as u64)),
+            "keys" => Ok(Value::list(self.map.keys().map(Value::str))),
+            "clear" => {
+                self.map.clear();
+                Ok(Value::Null)
+            }
+            other => Err(RemoteError::new(ErrorCode::NoSuchOp, other.to_owned())),
+        }
+    }
+
+    fn snapshot(&self) -> Result<Value, RemoteError> {
+        Ok(Value::Record(
+            self.map
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::str(v.clone())))
+                .collect(),
+        ))
+    }
+}
+
+/// Typed client wrapper: the interface a stub generator would emit.
+#[derive(Debug, Clone, Copy)]
+pub struct KvClient {
+    handle: ProxyHandle,
+}
+
+impl KvClient {
+    /// Binds to the named kv service through `rt`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the bind.
+    pub fn bind(
+        rt: &mut ClientRuntime,
+        ctx: &mut Ctx,
+        service: &str,
+    ) -> Result<KvClient, RpcError> {
+        Ok(KvClient {
+            handle: rt.bind(ctx, service)?,
+        })
+    }
+
+    /// The underlying proxy handle (for stats).
+    pub fn handle(&self) -> ProxyHandle {
+        self.handle
+    }
+
+    /// Reads a key.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    pub fn get(
+        &self,
+        rt: &mut ClientRuntime,
+        ctx: &mut Ctx,
+        key: &str,
+    ) -> Result<Option<String>, RpcError> {
+        let v = rt.invoke(
+            ctx,
+            self.handle,
+            "get",
+            Value::record([("key", Value::str(key))]),
+        )?;
+        Ok(v.as_str().map(str::to_owned))
+    }
+
+    /// Writes a key, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    pub fn put(
+        &self,
+        rt: &mut ClientRuntime,
+        ctx: &mut Ctx,
+        key: &str,
+        value: &str,
+    ) -> Result<Option<String>, RpcError> {
+        let v = rt.invoke(
+            ctx,
+            self.handle,
+            "put",
+            Value::record([("key", Value::str(key)), ("value", Value::str(value))]),
+        )?;
+        Ok(v.as_str().map(str::to_owned))
+    }
+
+    /// Deletes a key; true if it existed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    pub fn del(&self, rt: &mut ClientRuntime, ctx: &mut Ctx, key: &str) -> Result<bool, RpcError> {
+        let v = rt.invoke(
+            ctx,
+            self.handle,
+            "del",
+            Value::record([("key", Value::str(key))]),
+        )?;
+        Ok(v.as_bool().unwrap_or(false))
+    }
+
+    /// Number of keys.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    pub fn len(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
+        let v = rt.invoke(ctx, self.handle, "len", Value::Null)?;
+        Ok(v.as_u64().unwrap_or(0))
+    }
+
+    /// Whether the store is empty.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    pub fn is_empty(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<bool, RpcError> {
+        Ok(self.len(rt, ctx)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NetworkConfig, NodeId, Simulation};
+
+    /// Drives the object directly (no network) through a scratch context.
+    fn with_object(f: impl FnOnce(&mut Ctx, &mut KvStore) + Send + 'static) {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        sim.spawn("driver", NodeId(0), move |ctx| {
+            let mut kv = KvStore::new();
+            f(ctx, &mut kv);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn put_get_del_roundtrip() {
+        with_object(|ctx, kv| {
+            let prev = kv
+                .dispatch(
+                    ctx,
+                    "put",
+                    &Value::record([("key", Value::str("a")), ("value", Value::str("1"))]),
+                )
+                .unwrap();
+            assert_eq!(prev, Value::Null);
+            let v = kv
+                .dispatch(ctx, "get", &Value::record([("key", Value::str("a"))]))
+                .unwrap();
+            assert_eq!(v, Value::str("1"));
+            let deleted = kv
+                .dispatch(ctx, "del", &Value::record([("key", Value::str("a"))]))
+                .unwrap();
+            assert_eq!(deleted, Value::Bool(true));
+            let v = kv
+                .dispatch(ctx, "get", &Value::record([("key", Value::str("a"))]))
+                .unwrap();
+            assert_eq!(v, Value::Null);
+        });
+    }
+
+    #[test]
+    fn put_returns_previous_value() {
+        with_object(|ctx, kv| {
+            kv.dispatch(
+                ctx,
+                "put",
+                &Value::record([("key", Value::str("k")), ("value", Value::str("old"))]),
+            )
+            .unwrap();
+            let prev = kv
+                .dispatch(
+                    ctx,
+                    "put",
+                    &Value::record([("key", Value::str("k")), ("value", Value::str("new"))]),
+                )
+                .unwrap();
+            assert_eq!(prev, Value::str("old"));
+        });
+    }
+
+    #[test]
+    fn len_keys_clear() {
+        with_object(|ctx, kv| {
+            for k in ["b", "a", "c"] {
+                kv.dispatch(
+                    ctx,
+                    "put",
+                    &Value::record([("key", Value::str(k)), ("value", Value::str("x"))]),
+                )
+                .unwrap();
+            }
+            assert_eq!(
+                kv.dispatch(ctx, "len", &Value::Null).unwrap(),
+                Value::U64(3)
+            );
+            let keys = kv.dispatch(ctx, "keys", &Value::Null).unwrap();
+            assert_eq!(
+                keys,
+                Value::list([Value::str("a"), Value::str("b"), Value::str("c")])
+            );
+            kv.dispatch(ctx, "clear", &Value::Null).unwrap();
+            assert_eq!(
+                kv.dispatch(ctx, "len", &Value::Null).unwrap(),
+                Value::U64(0)
+            );
+        });
+    }
+
+    #[test]
+    fn snapshot_restores_identically() {
+        with_object(|ctx, kv| {
+            for (k, v) in [("x", "1"), ("y", "2")] {
+                kv.dispatch(
+                    ctx,
+                    "put",
+                    &Value::record([("key", Value::str(k)), ("value", Value::str(v))]),
+                )
+                .unwrap();
+            }
+            let snap = kv.snapshot().unwrap();
+            let mut restored = KvStore::from_snapshot(&snap).unwrap();
+            assert_eq!(restored.snapshot().unwrap(), snap);
+            assert_eq!(
+                restored.dispatch(ctx, "len", &Value::Null).unwrap(),
+                Value::U64(2)
+            );
+        });
+    }
+
+    #[test]
+    fn bad_args_rejected() {
+        with_object(|ctx, kv| {
+            let err = kv.dispatch(ctx, "get", &Value::Null).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadArgs);
+            let err = kv.dispatch(ctx, "frob", &Value::Null).unwrap_err();
+            assert_eq!(err.code, ErrorCode::NoSuchOp);
+        });
+    }
+
+    #[test]
+    fn interface_classifies_ops() {
+        let i = KvStore::interface();
+        assert!(i.is_read("get"));
+        assert!(i.is_read("keys"));
+        assert!(i.is_write("put"));
+        assert!(i.is_write("clear"));
+    }
+}

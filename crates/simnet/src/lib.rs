@@ -1,0 +1,55 @@
+//! # simnet — deterministic discrete-event network simulation
+//!
+//! `simnet` is the substrate every other crate in this workspace builds
+//! on. It stands in for the 1986 testbed of the proxy-principle paper
+//! (Unix processes on a LAN) with something strictly more controllable:
+//!
+//! * **Processes** are OS threads running ordinary blocking Rust code
+//!   against a [`Ctx`] handle ([`Ctx::send`], [`Ctx::recv`],
+//!   [`Ctx::sleep`]). The scheduler runs exactly one process at a time,
+//!   in virtual-time order, so every run is deterministic for a given
+//!   seed.
+//! * **The network** between nodes models latency, bandwidth, jitter,
+//!   loss, duplication, reordering, link overrides, partitions and node
+//!   crashes (see [`NetworkConfig`] and [`Network`]).
+//! * **Metrics** count messages and bytes so experiments can report
+//!   protocol cost alongside simulated latency.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::{Simulation, NetworkConfig, NodeId, PortId};
+//! use bytes::Bytes;
+//!
+//! let mut sim = Simulation::new(NetworkConfig::lan(), 42);
+//! let echo = sim.spawn_at("echo", NodeId(0), PortId(7), |ctx| {
+//!     while let Ok(m) = ctx.recv() {
+//!         ctx.send(m.src, m.payload);
+//!     }
+//! });
+//! sim.spawn("client", NodeId(1), move |ctx| {
+//!     ctx.send(echo, Bytes::from_static(b"hello"));
+//!     let reply = ctx.recv().unwrap();
+//!     assert_eq!(&reply.payload[..], b"hello");
+//! });
+//! sim.run();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod metrics;
+mod msg;
+mod net;
+mod sched;
+mod time;
+mod trace;
+
+pub use addr::{Endpoint, NodeId, PortId, ProcId};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use msg::Message;
+pub use net::{Network, NetworkConfig};
+pub use sched::{Ctx, RunReport, Simulation, Stopped};
+pub use time::{duration_to_nanos, SimTime};
+pub use trace::{TraceEvent, TraceRecord};

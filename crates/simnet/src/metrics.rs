@@ -1,0 +1,143 @@
+//! Network and scheduler counters.
+//!
+//! Every simulation owns a [`Metrics`] instance; experiment harnesses read
+//! it after a run to report message counts alongside simulated latencies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters accumulated over a simulation run.
+///
+/// All counters use relaxed atomics: the scheduler guarantees only one
+/// simulated process executes at a time, so these are effectively
+/// single-threaded; atomics only make the type `Sync` for sharing.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    msgs_sent: AtomicU64,
+    msgs_delivered: AtomicU64,
+    msgs_dropped: AtomicU64,
+    msgs_duplicated: AtomicU64,
+    msgs_blackholed: AtomicU64,
+    bytes_sent: AtomicU64,
+    events_dispatched: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`], convenient for diffing before and
+/// after a phase of an experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Messages handed to the network by senders.
+    pub msgs_sent: u64,
+    /// Messages delivered to a destination mailbox.
+    pub msgs_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub msgs_dropped: u64,
+    /// Extra copies injected by the duplication model.
+    pub msgs_duplicated: u64,
+    /// Messages discarded because src/dst were partitioned or the
+    /// destination endpoint was unbound.
+    pub msgs_blackholed: u64,
+    /// Total payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Scheduler events dispatched.
+    pub events_dispatched: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            msgs_delivered: self.msgs_delivered.saturating_sub(earlier.msgs_delivered),
+            msgs_dropped: self.msgs_dropped.saturating_sub(earlier.msgs_dropped),
+            msgs_duplicated: self.msgs_duplicated.saturating_sub(earlier.msgs_duplicated),
+            msgs_blackholed: self.msgs_blackholed.saturating_sub(earlier.msgs_blackholed),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            events_dispatched: self
+                .events_dispatched
+                .saturating_sub(earlier.events_dispatched),
+        }
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub(crate) fn on_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_deliver(&self) {
+        self.msgs_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_drop(&self) {
+        self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_duplicate(&self) {
+        self.msgs_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_blackhole(&self) {
+        self.msgs_blackholed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_event(&self) {
+        self.events_dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_delivered: self.msgs_delivered.load(Ordering::Relaxed),
+            msgs_dropped: self.msgs_dropped.load(Ordering::Relaxed),
+            msgs_duplicated: self.msgs_duplicated.load(Ordering::Relaxed),
+            msgs_blackholed: self.msgs_blackholed.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.on_send(10);
+        m.on_send(5);
+        m.on_deliver();
+        m.on_drop();
+        m.on_duplicate();
+        m.on_blackhole();
+        m.on_event();
+        let s = m.snapshot();
+        assert_eq!(s.msgs_sent, 2);
+        assert_eq!(s.bytes_sent, 15);
+        assert_eq!(s.msgs_delivered, 1);
+        assert_eq!(s.msgs_dropped, 1);
+        assert_eq!(s.msgs_duplicated, 1);
+        assert_eq!(s.msgs_blackholed, 1);
+        assert_eq!(s.events_dispatched, 1);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let m = Metrics::new();
+        m.on_send(10);
+        let before = m.snapshot();
+        m.on_send(10);
+        m.on_deliver();
+        let diff = m.snapshot().since(&before);
+        assert_eq!(diff.msgs_sent, 1);
+        assert_eq!(diff.msgs_delivered, 1);
+        assert_eq!(diff.bytes_sent, 10);
+    }
+}

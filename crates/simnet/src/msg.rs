@@ -1,0 +1,67 @@
+//! Messages: the unit of communication between simulated processes.
+
+use bytes::Bytes;
+
+use crate::addr::Endpoint;
+use crate::time::SimTime;
+
+/// A datagram delivered to a process mailbox.
+///
+/// Messages carry their source so a receiver can reply, the send and
+/// delivery instants so protocols can measure one-way latency, and an
+/// opaque payload (protocol layers above `simnet` define the encoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Endpoint the message was sent from.
+    pub src: Endpoint,
+    /// Endpoint the message was addressed to.
+    pub dst: Endpoint,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+    /// Instant the sender handed the message to the network.
+    pub sent_at: SimTime,
+    /// Instant the network delivered it to the destination mailbox.
+    pub delivered_at: SimTime,
+}
+
+impl Message {
+    /// Payload size in bytes (what the network charges for).
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// One-way network latency this message experienced.
+    pub fn latency(&self) -> std::time::Duration {
+        self.delivered_at.saturating_since(self.sent_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{NodeId, PortId};
+    use std::time::Duration;
+
+    fn ep(n: u32, p: u32) -> Endpoint {
+        Endpoint::new(NodeId(n), PortId(p))
+    }
+
+    #[test]
+    fn latency_is_delivery_minus_send() {
+        let m = Message {
+            src: ep(0, 1),
+            dst: ep(1, 2),
+            payload: Bytes::from_static(b"hi"),
+            sent_at: SimTime::from_micros(10),
+            delivered_at: SimTime::from_micros(150),
+        };
+        assert_eq!(m.latency(), Duration::from_micros(140));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,1389 @@
+//! The deterministic scheduler and the process API.
+//!
+//! # Execution model
+//!
+//! Each simulated process is an OS thread running ordinary blocking Rust
+//! code against a [`Ctx`] handle. The scheduler enforces that **exactly one
+//! process thread runs at any instant**: a process runs until it blocks
+//! (in [`Ctx::recv`], [`Ctx::sleep`], …) and control then returns to the
+//! scheduler, which dispatches the next event in virtual-time order. All
+//! randomness comes from a single seeded RNG drawn in event order, so runs
+//! are fully deterministic: same seed, same interleaving, same results.
+//!
+//! This is the repo's substitute for the paper's testbed of Unix processes
+//! on a LAN (see `DESIGN.md` §6): processes get the natural blocking style
+//! of real code, while the network in between is simulated and fault-
+//! injectable.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Mutex, MutexGuard};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::{Endpoint, NodeId, PortId, ProcId};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::msg::Message;
+use crate::net::{Fate, Network, NetworkConfig};
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent, TraceRecord};
+
+/// Error returned by blocking [`Ctx`] operations once the simulation is
+/// shutting down. A process receiving `Stopped` should return promptly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stopped;
+
+impl std::fmt::Display for Stopped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation stopped")
+    }
+}
+
+impl std::error::Error for Stopped {}
+
+/// Scheduler → process control transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resume {
+    /// First transfer: begin executing the process body.
+    Start,
+    /// A sleep expired.
+    Woken,
+    /// A message is available in the mailbox.
+    Delivered,
+    /// A `recv` deadline expired with no message.
+    TimedOut,
+    /// The simulation is over; unwind out of blocking calls.
+    Shutdown,
+}
+
+/// Process → scheduler control transfer.
+#[derive(Debug)]
+enum YieldMsg {
+    /// Block until the given instant.
+    Sleep(SimTime),
+    /// Block until a message arrives or the deadline (if any) passes.
+    Recv { deadline: Option<SimTime> },
+    /// The process body returned (or panicked with the given message).
+    Finished { panic_msg: Option<String> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    NotStarted,
+    Sleeping,
+    BlockedRecv,
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
+    time: SimTime,
+    seq: u64,
+}
+
+enum EvKind {
+    Wake(ProcId),
+    Timeout { pid: ProcId, gen: u64 },
+    Deliver { msg: Message },
+    Kill(ProcId),
+}
+
+struct Ev {
+    key: EvKey,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+struct ProcEntry {
+    name: String,
+    mailbox: VecDeque<Message>,
+    state: ProcState,
+    /// Incremented every time the process blocks in recv; stale timeout
+    /// events carry an older generation and are ignored.
+    gen: u64,
+    resume_tx: Sender<Resume>,
+    yield_rx: Receiver<YieldMsg>,
+    handle: Option<JoinHandle<()>>,
+    panic_msg: Option<String>,
+}
+
+struct Registry {
+    procs: HashMap<ProcId, ProcEntry>,
+    endpoints: HashMap<Endpoint, ProcId>,
+    next_proc: u32,
+    next_ephemeral: HashMap<NodeId, u32>,
+}
+
+impl Registry {
+    fn alloc_pid(&mut self) -> ProcId {
+        let pid = ProcId(self.next_proc);
+        self.next_proc += 1;
+        pid
+    }
+
+    fn alloc_ephemeral_port(&mut self, node: NodeId) -> PortId {
+        let next = self
+            .next_ephemeral
+            .entry(node)
+            .or_insert(PortId::EPHEMERAL_BASE);
+        let port = PortId(*next);
+        *next += 1;
+        port
+    }
+}
+
+struct Shared {
+    clock: Mutex<SimTime>,
+    events: Mutex<BinaryHeap<Ev>>,
+    seq: Mutex<u64>,
+    registry: Mutex<Registry>,
+    network: Mutex<Network>,
+    metrics: Arc<Metrics>,
+    rng: Mutex<StdRng>,
+    trace: Mutex<Option<Trace>>,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        *self.clock.lock()
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let mut guard = self.trace.lock();
+        if let Some(trace) = guard.as_mut() {
+            trace.push(self.now(), event);
+        }
+    }
+
+    fn push_event(&self, time: SimTime, kind: EvKind) {
+        let mut seq = self.seq.lock();
+        *seq += 1;
+        let key = EvKey { time, seq: *seq };
+        self.events.lock().push(Ev { key, kind });
+    }
+
+    /// Plans delivery for a payload and enqueues the resulting events.
+    fn send(&self, src: Endpoint, dst: Endpoint, payload: Bytes) {
+        let now = self.now();
+        self.metrics.on_send(payload.len());
+        self.record(TraceEvent::Sent {
+            src,
+            dst,
+            bytes: payload.len(),
+        });
+        let fate = {
+            let net = self.network.lock();
+            let mut rng = self.rng.lock();
+            net.plan(src.node, dst.node, payload.len(), now, &mut *rng)
+        };
+        match fate {
+            Fate::Deliver(times) => {
+                if times.len() > 1 {
+                    self.metrics.on_duplicate();
+                }
+                for t in times {
+                    self.push_event(
+                        t,
+                        EvKind::Deliver {
+                            msg: Message {
+                                src,
+                                dst,
+                                payload: payload.clone(),
+                                sent_at: now,
+                                delivered_at: t,
+                            },
+                        },
+                    );
+                }
+            }
+            Fate::Dropped => {
+                self.metrics.on_drop();
+                self.record(TraceEvent::Dropped { src, dst });
+            }
+            Fate::Blackholed => {
+                self.metrics.on_blackhole();
+                self.record(TraceEvent::Blackholed { src, dst });
+            }
+        }
+    }
+
+    fn pop_mailbox(&self, pid: ProcId) -> Option<Message> {
+        self.registry
+            .lock()
+            .procs
+            .get_mut(&pid)
+            .and_then(|e| e.mailbox.pop_front())
+    }
+
+    fn spawn_proc(
+        self: &Arc<Self>,
+        name: String,
+        node: NodeId,
+        port: Option<PortId>,
+        body: Box<dyn FnOnce(&mut Ctx) + Send + 'static>,
+    ) -> Endpoint {
+        let (pid, endpoint) = {
+            let mut reg = self.registry.lock();
+            let pid = reg.alloc_pid();
+            let port = match port {
+                Some(p) => {
+                    assert!(
+                        !p.is_ephemeral(),
+                        "explicitly bound ports must be below PortId::EPHEMERAL_BASE, got {p}"
+                    );
+                    p
+                }
+                None => reg.alloc_ephemeral_port(node),
+            };
+            let endpoint = Endpoint::new(node, port);
+            assert!(
+                !reg.endpoints.contains_key(&endpoint),
+                "endpoint {endpoint} already bound"
+            );
+            reg.endpoints.insert(endpoint, pid);
+            (pid, endpoint)
+        };
+
+        let (resume_tx, resume_rx) = bounded::<Resume>(1);
+        let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
+
+        let mut ctx = Ctx {
+            pid,
+            name: name.clone(),
+            endpoint,
+            shared: Arc::clone(self),
+            resume_rx,
+            yield_tx: yield_tx.clone(),
+            stopped: false,
+            seq_counter: std::cell::Cell::new(0),
+        };
+
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                // Wait for the scheduler to start us (or abort pre-start).
+                match ctx.resume_rx.recv() {
+                    Ok(Resume::Start) => {}
+                    _ => {
+                        let _ = ctx.yield_tx.send(YieldMsg::Finished { panic_msg: None });
+                        return;
+                    }
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                let panic_msg = result.err().map(|p| {
+                    p.downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".to_string())
+                });
+                let _ = ctx.yield_tx.send(YieldMsg::Finished { panic_msg });
+            })
+            .expect("failed to spawn simulation process thread");
+
+        let proc_name = name.clone();
+        let entry = ProcEntry {
+            name,
+            mailbox: VecDeque::new(),
+            state: ProcState::NotStarted,
+            gen: 0,
+            resume_tx,
+            yield_rx,
+            handle: Some(handle),
+            panic_msg: None,
+        };
+        self.registry.lock().procs.insert(pid, entry);
+        self.record(TraceEvent::Spawned {
+            pid,
+            name: proc_name,
+            endpoint,
+        });
+        // Start the process at the current instant.
+        let now = self.now();
+        self.push_event(now, EvKind::Wake(pid));
+        endpoint
+    }
+
+    /// Schedules a crash of the process owning `target` at the current
+    /// instant. Endpoints are unbound immediately so no further traffic
+    /// reaches the victim.
+    fn request_kill(&self, target: Endpoint) -> bool {
+        let mut reg = self.registry.lock();
+        let Some(pid) = reg.endpoints.get(&target).copied() else {
+            return false;
+        };
+        let alive = reg
+            .procs
+            .get(&pid)
+            .map(|e| e.state != ProcState::Finished)
+            .unwrap_or(false);
+        if !alive {
+            return false;
+        }
+        reg.endpoints.retain(|_, p| *p != pid);
+        // Drop anything already queued: a crashed process processes
+        // nothing more.
+        if let Some(entry) = reg.procs.get_mut(&pid) {
+            entry.mailbox.clear();
+        }
+        drop(reg);
+        self.record(TraceEvent::Killed { pid });
+        self.push_event(self.now(), EvKind::Kill(pid));
+        true
+    }
+}
+
+/// The handle a simulated process uses to interact with the world.
+///
+/// A `Ctx` is passed by the scheduler to the process body closure. All of
+/// its blocking operations return [`Stopped`] once the simulation is
+/// shutting down; a well-behaved process returns promptly on `Stopped`.
+///
+/// Do not hold the guard returned by [`Ctx::net`] across a blocking call.
+pub struct Ctx {
+    pid: ProcId,
+    name: String,
+    endpoint: Endpoint,
+    shared: Arc<Shared>,
+    resume_rx: Receiver<Resume>,
+    yield_tx: Sender<YieldMsg>,
+    stopped: bool,
+    seq_counter: std::cell::Cell<u64>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("endpoint", &self.endpoint)
+            .field("stopped", &self.stopped)
+            .finish()
+    }
+}
+
+impl Ctx {
+    /// This process's identifier (for diagnostics).
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// The name given at spawn time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.endpoint.node
+    }
+
+    /// This process's primary endpoint (where replies should be sent).
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Whether the simulation has asked this process to stop.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Returns the next value of a per-process monotonic counter,
+    /// starting at 1. Protocol layers use it to mint identifiers that
+    /// are unique *per process endpoint* (e.g. RPC call ids shared by
+    /// every client object in the process, so server-side duplicate
+    /// suppression is sound).
+    pub fn next_seq(&self) -> u64 {
+        let v = self.seq_counter.get() + 1;
+        self.seq_counter.set(v);
+        v
+    }
+
+    /// Sends `payload` to `dst`. Non-blocking; delivery (or loss) is
+    /// decided by the network model at this instant.
+    pub fn send(&self, dst: Endpoint, payload: Bytes) {
+        self.shared.send(self.endpoint, dst, payload);
+    }
+
+    /// Sends `payload` to `dst` with an explicit source endpoint, which
+    /// must be one of this process's bound endpoints (e.g. an extra port
+    /// bound with [`Ctx::bind_port`]).
+    pub fn send_from(&self, src: Endpoint, dst: Endpoint, payload: Bytes) {
+        debug_assert_eq!(src.node, self.endpoint.node, "send_from across nodes");
+        self.shared.send(src, dst, payload);
+    }
+
+    /// Binds an additional well-known port routed to this process's
+    /// mailbox. Incoming [`Message::dst`] distinguishes the ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is ephemeral-range or already bound on this node.
+    pub fn bind_port(&self, port: PortId) -> Endpoint {
+        let ep = Endpoint::new(self.endpoint.node, port);
+        let mut reg = self.shared.registry.lock();
+        assert!(
+            !port.is_ephemeral(),
+            "bind_port requires a well-known port, got {port}"
+        );
+        assert!(
+            !reg.endpoints.contains_key(&ep),
+            "endpoint {ep} already bound"
+        );
+        reg.endpoints.insert(ep, self.pid);
+        ep
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Stopped`] when the simulation is shutting down.
+    pub fn recv(&mut self) -> Result<Message, Stopped> {
+        match self.recv_inner(None)? {
+            Some(m) => Ok(m),
+            None => unreachable!("recv without deadline returned empty"),
+        }
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses; `Ok(None)`
+    /// means the timeout fired first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Stopped`] when the simulation is shutting down.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, Stopped> {
+        let deadline = self.now() + timeout;
+        self.recv_inner(Some(deadline))
+    }
+
+    /// Blocks until a message arrives or the absolute `deadline` passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Stopped`] when the simulation is shutting down.
+    pub fn recv_deadline(&mut self, deadline: SimTime) -> Result<Option<Message>, Stopped> {
+        self.recv_inner(Some(deadline))
+    }
+
+    /// Non-blocking receive: returns a message already in the mailbox, or
+    /// `None` without advancing virtual time. Messages still in flight
+    /// (scheduled for this same instant but not yet dispatched) are not
+    /// visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Stopped`] when the simulation is shutting down.
+    pub fn try_recv(&mut self) -> Result<Option<Message>, Stopped> {
+        if self.stopped {
+            return Err(Stopped);
+        }
+        Ok(self.shared.pop_mailbox(self.pid))
+    }
+
+    fn recv_inner(&mut self, deadline: Option<SimTime>) -> Result<Option<Message>, Stopped> {
+        if self.stopped {
+            return Err(Stopped);
+        }
+        loop {
+            if let Some(m) = self.shared.pop_mailbox(self.pid) {
+                return Ok(Some(m));
+            }
+            if let Some(dl) = deadline {
+                if dl <= self.now() {
+                    return Ok(None);
+                }
+            }
+            match self.block_on(YieldMsg::Recv { deadline }) {
+                Resume::Delivered => continue,
+                Resume::TimedOut => return Ok(None),
+                Resume::Shutdown => {
+                    self.stopped = true;
+                    return Err(Stopped);
+                }
+                other => unreachable!("unexpected resume in recv: {other:?}"),
+            }
+        }
+    }
+
+    /// Advances this process's virtual time by `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Stopped`] when the simulation is shutting down.
+    pub fn sleep(&mut self, d: Duration) -> Result<(), Stopped> {
+        if self.stopped {
+            return Err(Stopped);
+        }
+        if d.is_zero() {
+            return Ok(());
+        }
+        let until = self.now() + d;
+        match self.block_on(YieldMsg::Sleep(until)) {
+            Resume::Woken => Ok(()),
+            Resume::Shutdown => {
+                self.stopped = true;
+                Err(Stopped)
+            }
+            other => unreachable!("unexpected resume in sleep: {other:?}"),
+        }
+    }
+
+    /// Spawns another process on `node` with an ephemeral port, returning
+    /// its endpoint. The new process starts at the current instant.
+    pub fn spawn<F>(&self, name: impl Into<String>, node: NodeId, body: F) -> Endpoint
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared
+            .spawn_proc(name.into(), node, None, Box::new(body))
+    }
+
+    /// Spawns a process listening on a well-known port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already bound on that node.
+    pub fn spawn_at<F>(
+        &self,
+        name: impl Into<String>,
+        node: NodeId,
+        port: PortId,
+        body: F,
+    ) -> Endpoint
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared
+            .spawn_proc(name.into(), node, Some(port), Box::new(body))
+    }
+
+    /// Exclusive access to the network model for runtime fault injection
+    /// (partitions, loss, link latency). Do not hold across blocking calls.
+    pub fn net(&self) -> MutexGuard<'_, Network> {
+        self.shared.network.lock()
+    }
+
+    /// Crashes the process owning `target`: it is torn down at the
+    /// current instant (its blocking call returns [`Stopped`]; a
+    /// well-behaved process then exits) and all of its endpoints are
+    /// unbound, so in-flight and future messages to it blackhole.
+    /// Returns false if no live process owns the endpoint.
+    ///
+    /// Killing your own endpooint is allowed but pointless — prefer
+    /// returning from the process body.
+    pub fn kill(&self, target: Endpoint) -> bool {
+        self.shared.request_kill(target)
+    }
+
+    /// Runs `f` with the simulation's deterministic RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.shared.rng.lock())
+    }
+
+    /// Draws a uniformly random `u64` from the simulation RNG.
+    pub fn rand_u64(&self) -> u64 {
+        self.with_rng(|r| r.gen())
+    }
+
+    fn block_on(&mut self, y: YieldMsg) -> Resume {
+        self.yield_tx.send(y).expect("scheduler disappeared");
+        self.resume_rx.recv().expect("scheduler disappeared")
+    }
+}
+
+/// Summary of a completed (or paused) run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+    /// Network/scheduler counters at the end of the run.
+    pub metrics: MetricsSnapshot,
+    /// Processes that ran to completion.
+    pub finished: usize,
+    /// Processes still alive (blocked or sleeping) when the run stopped.
+    pub alive: usize,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// # Examples
+///
+/// Ping-pong between two nodes:
+///
+/// ```
+/// use simnet::{Simulation, NetworkConfig, NodeId, PortId};
+/// use bytes::Bytes;
+///
+/// let mut sim = Simulation::new(NetworkConfig::lan(), 1);
+/// let server = sim.spawn_at("server", NodeId(0), PortId(10), |ctx| {
+///     while let Ok(msg) = ctx.recv() {
+///         ctx.send(msg.src, msg.payload); // echo
+///     }
+/// });
+/// sim.spawn("client", NodeId(1), move |ctx| {
+///     ctx.send(server, Bytes::from_static(b"ping"));
+///     let reply = ctx.recv().expect("reply");
+///     assert_eq!(&reply.payload[..], b"ping");
+/// });
+/// let report = sim.run();
+/// assert_eq!(report.metrics.msgs_delivered, 2);
+/// ```
+pub struct Simulation {
+    shared: Arc<Shared>,
+    limit_reached: bool,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.shared.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation with the given network model and RNG seed.
+    pub fn new(config: NetworkConfig, seed: u64) -> Simulation {
+        Simulation {
+            shared: Arc::new(Shared {
+                clock: Mutex::new(SimTime::ZERO),
+                events: Mutex::new(BinaryHeap::new()),
+                seq: Mutex::new(0),
+                registry: Mutex::new(Registry {
+                    procs: HashMap::new(),
+                    endpoints: HashMap::new(),
+                    next_proc: 0,
+                    next_ephemeral: HashMap::new(),
+                }),
+                network: Mutex::new(Network::new(config)),
+                metrics: Arc::new(Metrics::new()),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                trace: Mutex::new(None),
+            }),
+            limit_reached: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Current network/scheduler counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Starts recording a timeline of up to `capacity` events (older
+    /// entries fall off). Call before spawning to capture everything.
+    pub fn enable_trace(&self, capacity: usize) {
+        *self.shared.trace.lock() = Some(Trace::new(capacity));
+    }
+
+    /// Drains and returns the recorded timeline (empty if tracing was
+    /// never enabled). Recording continues afterwards.
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        self.shared
+            .trace
+            .lock()
+            .as_mut()
+            .map(|t| t.drain())
+            .unwrap_or_default()
+    }
+
+    /// Exclusive access to the network model (between runs or before one).
+    pub fn net(&self) -> MutexGuard<'_, Network> {
+        self.shared.network.lock()
+    }
+
+    /// Spawns a process on `node` with an ephemeral port.
+    pub fn spawn<F>(&self, name: impl Into<String>, node: NodeId, body: F) -> Endpoint
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared
+            .spawn_proc(name.into(), node, None, Box::new(body))
+    }
+
+    /// Spawns a process listening on a well-known port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already bound on that node or is in the
+    /// ephemeral range.
+    pub fn spawn_at<F>(
+        &self,
+        name: impl Into<String>,
+        node: NodeId,
+        port: PortId,
+        body: F,
+    ) -> Endpoint
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared
+            .spawn_proc(name.into(), node, Some(port), Box::new(body))
+    }
+
+    /// Runs the simulation until no events remain, then shuts all
+    /// processes down and joins their threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulated process panicked, propagating its message.
+    pub fn run(&mut self) -> RunReport {
+        let report = self.run_until(SimTime::MAX);
+        self.shutdown();
+        self.check_panics();
+        report
+    }
+
+    /// Runs until the event queue is empty or virtual time would exceed
+    /// `limit`. Processes stay alive; call again to continue, or call
+    /// [`Simulation::run`] to finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulated process panicked.
+    pub fn run_until(&mut self, limit: SimTime) -> RunReport {
+        loop {
+            let ev = {
+                let mut events = self.shared.events.lock();
+                match events.peek() {
+                    Some(ev) if ev.key.time <= limit => events.pop(),
+                    Some(_) => {
+                        self.limit_reached = true;
+                        None
+                    }
+                    None => None,
+                }
+            };
+            let Some(ev) = ev else { break };
+            *self.shared.clock.lock() = ev.key.time;
+            self.shared.metrics.on_event();
+            self.dispatch(ev.kind);
+        }
+        if self.limit_reached {
+            *self.shared.clock.lock() = limit;
+            self.limit_reached = false;
+        }
+        self.check_panics();
+        let (finished, alive) = {
+            let reg = self.shared.registry.lock();
+            let finished = reg
+                .procs
+                .values()
+                .filter(|p| p.state == ProcState::Finished)
+                .count();
+            (finished, reg.procs.len() - finished)
+        };
+        RunReport {
+            end_time: self.shared.now(),
+            metrics: self.shared.metrics.snapshot(),
+            finished,
+            alive,
+        }
+    }
+
+    fn dispatch(&mut self, kind: EvKind) {
+        match kind {
+            EvKind::Wake(pid) => {
+                let state = self.proc_state(pid);
+                match state {
+                    Some(ProcState::NotStarted) => self.resume_and_wait(pid, Resume::Start),
+                    Some(ProcState::Sleeping) => self.resume_and_wait(pid, Resume::Woken),
+                    _ => {} // finished or stale
+                }
+            }
+            EvKind::Timeout { pid, gen } => {
+                let fire = {
+                    let reg = self.shared.registry.lock();
+                    reg.procs
+                        .get(&pid)
+                        .map(|e| e.state == ProcState::BlockedRecv && e.gen == gen)
+                        .unwrap_or(false)
+                };
+                if fire {
+                    self.resume_and_wait(pid, Resume::TimedOut);
+                }
+            }
+            EvKind::Kill(pid) => {
+                // Tear the victim down now: keep resuming it with
+                // Shutdown until its body returns.
+                loop {
+                    match self.proc_state(pid) {
+                        Some(ProcState::Finished) | None => break,
+                        _ => self.resume_and_wait(pid, Resume::Shutdown),
+                    }
+                }
+            }
+            EvKind::Deliver { msg } => {
+                let (delivered_src, delivered_dst, delivered_bytes) =
+                    (msg.src, msg.dst, msg.payload.len());
+                let target = {
+                    let mut reg = self.shared.registry.lock();
+                    let pid = reg.endpoints.get(&msg.dst).copied();
+                    match pid {
+                        Some(pid) => {
+                            let entry = reg.procs.get_mut(&pid).expect("endpoint maps to proc");
+                            if entry.state == ProcState::Finished {
+                                None
+                            } else {
+                                entry.mailbox.push_back(msg);
+                                Some((pid, entry.state))
+                            }
+                        }
+                        None => None,
+                    }
+                };
+                match target {
+                    Some((pid, state)) => {
+                        self.shared.metrics.on_deliver();
+                        self.shared.record(TraceEvent::Delivered {
+                            src: delivered_src,
+                            dst: delivered_dst,
+                            bytes: delivered_bytes,
+                        });
+                        if state == ProcState::BlockedRecv {
+                            self.resume_and_wait(pid, Resume::Delivered);
+                        }
+                    }
+                    None => {
+                        self.shared.metrics.on_blackhole();
+                        self.shared.record(TraceEvent::Blackholed {
+                            src: delivered_src,
+                            dst: delivered_dst,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn proc_state(&self, pid: ProcId) -> Option<ProcState> {
+        self.shared.registry.lock().procs.get(&pid).map(|e| e.state)
+    }
+
+    /// Resumes `pid` and blocks until it yields again, then records the
+    /// yield. The registry lock is **not** held while the process runs.
+    fn resume_and_wait(&mut self, pid: ProcId, resume: Resume) {
+        let (tx, rx) = {
+            let reg = self.shared.registry.lock();
+            let entry = reg.procs.get(&pid).expect("resume of unknown proc");
+            (entry.resume_tx.clone(), entry.yield_rx.clone())
+        };
+        tx.send(resume).expect("process thread gone before resume");
+        let y = rx.recv().expect("process thread gone before yield");
+        let mut reg = self.shared.registry.lock();
+        let entry = reg.procs.get_mut(&pid).expect("proc vanished");
+        match y {
+            YieldMsg::Sleep(until) => {
+                entry.state = ProcState::Sleeping;
+                drop(reg);
+                self.shared.push_event(until, EvKind::Wake(pid));
+            }
+            YieldMsg::Recv { deadline } => {
+                entry.gen += 1;
+                entry.state = ProcState::BlockedRecv;
+                let gen = entry.gen;
+                drop(reg);
+                if let Some(dl) = deadline {
+                    self.shared.push_event(dl, EvKind::Timeout { pid, gen });
+                }
+            }
+            YieldMsg::Finished { panic_msg } => {
+                entry.state = ProcState::Finished;
+                entry.panic_msg = panic_msg;
+                drop(reg);
+                self.shared.record(TraceEvent::Finished { pid });
+            }
+        }
+    }
+
+    /// Tells every live process to stop and joins all threads.
+    fn shutdown(&mut self) {
+        let pids: Vec<ProcId> = {
+            let reg = self.shared.registry.lock();
+            reg.procs
+                .iter()
+                .filter(|(_, e)| e.state != ProcState::Finished)
+                .map(|(pid, _)| *pid)
+                .collect()
+        };
+        for pid in pids {
+            // A stopping process may legally block a few more times before
+            // noticing; keep resuming it with Shutdown until it finishes.
+            loop {
+                match self.proc_state(pid) {
+                    Some(ProcState::Finished) | None => break,
+                    _ => self.resume_and_wait(pid, Resume::Shutdown),
+                }
+            }
+        }
+        let handles: Vec<(String, JoinHandle<()>)> = {
+            let mut reg = self.shared.registry.lock();
+            reg.procs
+                .values_mut()
+                .filter_map(|e| e.handle.take().map(|h| (e.name.clone(), h)))
+                .collect()
+        };
+        for (name, h) in handles {
+            if h.join().is_err() {
+                // Panic message already captured via YieldMsg::Finished.
+                eprintln!("simnet: process thread '{name}' terminated abnormally");
+            }
+        }
+    }
+
+    fn check_panics(&self) {
+        let panics: Vec<(String, String)> = {
+            let reg = self.shared.registry.lock();
+            reg.procs
+                .values()
+                .filter_map(|e| e.panic_msg.as_ref().map(|m| (e.name.clone(), m.clone())))
+                .collect()
+        };
+        if !panics.is_empty() {
+            let mut s = String::from("simulated process(es) panicked:");
+            for (name, msg) in panics {
+                s.push_str(&format!("\n  - {name}: {msg}"));
+            }
+            panic!("{s}");
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Don't leave process threads parked forever; ignore errors since
+        // we may be unwinding already.
+        if !std::thread::panicking() {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn single_process_runs_to_completion() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::clone(&done);
+        sim.spawn("worker", NodeId(0), move |ctx| {
+            ctx.sleep(Duration::from_millis(5)).unwrap();
+            d2.store(ctx.now().as_millis(), Ordering::SeqCst);
+        });
+        let report = sim.run();
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+        assert_eq!(report.finished, 1);
+        assert_eq!(report.end_time, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn message_latency_matches_network_model() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let lat = Arc::new(AtomicU64::new(0));
+        let l2 = Arc::clone(&lat);
+        let server = sim.spawn("server", NodeId(0), move |ctx| {
+            let m = ctx.recv().unwrap();
+            l2.store(m.latency().as_nanos() as u64, Ordering::SeqCst);
+        });
+        sim.spawn("client", NodeId(1), move |ctx| {
+            ctx.send(server, Bytes::from_static(b"x"));
+        });
+        sim.run();
+        // 500us remote + 1ns/byte * 1 byte
+        assert_eq!(lat.load(Ordering::SeqCst), 500_001);
+    }
+
+    #[test]
+    fn recv_timeout_fires_without_message() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let got = Arc::new(AtomicU64::new(99));
+        let g = Arc::clone(&got);
+        sim.spawn("waiter", NodeId(0), move |ctx| {
+            let r = ctx.recv_timeout(Duration::from_millis(3)).unwrap();
+            assert!(r.is_none());
+            g.store(ctx.now().as_millis(), Ordering::SeqCst);
+        });
+        sim.run();
+        assert_eq!(got.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn recv_timeout_cancelled_by_delivery() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let got = Arc::new(AtomicU64::new(0));
+        let g = Arc::clone(&got);
+        let waiter = sim.spawn("waiter", NodeId(0), move |ctx| {
+            let r = ctx.recv_timeout(Duration::from_millis(100)).unwrap();
+            assert!(r.is_some());
+            g.store(1, Ordering::SeqCst);
+            // The stale timeout event must not corrupt a later recv.
+            let r2 = ctx.recv_timeout(Duration::from_millis(500)).unwrap();
+            assert!(r2.is_none());
+            g.store(2, Ordering::SeqCst);
+        });
+        sim.spawn("sender", NodeId(1), move |ctx| {
+            ctx.send(waiter, Bytes::from_static(b"hi"));
+        });
+        sim.run();
+        assert_eq!(got.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> (u64, u64) {
+            let mut sim =
+                Simulation::new(NetworkConfig::lan().with_jitter(0.3).with_loss(0.1), seed);
+            let server = sim.spawn_at("server", NodeId(0), PortId(1), |ctx| {
+                while let Ok(m) = ctx.recv() {
+                    ctx.send(m.src, m.payload);
+                }
+            });
+            for i in 0..5u32 {
+                sim.spawn(format!("client{i}"), NodeId(1 + i), move |ctx| {
+                    for _ in 0..20 {
+                        ctx.send(server, Bytes::from_static(b"req"));
+                        if ctx.recv_timeout(Duration::from_millis(5)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            let r = sim.run();
+            (r.end_time.as_nanos(), r.metrics.msgs_delivered)
+        }
+        let a = run_once(7);
+        let b = run_once(7);
+        let c = run_once(8);
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        // Different seed almost surely differs under 10% loss + jitter.
+        assert_ne!(a, c, "different seed should perturb the run");
+    }
+
+    #[test]
+    fn spawn_from_within_process() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        sim.spawn("parent", NodeId(0), move |ctx| {
+            let c2 = Arc::clone(&c);
+            let child = ctx.spawn("child", NodeId(1), move |cctx| {
+                let m = cctx.recv().unwrap();
+                assert_eq!(&m.payload[..], b"work");
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            ctx.send(child, Bytes::from_static(b"work"));
+        });
+        sim.run();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn extra_port_demultiplexes_by_dst() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let hits = Arc::new(Mutex::new(Vec::new()));
+        let h = Arc::clone(&hits);
+        let main = sim.spawn_at("multi", NodeId(0), PortId(5), move |ctx| {
+            let cb = ctx.bind_port(PortId(6));
+            for _ in 0..2 {
+                let m = ctx.recv().unwrap();
+                h.lock().push(m.dst == cb);
+            }
+        });
+        sim.spawn("sender", NodeId(1), move |ctx| {
+            ctx.send(main, Bytes::from_static(b"a"));
+            ctx.send(
+                Endpoint::new(NodeId(0), PortId(6)),
+                Bytes::from_static(b"b"),
+            );
+        });
+        sim.run();
+        let v = hits.lock().clone();
+        assert_eq!(v, vec![false, true]);
+    }
+
+    #[test]
+    fn unbound_endpoint_blackholes() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        sim.spawn("sender", NodeId(0), |ctx| {
+            ctx.send(
+                Endpoint::new(NodeId(5), PortId(99)),
+                Bytes::from_static(b"void"),
+            );
+        });
+        let r = sim.run();
+        assert_eq!(r.metrics.msgs_blackholed, 1);
+        assert_eq!(r.metrics.msgs_delivered, 0);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let stage = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&stage);
+        sim.spawn("slow", NodeId(0), move |ctx| {
+            ctx.sleep(Duration::from_millis(10)).unwrap();
+            s.store(1, Ordering::SeqCst);
+            ctx.sleep(Duration::from_millis(10)).unwrap();
+            s.store(2, Ordering::SeqCst);
+        });
+        sim.run_until(SimTime::from_millis(15));
+        assert_eq!(stage.load(Ordering::SeqCst), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(15));
+        sim.run();
+        assert_eq!(stage.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn process_panic_propagates() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        sim.spawn("bad", NodeId(0), |_ctx| panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    fn shutdown_unblocks_servers() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        // A server that would otherwise block forever.
+        sim.spawn("server", NodeId(0), |ctx| while ctx.recv().is_ok() {});
+        let report = sim.run();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        // run() returned: the blocked server was shut down cleanly.
+    }
+
+    #[test]
+    fn partition_then_heal_mid_run() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let delivered = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&delivered);
+        let server = sim.spawn_at("server", NodeId(0), PortId(1), move |ctx| {
+            while ctx.recv().is_ok() {
+                d.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        sim.spawn("client", NodeId(1), move |ctx| {
+            ctx.net().partition(NodeId(0), NodeId(1));
+            ctx.send(server, Bytes::from_static(b"lost"));
+            ctx.sleep(Duration::from_millis(1)).unwrap();
+            ctx.net().heal(NodeId(0), NodeId(1));
+            ctx.send(server, Bytes::from_static(b"ok"));
+        });
+        let r = sim.run();
+        assert_eq!(delivered.load(Ordering::SeqCst), 1);
+        assert_eq!(r.metrics.msgs_blackholed, 1);
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&seen);
+        let rx = sim.spawn("rx", NodeId(0), move |ctx| {
+            // Nothing queued yet: must return None at time zero.
+            assert!(ctx.try_recv().unwrap().is_none());
+            ctx.sleep(Duration::from_millis(5)).unwrap();
+            // Message delivered during the sleep is now in the mailbox.
+            let m = ctx.try_recv().unwrap().expect("queued message");
+            assert_eq!(&m.payload[..], b"queued");
+            assert!(ctx.try_recv().unwrap().is_none());
+            s.store(ctx.now().as_millis(), Ordering::SeqCst);
+        });
+        sim.spawn("tx", NodeId(1), move |ctx| {
+            ctx.send(rx, Bytes::from_static(b"queued"));
+        });
+        sim.run();
+        // try_recv never advanced time: process finished at its sleep end.
+        assert_eq!(seen.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn kill_tears_down_and_unbinds() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let served = Arc::new(AtomicU64::new(0));
+        let s2 = Arc::clone(&served);
+        let victim = sim.spawn_at("victim", NodeId(0), PortId(9), move |ctx| {
+            while ctx.recv().is_ok() {
+                s2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        sim.spawn("assassin", NodeId(1), move |ctx| {
+            ctx.send(victim, Bytes::from_static(b"one"));
+            ctx.sleep(Duration::from_millis(2)).unwrap();
+            assert!(ctx.kill(victim), "victim should be alive");
+            assert!(!ctx.kill(victim), "second kill is a no-op");
+            // Messages after the kill blackhole instead of delivering.
+            ctx.send(victim, Bytes::from_static(b"two"));
+        });
+        let report = sim.run();
+        assert_eq!(served.load(Ordering::SeqCst), 1);
+        assert_eq!(report.metrics.msgs_blackholed, 1);
+    }
+
+    #[test]
+    fn killed_endpoint_can_be_rebound() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let got = Arc::new(AtomicU64::new(0));
+        let g2 = Arc::clone(&got);
+        let victim = sim.spawn_at(
+            "old",
+            NodeId(0),
+            PortId(9),
+            |ctx| {
+                while ctx.recv().is_ok() {}
+            },
+        );
+        sim.spawn("driver", NodeId(1), move |ctx| {
+            ctx.kill(victim);
+            // The well-known port is free again: a replacement can bind it.
+            let replacement = ctx.spawn_at("new", NodeId(0), PortId(9), move |rctx| {
+                if rctx.recv().is_ok() {
+                    g2.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            ctx.send(replacement, Bytes::from_static(b"hello"));
+        });
+        sim.run();
+        assert_eq!(got.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn messages_at_same_instant_keep_send_order() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let server = sim.spawn("server", NodeId(0), move |ctx| {
+            for _ in 0..3 {
+                let m = ctx.recv().unwrap();
+                o.lock().push(m.payload[0]);
+            }
+        });
+        sim.spawn("client", NodeId(1), move |ctx| {
+            for b in [1u8, 2, 3] {
+                ctx.send(server, Bytes::copy_from_slice(&[b]));
+            }
+        });
+        sim.run();
+        // Identical payload sizes & no jitter: all arrive at the same
+        // instant; FIFO tie-break must preserve send order.
+        assert_eq!(*order.lock(), vec![1, 2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn trace_captures_ordered_timeline() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        sim.enable_trace(1024);
+        let echo = sim.spawn_at("echo", NodeId(0), PortId(7), |ctx| {
+            if let Ok(m) = ctx.recv() {
+                ctx.send(m.src, m.payload);
+            }
+        });
+        sim.spawn("client", NodeId(1), move |ctx| {
+            ctx.send(echo, Bytes::from_static(b"ping"));
+            let _ = ctx.recv();
+        });
+        sim.run();
+        let trace = sim.take_trace();
+        let kinds: Vec<&'static str> = trace
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::Spawned { .. } => "spawn",
+                TraceEvent::Sent { .. } => "send",
+                TraceEvent::Delivered { .. } => "deliver",
+                TraceEvent::Finished { .. } => "finish",
+                TraceEvent::Dropped { .. } => "drop",
+                TraceEvent::Blackholed { .. } => "blackhole",
+                TraceEvent::Killed { .. } => "kill",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "spawn", "spawn", // echo + client
+                "send", "deliver", // ping
+                "send", "finish", // echo replies then finishes
+                "deliver", "finish", // client gets pong, finishes
+            ],
+            "unexpected timeline: {:#?}",
+            trace.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        // Timestamps are non-decreasing.
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+        // Draining leaves the buffer empty but tracing still on.
+        assert!(sim.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_records_drops_and_kills() {
+        let mut sim = Simulation::new(NetworkConfig::lan().with_loss(1.0), 0);
+        sim.enable_trace(64);
+        let sink = sim.spawn_at(
+            "sink",
+            NodeId(0),
+            PortId(3),
+            |ctx| {
+                while ctx.recv().is_ok() {}
+            },
+        );
+        sim.spawn("driver", NodeId(1), move |ctx| {
+            ctx.send(sink, Bytes::from_static(b"doomed"));
+            ctx.kill(sink);
+        });
+        sim.run();
+        let trace = sim.take_trace();
+        assert!(trace
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Dropped { .. })));
+        assert!(trace
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Killed { .. })));
+    }
+
+    #[test]
+    fn disabled_trace_costs_nothing_and_returns_empty() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 0);
+        sim.spawn("p", NodeId(0), |_ctx| {});
+        sim.run();
+        assert!(sim.take_trace().is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Event tracing: a bounded timeline of what the simulation did.
+//!
+//! Disabled by default (zero overhead beyond a branch); enable with
+//! [`crate::Simulation::enable_trace`] and read the timeline back with
+//! [`crate::Simulation::take_trace`]. Intended for debugging protocol
+//! interleavings and for assertions in tests that care about *ordering*
+//! rather than aggregate counts.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::addr::{Endpoint, ProcId};
+use crate::time::SimTime;
+
+/// One entry in the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A process was created.
+    Spawned {
+        /// The new process.
+        pid: ProcId,
+        /// Its name.
+        name: String,
+        /// Its primary endpoint.
+        endpoint: Endpoint,
+    },
+    /// A message was handed to the network.
+    Sent {
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A message reached a destination mailbox.
+    Delivered {
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// The loss model dropped a message.
+    Dropped {
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+    },
+    /// A partition/down-node/unbound endpoint swallowed a message.
+    Blackholed {
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+    },
+    /// A process ran to completion.
+    Finished {
+        /// The finished process.
+        pid: ProcId,
+    },
+    /// A process was killed.
+    Killed {
+        /// The killed process.
+        pid: ProcId,
+    },
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        match &self.event {
+            TraceEvent::Spawned {
+                pid,
+                name,
+                endpoint,
+            } => write!(f, "spawn {pid} `{name}` at {endpoint}"),
+            TraceEvent::Sent { src, dst, bytes } => write!(f, "send {src} -> {dst} ({bytes}B)"),
+            TraceEvent::Delivered { src, dst, bytes } => {
+                write!(f, "deliver {src} -> {dst} ({bytes}B)")
+            }
+            TraceEvent::Dropped { src, dst } => write!(f, "drop {src} -> {dst}"),
+            TraceEvent::Blackholed { src, dst } => write!(f, "blackhole {src} -> {dst}"),
+            TraceEvent::Finished { pid } => write!(f, "finish {pid}"),
+            TraceEvent::Killed { pid } => write!(f, "kill {pid}"),
+        }
+    }
+}
+
+/// Bounded event buffer; oldest entries fall off when full.
+#[derive(Debug)]
+pub(crate) struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Entries discarded because the buffer was full.
+    pub(crate) truncated: u64,
+}
+
+impl Trace {
+    pub(crate) fn new(capacity: usize) -> Trace {
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            truncated: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, event: TraceEvent) {
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.truncated += 1;
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    pub(crate) fn drain(&mut self) -> Vec<TraceRecord> {
+        self.records.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{NodeId, PortId};
+
+    fn ep(n: u32, p: u32) -> Endpoint {
+        Endpoint::new(NodeId(n), PortId(p))
+    }
+
+    #[test]
+    fn bounded_buffer_truncates_oldest() {
+        let mut t = Trace::new(2);
+        for i in 0..4u32 {
+            t.push(
+                SimTime::from_micros(i as u64),
+                TraceEvent::Finished { pid: ProcId(i) },
+            );
+        }
+        let records = t.drain();
+        assert_eq!(records.len(), 2);
+        assert_eq!(t.truncated, 2);
+        assert_eq!(
+            records[0].event,
+            TraceEvent::Finished { pid: ProcId(2) },
+            "oldest entries evicted first"
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = TraceRecord {
+            at: SimTime::from_micros(1500),
+            event: TraceEvent::Sent {
+                src: ep(0, 1),
+                dst: ep(1, 2),
+                bytes: 64,
+            },
+        };
+        let s = r.to_string();
+        assert!(s.contains("1.500ms") || s.contains("1500"), "{s}");
+        assert!(s.contains("n0:p1 -> n1:p2"));
+        assert!(s.contains("64B"));
+    }
+}

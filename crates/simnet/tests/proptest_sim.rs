@@ -1,0 +1,147 @@
+//! Property-based tests of simulator invariants:
+//!
+//! * determinism: identical seeds yield identical runs, event for event;
+//! * message conservation: every sent message is delivered, dropped or
+//!   blackholed — never silently lost or duplicated beyond the model;
+//! * virtual time only moves forward for every process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use simnet::{NetworkConfig, NodeId, PortId, Simulation};
+
+/// A small random workload description.
+#[derive(Debug, Clone)]
+struct Workload {
+    seed: u64,
+    loss: f64,
+    duplicate: f64,
+    jitter: f64,
+    senders: u8,
+    msgs_per_sender: u8,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        any::<u64>(),
+        0.0f64..0.4,
+        0.0f64..0.4,
+        0.0f64..0.5,
+        1u8..5,
+        1u8..20,
+    )
+        .prop_map(
+            |(seed, loss, duplicate, jitter, senders, msgs_per_sender)| Workload {
+                seed,
+                loss,
+                duplicate,
+                jitter,
+                senders,
+                msgs_per_sender,
+            },
+        )
+}
+
+fn run_workload(w: &Workload) -> (u64, simnet::MetricsSnapshot, Vec<u64>) {
+    let cfg = NetworkConfig::lan()
+        .with_loss(w.loss)
+        .with_duplicate(w.duplicate)
+        .with_jitter(w.jitter);
+    let mut sim = Simulation::new(cfg, w.seed);
+    let received: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = Arc::clone(&received);
+    let sink = sim.spawn_at("sink", NodeId(0), PortId(1), move |ctx| {
+        while let Ok(m) = ctx.recv() {
+            let mut id = [0u8; 8];
+            id.copy_from_slice(&m.payload[..8]);
+            r2.lock().unwrap().push(u64::from_le_bytes(id));
+        }
+    });
+    for s in 0..w.senders {
+        let n = w.msgs_per_sender;
+        sim.spawn(format!("tx{s}"), NodeId(1 + s as u32), move |ctx| {
+            for i in 0..n {
+                let id = (s as u64) << 32 | i as u64;
+                ctx.send(sink, Bytes::copy_from_slice(&id.to_le_bytes()));
+                let _ = ctx.sleep(Duration::from_micros(100));
+            }
+        });
+    }
+    let report = sim.run();
+    let order = received.lock().unwrap().clone();
+    (report.end_time.as_nanos(), report.metrics, order)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_seed_same_everything(w in arb_workload()) {
+        let a = run_workload(&w);
+        let b = run_workload(&w);
+        prop_assert_eq!(a.0, b.0, "end time");
+        prop_assert_eq!(a.1, b.1, "metrics");
+        prop_assert_eq!(a.2, b.2, "delivery order");
+    }
+
+    #[test]
+    fn messages_are_conserved(w in arb_workload()) {
+        let (_, m, order) = run_workload(&w);
+        let offered = m.msgs_sent + m.msgs_duplicated;
+        prop_assert_eq!(
+            m.msgs_delivered + m.msgs_dropped + m.msgs_blackholed,
+            offered,
+            "delivered {} + dropped {} + blackholed {} != sent {} + duplicated {}",
+            m.msgs_delivered, m.msgs_dropped, m.msgs_blackholed, m.msgs_sent, m.msgs_duplicated
+        );
+        prop_assert_eq!(order.len() as u64, m.msgs_delivered);
+    }
+
+    #[test]
+    fn clean_network_delivers_everything_in_order_per_sender(
+        seed in any::<u64>(), senders in 1u8..4, n in 1u8..20
+    ) {
+        let w = Workload { seed, loss: 0.0, duplicate: 0.0, jitter: 0.0, senders, msgs_per_sender: n };
+        let (_, m, order) = run_workload(&w);
+        prop_assert_eq!(m.msgs_delivered, senders as u64 * n as u64);
+        prop_assert_eq!(m.msgs_dropped, 0);
+        // FIFO per sender (no jitter): each sender's ids appear ascending.
+        for s in 0..senders {
+            let ids: Vec<u64> = order
+                .iter()
+                .copied()
+                .filter(|id| (id >> 32) == s as u64)
+                .collect();
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "sender {s} reordered: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_for_every_process(seed in any::<u64>(), hops in 1u8..10) {
+        let mut sim = Simulation::new(NetworkConfig::lan().with_jitter(0.3), seed);
+        let violations = Arc::new(AtomicU64::new(0));
+        let v2 = Arc::clone(&violations);
+        sim.spawn("walker", NodeId(0), move |ctx| {
+            let mut last = ctx.now();
+            for _ in 0..hops {
+                let _ = ctx.sleep(Duration::from_micros(50));
+                let now = ctx.now();
+                if now < last {
+                    v2.fetch_add(1, Ordering::SeqCst);
+                }
+                last = now;
+                // try_recv must not advance time
+                let before = ctx.now();
+                let _ = ctx.try_recv();
+                if ctx.now() != before {
+                    v2.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        sim.run();
+        prop_assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+}

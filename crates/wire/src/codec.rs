@@ -1,0 +1,401 @@
+//! Canonical binary encoding of [`Value`].
+//!
+//! The format is a compact tag-length-value scheme:
+//!
+//! | tag | kind   | payload |
+//! |-----|--------|---------|
+//! | 0   | null   | —       |
+//! | 1   | false  | —       |
+//! | 2   | true   | —       |
+//! | 3   | u64    | varint  |
+//! | 4   | i64    | zigzag varint |
+//! | 5   | f64    | 8 bytes little-endian |
+//! | 6   | str    | varint length + UTF-8 |
+//! | 7   | blob   | varint length + bytes |
+//! | 8   | list   | varint count + items  |
+//! | 9   | record | varint count + (str key, value) pairs |
+//!
+//! Encoding is canonical: a given `Value` always produces the same bytes,
+//! so checksums and duplicate-suppression can operate on the encoding.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+use crate::value::Value;
+
+/// Maximum nesting depth accepted by the decoder (guards against stack
+/// exhaustion from hostile input).
+pub const MAX_DEPTH: usize = 32;
+
+/// Maximum declared length of any string/blob/list/record (guards against
+/// allocation bombs from hostile input).
+pub const MAX_LEN: u64 = 1 << 28;
+
+mod tag {
+    pub const NULL: u8 = 0;
+    pub const FALSE: u8 = 1;
+    pub const TRUE: u8 = 2;
+    pub const U64: u8 = 3;
+    pub const I64: u8 = 4;
+    pub const F64: u8 = 5;
+    pub const STR: u8 = 6;
+    pub const BLOB: u8 = 7;
+    pub const LIST: u8 = 8;
+    pub const RECORD: u8 = 9;
+}
+
+fn put_varint(buf: &mut BytesMut, mut n: u64) {
+    loop {
+        let byte = (n & 0x7F) as u8;
+        n >>= 7;
+        if n == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+fn encode_into(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(tag::NULL),
+        Value::Bool(false) => buf.put_u8(tag::FALSE),
+        Value::Bool(true) => buf.put_u8(tag::TRUE),
+        Value::U64(n) => {
+            buf.put_u8(tag::U64);
+            put_varint(buf, *n);
+        }
+        Value::I64(n) => {
+            buf.put_u8(tag::I64);
+            put_varint(buf, zigzag(*n));
+        }
+        Value::F64(x) => {
+            buf.put_u8(tag::F64);
+            buf.put_f64_le(*x);
+        }
+        Value::Str(s) => {
+            buf.put_u8(tag::STR);
+            put_varint(buf, s.len() as u64);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Blob(b) => {
+            buf.put_u8(tag::BLOB);
+            put_varint(buf, b.len() as u64);
+            buf.put_slice(b);
+        }
+        Value::List(items) => {
+            buf.put_u8(tag::LIST);
+            put_varint(buf, items.len() as u64);
+            for item in items {
+                encode_into(item, buf);
+            }
+        }
+        Value::Record(fields) => {
+            buf.put_u8(tag::RECORD);
+            put_varint(buf, fields.len() as u64);
+            for (k, v) in fields {
+                put_varint(buf, k.len() as u64);
+                buf.put_slice(k.as_bytes());
+                encode_into(v, buf);
+            }
+        }
+    }
+}
+
+/// Encodes a value to its canonical byte representation.
+///
+/// ```
+/// use wire::{encode, decode, Value};
+/// let v = Value::record([("n", Value::U64(300))]);
+/// assert_eq!(decode(&encode(&v)).unwrap(), v);
+/// ```
+pub fn encode(v: &Value) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    encode_into(v, &mut buf);
+    buf.freeze()
+}
+
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.input.len() {
+            return Err(WireError::UnexpectedEof {
+                needed: self.pos + n - self.input.len(),
+            });
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut n: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            n |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                // Reject non-canonical over-wide encodings of small values
+                // in the final (10th) byte position.
+                if shift == 63 && b > 1 {
+                    return Err(WireError::BadVarint);
+                }
+                return Ok(n);
+            }
+        }
+        Err(WireError::BadVarint)
+    }
+
+    fn length(&mut self) -> Result<usize, WireError> {
+        let n = self.varint()?;
+        if n > MAX_LEN {
+            return Err(WireError::TooLong(n));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.length()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        let t = self.byte()?;
+        match t {
+            tag::NULL => Ok(Value::Null),
+            tag::FALSE => Ok(Value::Bool(false)),
+            tag::TRUE => Ok(Value::Bool(true)),
+            tag::U64 => Ok(Value::U64(self.varint()?)),
+            tag::I64 => Ok(Value::I64(unzigzag(self.varint()?))),
+            tag::F64 => {
+                let raw = self.take(8)?;
+                Ok(Value::F64(f64::from_le_bytes(raw.try_into().unwrap())))
+            }
+            tag::STR => Ok(Value::Str(self.string()?)),
+            tag::BLOB => {
+                let len = self.length()?;
+                Ok(Value::Blob(Bytes::copy_from_slice(self.take(len)?)))
+            }
+            tag::LIST => {
+                let count = self.length()?;
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::List(items))
+            }
+            tag::RECORD => {
+                let count = self.length()?;
+                let mut fields = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let k = self.string()?;
+                    let v = self.value(depth + 1)?;
+                    fields.push((k, v));
+                }
+                Ok(Value::Record(fields))
+            }
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+}
+
+/// Decodes a value, requiring the input to be exactly one encoded value.
+///
+/// # Errors
+///
+/// Any [`WireError`] describing the malformation, including
+/// [`WireError::TrailingBytes`] if input remains after the value.
+pub fn decode(input: &[u8]) -> Result<Value, WireError> {
+    let mut r = Reader { input, pos: 0 };
+    let v = r.value(0)?;
+    if r.pos != input.len() {
+        return Err(WireError::TrailingBytes(input.len() - r.pos));
+    }
+    Ok(v)
+}
+
+/// Decodes a value from the front of `input`, returning it along with the
+/// number of bytes consumed. Useful when concatenating encodings.
+///
+/// # Errors
+///
+/// Any [`WireError`] describing the malformation.
+pub fn decode_prefix(input: &[u8]) -> Result<(Value, usize), WireError> {
+    let mut r = Reader { input, pos: 0 };
+    let v = r.value(0)?;
+    Ok((v, r.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let enc = encode(&v);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::U64(0));
+        roundtrip(Value::U64(127));
+        roundtrip(Value::U64(128));
+        roundtrip(Value::U64(u64::MAX));
+        roundtrip(Value::I64(0));
+        roundtrip(Value::I64(-1));
+        roundtrip(Value::I64(i64::MIN));
+        roundtrip(Value::I64(i64::MAX));
+        roundtrip(Value::F64(0.0));
+        roundtrip(Value::F64(-123.456));
+        roundtrip(Value::F64(f64::INFINITY));
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        roundtrip(Value::str(""));
+        roundtrip(Value::str("héllo wörld"));
+        roundtrip(Value::blob(vec![0u8, 255, 1, 2]));
+        roundtrip(Value::list([Value::U64(1), Value::str("two"), Value::Null]));
+        roundtrip(Value::record([
+            (
+                "nested",
+                Value::record([("deep", Value::list([Value::Bool(true)]))]),
+            ),
+            ("blob", Value::blob(vec![9u8; 300])),
+        ]));
+    }
+
+    #[test]
+    fn canonical_encoding_is_stable() {
+        let v = Value::record([("a", Value::U64(1)), ("b", Value::str("x"))]);
+        assert_eq!(encode(&v), encode(&v.clone()));
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for n in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            roundtrip(Value::U64(n));
+        }
+    }
+
+    #[test]
+    fn truncated_input_reports_eof() {
+        let enc = encode(&Value::str("hello"));
+        for cut in 0..enc.len() {
+            let err = decode(&enc[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::UnexpectedEof { .. }),
+                "cut={cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = encode(&Value::U64(5)).to_vec();
+        enc.push(0);
+        assert_eq!(decode(&enc), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode(&[0xEE]), Err(WireError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // STR tag, length 2, invalid UTF-8 bytes.
+        let raw = [super::tag::STR, 2, 0xFF, 0xFE];
+        assert_eq!(decode(&raw), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(super::tag::BLOB);
+        put_varint(&mut buf, MAX_LEN + 1);
+        assert_eq!(decode(&buf), Err(WireError::TooLong(MAX_LEN + 1)));
+    }
+
+    #[test]
+    fn excessive_depth_rejected() {
+        let mut v = Value::Null;
+        for _ in 0..(MAX_DEPTH + 2) {
+            v = Value::List(vec![v]);
+        }
+        let enc = encode(&v);
+        assert_eq!(decode(&enc), Err(WireError::TooDeep));
+    }
+
+    #[test]
+    fn depth_at_limit_accepted() {
+        let mut v = Value::U64(7);
+        for _ in 0..MAX_DEPTH {
+            v = Value::List(vec![v]);
+        }
+        roundtrip(v);
+    }
+
+    #[test]
+    fn decode_prefix_reports_consumed() {
+        let a = encode(&Value::U64(300));
+        let b = encode(&Value::str("tail"));
+        let joined: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        let (v, used) = decode_prefix(&joined).unwrap();
+        assert_eq!(v, Value::U64(300));
+        assert_eq!(used, a.len());
+        let (v2, used2) = decode_prefix(&joined[used..]).unwrap();
+        assert_eq!(v2, Value::str("tail"));
+        assert_eq!(used + used2, joined.len());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes is over the maximum 10-byte varint.
+        let raw = [
+            super::tag::U64,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x01,
+        ];
+        assert_eq!(decode(&raw), Err(WireError::BadVarint));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for n in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Errors produced while encoding or decoding wire data.
+
+use std::fmt;
+
+/// Error decoding (or framing) wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+    },
+    /// An unknown type tag was encountered.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Nesting exceeded [`crate::MAX_DEPTH`].
+    TooDeep,
+    /// A length prefix exceeded [`crate::MAX_LEN`].
+    TooLong(u64),
+    /// Decoding finished but input bytes remained.
+    TrailingBytes(usize),
+    /// A varint ran past its maximum width.
+    BadVarint,
+    /// Frame magic bytes did not match.
+    BadMagic,
+    /// Frame declared an unsupported format version.
+    BadVersion(u8),
+    /// Frame checksum mismatch (corrupt payload).
+    BadChecksum {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum computed over the payload.
+        actual: u32,
+    },
+    /// A structured value was missing an expected field.
+    MissingField(&'static str),
+    /// A field existed but held the wrong kind of value.
+    WrongKind {
+        /// The kind the caller asked for.
+        expected: &'static str,
+        /// The kind actually present.
+        actual: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed } => {
+                write!(f, "unexpected end of input, {needed} more byte(s) needed")
+            }
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field held invalid utf-8"),
+            WireError::TooDeep => write!(f, "value nesting exceeds maximum depth"),
+            WireError::TooLong(n) => write!(f, "length prefix {n} exceeds maximum"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after value"),
+            WireError::BadVarint => write!(f, "varint overran maximum width"),
+            WireError::BadMagic => write!(f, "frame magic mismatch"),
+            WireError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            WireError::BadChecksum { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            WireError::MissingField(name) => write!(f, "missing field `{name}`"),
+            WireError::WrongKind { expected, actual } => {
+                write!(f, "expected {expected}, found {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            WireError::UnexpectedEof { needed: 3 },
+            WireError::BadTag(0xff),
+            WireError::BadUtf8,
+            WireError::TooDeep,
+            WireError::TooLong(1 << 40),
+            WireError::TrailingBytes(2),
+            WireError::BadVarint,
+            WireError::BadMagic,
+            WireError::BadVersion(9),
+            WireError::BadChecksum {
+                expected: 1,
+                actual: 2,
+            },
+            WireError::MissingField("key"),
+            WireError::WrongKind {
+                expected: "u64",
+                actual: "str",
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Framing: a versioned, checksummed envelope around an encoded value.
+//!
+//! Layout:
+//!
+//! ```text
+//! +-------+---------+-------------+------------------+---------+
+//! | magic | version | crc32 (LE)  | payload len (LE) | payload |
+//! |  2 B  |   1 B   |    4 B      |       4 B        |   n B   |
+//! +-------+---------+-------------+------------------+---------+
+//! ```
+//!
+//! The checksum covers the payload only; the fixed-size header makes
+//! truncation detectable before the checksum is even consulted. Protocol
+//! layers (RPC) put exactly one frame in each simulated datagram.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::codec::{decode, encode};
+use crate::crc::crc32;
+use crate::error::WireError;
+use crate::value::Value;
+
+/// First magic byte ('P' for proxy).
+const MAGIC: [u8; 2] = [0x50, 0x58]; // "PX"
+
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 2 + 1 + 4 + 4;
+
+/// Wraps an encoded value in a checksummed frame.
+///
+/// ```
+/// use wire::{frame, unframe, Value};
+/// let v = Value::str("payload");
+/// assert_eq!(unframe(&frame(&v)).unwrap(), v);
+/// ```
+pub fn frame(v: &Value) -> Bytes {
+    let payload = encode(v);
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u8(FRAME_VERSION);
+    buf.put_u32_le(crc32(&payload));
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Validates a frame and decodes its payload.
+///
+/// # Errors
+///
+/// * [`WireError::UnexpectedEof`] — shorter than the header or the
+///   declared payload.
+/// * [`WireError::BadMagic`] / [`WireError::BadVersion`] — wrong envelope.
+/// * [`WireError::BadChecksum`] — payload corruption.
+/// * [`WireError::TrailingBytes`] — bytes beyond the declared payload.
+/// * any decode error from the payload itself.
+pub fn unframe(input: &[u8]) -> Result<Value, WireError> {
+    if input.len() < HEADER_LEN {
+        return Err(WireError::UnexpectedEof {
+            needed: HEADER_LEN - input.len(),
+        });
+    }
+    if input[0..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if input[2] != FRAME_VERSION {
+        return Err(WireError::BadVersion(input[2]));
+    }
+    let expected = u32::from_le_bytes(input[3..7].try_into().unwrap());
+    let len = u32::from_le_bytes(input[7..11].try_into().unwrap()) as usize;
+    let body = &input[HEADER_LEN..];
+    if body.len() < len {
+        return Err(WireError::UnexpectedEof {
+            needed: len - body.len(),
+        });
+    }
+    if body.len() > len {
+        return Err(WireError::TrailingBytes(body.len() - len));
+    }
+    let actual = crc32(body);
+    if actual != expected {
+        return Err(WireError::BadChecksum { expected, actual });
+    }
+    decode(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = Value::record([("op", Value::str("get")), ("id", Value::U64(42))]);
+        assert_eq!(unframe(&frame(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        assert!(matches!(
+            unframe(&[0x50]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut f = frame(&Value::Null).to_vec();
+        f[0] = 0x00;
+        assert_eq!(unframe(&f), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut f = frame(&Value::Null).to_vec();
+        f[2] = 99;
+        assert_eq!(unframe(&f), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        let mut f = frame(&Value::str("sensitive")).to_vec();
+        let last = f.len() - 1;
+        f[last] ^= 0x01;
+        assert!(matches!(unframe(&f), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let f = frame(&Value::str("some payload"));
+        assert!(matches!(
+            unframe(&f[..f.len() - 3]),
+            Err(WireError::UnexpectedEof { needed: 3 })
+        ));
+    }
+
+    #[test]
+    fn extra_bytes_rejected() {
+        let mut f = frame(&Value::Null).to_vec();
+        f.push(0xAA);
+        assert_eq!(unframe(&f), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn header_overhead_is_constant() {
+        let small = frame(&Value::Null);
+        let payload = encode(&Value::Null);
+        assert_eq!(small.len(), HEADER_LEN + payload.len());
+    }
+}

@@ -1,0 +1,45 @@
+//! # wire — the marshalling substrate
+//!
+//! A self-describing binary presentation layer in the spirit of the
+//! Courier and Sun RPC encodings the proxy-principle paper's systems used.
+//! Every protocol message in this workspace is a [`Value`] encoded via
+//! [`encode`]/[`decode`] and shipped inside a checksummed [`frame`].
+//!
+//! * [`Value`] — the dynamic data model (null/bool/ints/float/str/blob/
+//!   list/record).
+//! * [`encode`] / [`decode`] — canonical tag-length-value binary codec,
+//!   hardened against hostile input (depth & length limits, canonical
+//!   varints).
+//! * [`frame`] / [`unframe`] — versioned envelope with a CRC-32 checksum.
+//! * [`crc32`] / [`Crc32`] — the checksum itself (implemented here to keep
+//!   the workspace dependency-minimal).
+//!
+//! ## Example
+//!
+//! ```
+//! use wire::{frame, unframe, Value};
+//!
+//! let request = Value::record([
+//!     ("op", Value::str("read")),
+//!     ("block", Value::U64(17)),
+//! ]);
+//! let datagram = frame(&request);
+//! let parsed = unframe(&datagram)?;
+//! assert_eq!(parsed.get_u64("block")?, 17);
+//! # Ok::<(), wire::WireError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codec;
+mod crc;
+mod error;
+mod frame;
+mod value;
+
+pub use codec::{decode, decode_prefix, encode, MAX_DEPTH, MAX_LEN};
+pub use crc::{crc32, Crc32};
+pub use error::WireError;
+pub use frame::{frame, unframe, FRAME_VERSION, HEADER_LEN};
+pub use value::Value;

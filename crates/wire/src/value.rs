@@ -1,0 +1,439 @@
+//! The self-describing value model.
+//!
+//! [`Value`] is the dynamic data model every protocol layer in this
+//! workspace marshals through — the analogue of the Courier/XDR
+//! presentation layer in classic RPC systems. Service interfaces exchange
+//! `Value`s; typed client wrappers convert to and from domain types at the
+//! edges.
+
+use bytes::Bytes;
+
+use crate::error::WireError;
+
+/// A dynamically-typed, self-describing wire value.
+///
+/// ```
+/// use wire::Value;
+///
+/// let v = Value::record([
+///     ("op", Value::str("put")),
+///     ("key", Value::str("color")),
+///     ("size", Value::U64(3)),
+/// ]);
+/// assert_eq!(v.get("op").and_then(|v| v.as_str()), Some("put"));
+/// assert_eq!(v.get_u64("size").unwrap(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned 64-bit integer.
+    U64(u64),
+    /// A signed 64-bit integer.
+    I64(i64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Blob(Bytes),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// An ordered list of named fields (a record). Field order is
+    /// preserved and significant for encoding, but lookup by name via
+    /// [`Value::get`] ignores order.
+    Record(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for [`Value::Str`].
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for [`Value::Blob`].
+    pub fn blob(b: impl Into<Bytes>) -> Value {
+        Value::Blob(b.into())
+    }
+
+    /// Convenience constructor for [`Value::List`].
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Convenience constructor for [`Value::Record`].
+    pub fn record<K: Into<String>>(fields: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Record(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Human-readable name of this value's kind (used in errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "str",
+            Value::Blob(_) => "blob",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Borrows the string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is a [`Value::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is a [`Value::I64`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is a [`Value::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the bool if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the bytes if this is a [`Value::Blob`].
+    pub fn as_blob(&self) -> Option<&Bytes> {
+        match self {
+            Value::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the items if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the fields if this is a [`Value::Record`].
+    pub fn as_record(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Record(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field by name in a [`Value::Record`]. Returns `None`
+    /// for other kinds or missing fields. First match wins.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required string field of a record.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingField`] if absent, [`WireError::WrongKind`] if
+    /// present with another kind.
+    pub fn get_str(&self, name: &'static str) -> Result<&str, WireError> {
+        let v = self.get(name).ok_or(WireError::MissingField(name))?;
+        v.as_str().ok_or(WireError::WrongKind {
+            expected: "str",
+            actual: v.kind(),
+        })
+    }
+
+    /// Required `u64` field of a record.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingField`] if absent, [`WireError::WrongKind`] if
+    /// present with another kind.
+    pub fn get_u64(&self, name: &'static str) -> Result<u64, WireError> {
+        let v = self.get(name).ok_or(WireError::MissingField(name))?;
+        v.as_u64().ok_or(WireError::WrongKind {
+            expected: "u64",
+            actual: v.kind(),
+        })
+    }
+
+    /// Required `i64` field of a record.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingField`] if absent, [`WireError::WrongKind`] if
+    /// present with another kind.
+    pub fn get_i64(&self, name: &'static str) -> Result<i64, WireError> {
+        let v = self.get(name).ok_or(WireError::MissingField(name))?;
+        v.as_i64().ok_or(WireError::WrongKind {
+            expected: "i64",
+            actual: v.kind(),
+        })
+    }
+
+    /// Required bool field of a record.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingField`] if absent, [`WireError::WrongKind`] if
+    /// present with another kind.
+    pub fn get_bool(&self, name: &'static str) -> Result<bool, WireError> {
+        let v = self.get(name).ok_or(WireError::MissingField(name))?;
+        v.as_bool().ok_or(WireError::WrongKind {
+            expected: "bool",
+            actual: v.kind(),
+        })
+    }
+
+    /// Required blob field of a record.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingField`] if absent, [`WireError::WrongKind`] if
+    /// present with another kind.
+    pub fn get_blob(&self, name: &'static str) -> Result<&Bytes, WireError> {
+        let v = self.get(name).ok_or(WireError::MissingField(name))?;
+        v.as_blob().ok_or(WireError::WrongKind {
+            expected: "blob",
+            actual: v.kind(),
+        })
+    }
+
+    /// Required list field of a record.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingField`] if absent, [`WireError::WrongKind`] if
+    /// present with another kind.
+    pub fn get_list(&self, name: &'static str) -> Result<&[Value], WireError> {
+        let v = self.get(name).ok_or(WireError::MissingField(name))?;
+        v.as_list().ok_or(WireError::WrongKind {
+            expected: "list",
+            actual: v.kind(),
+        })
+    }
+
+    /// Approximate in-memory payload size, used by tests and benches to
+    /// relate value size to encoded size.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) => 1,
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Blob(b) => b.len(),
+            Value::List(items) => items.iter().map(Value::payload_len).sum(),
+            Value::Record(fields) => fields.iter().map(|(k, v)| k.len() + v.payload_len()).sum(),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Renders a JSON-like human-readable form (for logs and debugging;
+    /// *not* a serialization format — use [`crate::encode`] for that).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(n) => write!(f, "{n}"),
+            Value::I64(n) => write!(f, "{n}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Blob(b) => {
+                if b.len() <= 8 {
+                    write!(f, "0x")?;
+                    for byte in b.iter() {
+                        write!(f, "{byte:02x}")?;
+                    }
+                    Ok(())
+                } else {
+                    write!(f, "<{} bytes>", b.len())
+                }
+            }
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl Default for Value {
+    /// [`Value::Null`].
+    fn default() -> Value {
+        Value::Null
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::U64(n)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::U64(n.into())
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::I64(n)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Value {
+        Value::Blob(b)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::List(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lookup_by_name() {
+        let v = Value::record([("a", Value::U64(1)), ("b", Value::str("x"))]);
+        assert_eq!(v.get_u64("a").unwrap(), 1);
+        assert_eq!(v.get_str("b").unwrap(), "x");
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(
+            v.get_u64("missing"),
+            Err(WireError::MissingField("missing"))
+        );
+    }
+
+    #[test]
+    fn wrong_kind_reports_both_sides() {
+        let v = Value::record([("n", Value::str("not a number"))]);
+        assert_eq!(
+            v.get_u64("n"),
+            Err(WireError::WrongKind {
+                expected: "u64",
+                actual: "str"
+            })
+        );
+    }
+
+    #[test]
+    fn first_match_wins_on_duplicate_fields() {
+        let v = Value::Record(vec![
+            ("k".into(), Value::U64(1)),
+            ("k".into(), Value::U64(2)),
+        ]);
+        assert_eq!(v.get_u64("k").unwrap(), 1);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(5u64), Value::U64(5));
+        assert_eq!(Value::from(5u32), Value::U64(5));
+        assert_eq!(Value::from(-5i64), Value::I64(-5));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(2.5f64), Value::F64(2.5));
+    }
+
+    #[test]
+    fn accessors_reject_other_kinds() {
+        let v = Value::U64(3);
+        assert!(v.as_str().is_none());
+        assert!(v.as_bool().is_none());
+        assert!(v.as_list().is_none());
+        assert!(v.as_record().is_none());
+        assert_eq!(v.as_u64(), Some(3));
+    }
+
+    #[test]
+    fn payload_len_is_additive() {
+        let v = Value::record([("k", Value::blob(vec![0u8; 100])), ("s", Value::str("abc"))]);
+        assert_eq!(v.payload_len(), 1 + 100 + 1 + 3);
+    }
+
+    #[test]
+    fn display_is_json_like() {
+        let v = Value::record([
+            ("op", Value::str("put")),
+            ("n", Value::U64(3)),
+            ("tags", Value::list([Value::Bool(true), Value::Null])),
+            ("raw", Value::blob(vec![0xAB, 0xCD])),
+            ("big", Value::blob(vec![0u8; 100])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{op: \"put\", n: 3, tags: [true, null], raw: 0xabcd, big: <100 bytes>}"
+        );
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+        assert_eq!(Value::default().kind(), "null");
+    }
+}

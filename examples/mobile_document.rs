@@ -1,0 +1,87 @@
+//! A mobile document: migration as an invocation optimization.
+//!
+//! Run with: `cargo run --example mobile_document`
+//!
+//! A shared counter ("document edit count") starts on a server node. An
+//! editor hammers it; the service's *migratory* proxy checks the object
+//! out into the editor's context, turning remote calls into local ones.
+//! When a reviewer elsewhere needs it, the service recalls it — all
+//! behind the same interface.
+
+use std::time::Duration;
+
+use proxide::prelude::*;
+use proxide::services::counter::{Counter, CounterClient};
+
+fn main() {
+    let mut sim = Simulation::new(NetworkConfig::lan(), 5);
+    let ns = spawn_name_server(&sim, NodeId(0));
+
+    let factories = proxide::services::all_factories();
+
+    // The service chooses a migratory proxy: any client that makes 10
+    // calls takes custody of the object.
+    spawn_service_with_factories(
+        &sim,
+        NodeId(1),
+        ns,
+        "edit-count",
+        ProxySpec::Migratory { threshold: 10 },
+        factories.clone(),
+        || Box::new(Counter::new()),
+    );
+
+    let f_editor = factories.clone();
+    sim.spawn("editor", NodeId(2), move |ctx| {
+        let mut rt = ClientRuntime::new(ns).with_factories(f_editor);
+        let doc = CounterClient::bind(&mut rt, ctx, "edit-count").expect("bind");
+
+        let t0 = ctx.now();
+        for _ in 0..200 {
+            doc.inc(&mut rt, ctx).expect("inc");
+        }
+        let elapsed = ctx.now() - t0;
+        let s = rt.stats(doc.handle());
+        println!(
+            "editor: 200 increments in {:.2}ms — {} remote, {} local, {} migration(s)",
+            elapsed.as_secs_f64() * 1e3,
+            s.remote_calls,
+            s.local_hits,
+            s.migrations
+        );
+        assert_eq!(s.migrations, 1);
+        assert!(s.local_hits >= 190, "post-checkout calls must be local");
+
+        // Stay responsive so the recall (for the reviewer) is honoured.
+        for _ in 0..30 {
+            ctx.sleep(Duration::from_millis(2)).unwrap();
+            rt.pump(ctx);
+        }
+        println!("editor: checkins = {}", rt.stats(doc.handle()).checkins);
+    });
+
+    sim.spawn("reviewer", NodeId(3), move |ctx| {
+        ctx.sleep(Duration::from_millis(25)).unwrap();
+        let mut rt = ClientRuntime::new(ns).with_factories(factories);
+        let doc = CounterClient::bind(&mut rt, ctx, "edit-count").expect("bind");
+        // The object is checked out to the editor; the service recalls
+        // it on our behalf. Retry until the transfer completes.
+        for attempt in 0..100 {
+            match doc.get(&mut rt, ctx) {
+                Ok(v) => {
+                    println!("reviewer: edit count = {v} (after {attempt} retries)");
+                    assert_eq!(v, 200);
+                    return;
+                }
+                Err(RpcError::Remote(ref e)) if e.code == ErrorCode::Unavailable => {
+                    ctx.sleep(Duration::from_millis(2)).unwrap();
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        panic!("object was never recalled");
+    });
+
+    sim.run();
+    println!("mobile_document OK");
+}
