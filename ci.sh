@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass.
+#
+#   ./ci.sh          # full gate
+#   ./ci.sh quick    # skip the release build (fmt + clippy + tests)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo test (workspace)"
+cargo test --workspace -q
+
+if [ "${1:-}" != "quick" ]; then
+  step "cargo build --release (experiment harness)"
+  cargo build --release -p bench
+fi
+
+printf '\nci.sh: all green\n'

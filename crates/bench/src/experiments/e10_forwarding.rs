@@ -15,7 +15,7 @@ use services::counter::Counter;
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
 
 #[derive(Debug, Clone, Copy)]
 struct Point {
@@ -29,7 +29,7 @@ struct Point {
     fresh_redirects: u64,
 }
 
-fn measure(mode: ForwardMode, hops: u32, seed: u64) -> Point {
+fn measure(mode: ForwardMode, hops: u32, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
     let home = spawn_migratable(
@@ -85,7 +85,7 @@ fn measure(mode: ForwardMode, hops: u32, seed: u64) -> Point {
     let (fresh_us, fresh_redirects) = take(fr);
     p.fresh_first_us = fresh_us;
     p.fresh_redirects = fresh_redirects;
-    p
+    (p, obs_report(format!("{mode:?}@k={hops}"), &sim))
 }
 
 /// Runs E10 and returns its tables and shape checks.
@@ -107,9 +107,14 @@ pub fn run() -> ExperimentOutput {
     );
     let mut nexthop = Vec::new();
     let mut resolve = Vec::new();
+    let mut reports = Vec::new();
     for (i, &k) in sweep.iter().enumerate() {
-        let nh = measure(ForwardMode::NextHop, k, 110 + i as u64);
-        let rs = measure(ForwardMode::Resolve, k, 120 + i as u64);
+        let (nh, nh_obs) = measure(ForwardMode::NextHop, k, 110 + i as u64);
+        let (rs, rs_obs) = measure(ForwardMode::Resolve, k, 120 + i as u64);
+        if k == 8 {
+            reports.push(nh_obs);
+            reports.push(rs_obs);
+        }
         for (mode, p) in [("next-hop", &nh), ("resolve", &rs)] {
             table.add_row(vec![
                 k.to_string(),
@@ -186,5 +191,6 @@ pub fn run() -> ExperimentOutput {
         title: "Forwarding chains after migration (+ compression-mode ablation)",
         tables: vec![table],
         checks,
+        reports,
     }
 }

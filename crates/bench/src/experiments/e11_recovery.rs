@@ -17,14 +17,14 @@ use std::time::Duration;
 
 use naming::spawn_name_server;
 use proxy_core::{
-    spawn_service_recovered, CheckpointPolicy, ClientRuntime, InterfaceDesc, OpDesc, ProxySpec,
+    CheckpointPolicy, ClientRuntime, InterfaceDesc, OpDesc, ProxySpec, ServiceBuilder,
     ServiceObject, ServiceServer, StableStore,
 };
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::{Ctx, NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
 
 const WRITES_BEFORE_CRASH: u64 = 23;
 
@@ -93,20 +93,15 @@ struct Point {
     outage_us: f64,
 }
 
-fn measure(interval: u64, seed: u64) -> Point {
+fn measure(interval: u64, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
     let store = StableStore::new();
-    let incarnation = spawn_service_recovered(
-        &sim,
-        NodeId(1),
-        ns,
-        "ledger",
-        ProxySpec::Stub,
-        factories(),
-        CheckpointPolicy::every(store.clone(), interval),
-        || Box::new(Ledger::default()),
-    );
+    let incarnation = ServiceBuilder::new("ledger")
+        .factories(factories())
+        .recovered(CheckpointPolicy::every(store.clone(), interval))
+        .object(|| Box::<Ledger>::default())
+        .spawn(&sim, NodeId(1), ns);
     let (w, r) = slot::<Point>();
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
@@ -178,7 +173,10 @@ fn measure(interval: u64, seed: u64) -> Point {
         });
     });
     sim.run();
-    take(r)
+    (
+        take(r),
+        obs_report(format!("checkpoint-every-{interval}"), &sim),
+    )
 }
 
 /// Runs E11 and returns its tables and shape checks.
@@ -196,8 +194,12 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pts = Vec::new();
+    let mut reports = Vec::new();
     for (i, &n) in intervals.iter().enumerate() {
-        let p = measure(n, 130 + i as u64);
+        let (p, obs) = measure(n, 130 + i as u64);
+        if n == 5 {
+            reports.push(obs);
+        }
         table.add_row(vec![
             format!("{n} writes"),
             p.lost_writes.to_string(),
@@ -244,5 +246,6 @@ pub fn run() -> ExperimentOutput {
         title: "Failure transparency: crash recovery behind an unchanged proxy (extension)",
         tables: vec![table],
         checks,
+        reports,
     }
 }

@@ -20,17 +20,17 @@ use std::time::Duration;
 
 use dsm::{spawn_dsm_manager, DsmClient, PageId};
 use naming::spawn_name_server;
-use proxy_core::{spawn_service_with_factories, ClientRuntime, ProxySpec};
+use proxy_core::{ClientRuntime, ProxySpec, ServiceBuilder};
 use services::counter::Counter;
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, us_per_op_f, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, us_per_op_f, ExperimentOutput, ObsReport, Table};
 
 const OPS: u64 = 200;
 
 /// Scenario A: one client hammers one object (90% reads).
-fn locality_dsm(seed: u64) -> (f64, u64) {
+fn locality_dsm(seed: u64) -> (f64, u64, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let manager = spawn_dsm_manager(&sim, NodeId(0), 64);
     let (w, r) = slot::<f64>();
@@ -49,21 +49,17 @@ fn locality_dsm(seed: u64) -> (f64, u64) {
         *w.lock().unwrap() = Some(us_per_op_f(ctx.now() - t0, OPS));
     });
     let report = sim.run();
-    (take(r), report.metrics.msgs_sent)
+    (take(r), report.metrics.msgs_sent, obs_report("dsm", &sim))
 }
 
-fn locality_proxy(spec: ProxySpec, seed: u64) -> (f64, u64) {
+fn locality_proxy(label: &str, spec: ProxySpec, seed: u64) -> (f64, u64, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service_with_factories(
-        &sim,
-        NodeId(0),
-        ns,
-        "ctr",
-        spec,
-        services::all_factories(),
-        || Box::new(Counter::new()),
-    );
+    ServiceBuilder::new("ctr")
+        .spec(spec)
+        .factories(services::all_factories())
+        .object(|| Box::new(Counter::new()))
+        .spawn(&sim, NodeId(0), ns);
     let (w, r) = slot::<f64>();
     sim.spawn("client", NodeId(1), move |ctx| {
         let mut rt = ClientRuntime::new(ns).with_factories(services::all_factories());
@@ -77,7 +73,7 @@ fn locality_proxy(spec: ProxySpec, seed: u64) -> (f64, u64) {
         *w.lock().unwrap() = Some(us_per_op_f(ctx.now() - t0, OPS));
     });
     let report = sim.run();
-    (take(r), report.metrics.msgs_sent)
+    (take(r), report.metrics.msgs_sent, obs_report(label, &sim))
 }
 
 /// Scenario B: two contexts alternately write fields in the same page
@@ -113,15 +109,10 @@ fn pingpong_dsm(seed: u64) -> f64 {
 fn pingpong_stub(seed: u64) -> f64 {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service_with_factories(
-        &sim,
-        NodeId(0),
-        ns,
-        "ctr",
-        ProxySpec::Stub,
-        services::all_factories(),
-        || Box::new(Counter::new()),
-    );
+    ServiceBuilder::new("ctr")
+        .factories(services::all_factories())
+        .object(|| Box::new(Counter::new()))
+        .spawn(&sim, NodeId(0), ns);
     let mut slots = Vec::new();
     for c in 0..2u32 {
         let (w, r) = slot::<f64>();
@@ -147,9 +138,10 @@ fn pingpong_stub(seed: u64) -> f64 {
 
 /// Runs E12 and returns its tables and shape checks.
 pub fn run() -> ExperimentOutput {
-    let (dsm_us, dsm_msgs) = locality_dsm(140);
-    let (stub_us, stub_msgs) = locality_proxy(ProxySpec::Stub, 141);
-    let (mig_us, mig_msgs) = locality_proxy(ProxySpec::Migratory { threshold: 10 }, 142);
+    let (dsm_us, dsm_msgs, dsm_obs) = locality_dsm(140);
+    let (stub_us, stub_msgs, stub_obs) = locality_proxy("stub", ProxySpec::Stub, 141);
+    let (mig_us, mig_msgs, mig_obs) =
+        locality_proxy("migratory", ProxySpec::Migratory { threshold: 10 }, 142);
 
     let mut t1 = Table::new(
         format!("scenario A — one dominant user, {OPS} ops (90% reads) on one object"),
@@ -209,5 +201,6 @@ pub fn run() -> ExperimentOutput {
         title: "Proxies vs distributed shared memory (locality vs fine-grained sharing)",
         tables: vec![t1, t2],
         checks,
+        reports: vec![dsm_obs, stub_obs, mig_obs],
     }
 }

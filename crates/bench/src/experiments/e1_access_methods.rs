@@ -15,15 +15,13 @@
 use std::time::Duration;
 
 use naming::spawn_name_server;
-use proxy_core::{
-    spawn_service, spawn_service_with_factories, CachingParams, ClientRuntime, Coherence, ProxySpec,
-};
+use proxy_core::{CachingParams, ClientRuntime, Coherence, ProxySpec, ServiceBuilder};
 use rpc::{RetryPolicy, RpcClient};
 use services::kv::KvStore;
 use simnet::{Ctx, NetworkConfig, NodeId, SimTime, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, us_per_op_f, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, us_per_op_f, ExperimentOutput, ObsReport, Table};
 
 const OPS: u64 = 200;
 const KEYS: u64 = 20;
@@ -51,32 +49,21 @@ fn workload(ctx: &mut Ctx, mut call: impl FnMut(&mut Ctx, bool, &str)) {
     }
 }
 
-fn measure(spec: Option<ProxySpec>, seed: u64) -> Row {
+fn measure(label: &str, spec: Option<ProxySpec>, seed: u64) -> (Row, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
     let factories = services::all_factories();
 
-    let server = match &spec {
-        Some(s) => match s {
-            ProxySpec::Migratory { .. } => spawn_service_with_factories(
-                &sim,
-                NodeId(1),
-                ns,
-                "kv",
-                s.clone(),
-                factories.clone(),
-                || Box::new(KvStore::new()),
-            ),
-            _ => spawn_service(&sim, NodeId(1), ns, "kv", s.clone(), || {
-                Box::new(KvStore::new())
-            }),
-        },
-        // Direct mode still needs a listening service; clients skip the
-        // binding protocol and hit the endpoint raw.
-        None => spawn_service(&sim, NodeId(1), ns, "kv", ProxySpec::Stub, || {
-            Box::new(KvStore::new())
-        }),
-    };
+    // Direct mode still needs a listening service; clients skip the
+    // binding protocol and hit the endpoint raw.
+    let mut builder = ServiceBuilder::new("kv").object(|| Box::new(KvStore::new()));
+    if let Some(s) = &spec {
+        builder = builder.spec(s.clone());
+        if matches!(s, ProxySpec::Migratory { .. }) {
+            builder = builder.factories(factories.clone());
+        }
+    }
+    let server = builder.spawn(&sim, NodeId(1), ns);
 
     let (w, r) = slot::<Row>();
     sim.spawn("client", NodeId(2), move |ctx| {
@@ -147,7 +134,7 @@ fn measure(spec: Option<ProxySpec>, seed: u64) -> Row {
     let report = sim.run();
     let mut row = take(r);
     row.msgs = report.metrics.msgs_sent;
-    row
+    (row, obs_report(label, &sim))
 }
 
 fn op_args(is_read: bool, key: &str) -> (&'static str, Value) {
@@ -163,16 +150,18 @@ fn op_args(is_read: bool, key: &str) -> (&'static str, Value) {
 
 /// Runs E1 and returns its tables and shape checks.
 pub fn run() -> ExperimentOutput {
-    let direct = measure(None, 1);
-    let stub = measure(Some(ProxySpec::Stub), 1);
-    let caching = measure(
+    let (direct, direct_obs) = measure("direct", None, 1);
+    let (stub, stub_obs) = measure("stub", Some(ProxySpec::Stub), 1);
+    let (caching, caching_obs) = measure(
+        "caching",
         Some(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 1024,
         })),
         1,
     );
-    let migratory = measure(Some(ProxySpec::Migratory { threshold: 10 }), 1);
+    let (migratory, migratory_obs) =
+        measure("migratory", Some(ProxySpec::Migratory { threshold: 10 }), 1);
 
     let mut t = Table::new(
         format!(
@@ -242,5 +231,6 @@ pub fn run() -> ExperimentOutput {
         title: "Access-method comparison (direct vs stub vs smart proxies)",
         tables: vec![t],
         checks,
+        reports: vec![direct_obs, stub_obs, caching_obs, migratory_obs],
     }
 }

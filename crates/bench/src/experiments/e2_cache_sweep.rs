@@ -13,12 +13,12 @@
 use std::time::Duration;
 
 use naming::spawn_name_server;
-use proxy_core::{spawn_service, CachingParams, ClientRuntime, Coherence, ProxySpec};
+use proxy_core::{CachingParams, ClientRuntime, Coherence, ProxySpec, ServiceBuilder};
 use services::file::{block_addr, BlockFile};
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, us_per_op_f, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, us_per_op_f, ExperimentOutput, ObsReport, Table};
 
 const OPS: u64 = 300;
 const BLOCKS: u64 = 10;
@@ -30,12 +30,13 @@ struct Point {
     hits: u64,
 }
 
-fn measure(spec: ProxySpec, read_pct: u64, seed: u64) -> Point {
+fn measure(label: &str, spec: ProxySpec, read_pct: u64, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "fs", spec, || {
-        Box::new(BlockFile::new().with_disk_time(Duration::from_micros(50)))
-    });
+    ServiceBuilder::new("fs")
+        .spec(spec)
+        .object(|| Box::new(BlockFile::new().with_disk_time(Duration::from_micros(50))))
+        .spawn(&sim, NodeId(1), ns);
     let (w, r) = slot::<Point>();
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
@@ -82,7 +83,10 @@ fn measure(spec: ProxySpec, read_pct: u64, seed: u64) -> Point {
         });
     });
     sim.run();
-    take(r)
+    (
+        take(r),
+        obs_report(format!("{label}@{read_pct}%reads"), &sim),
+    )
 }
 
 /// Runs E2 and returns its tables and shape checks.
@@ -96,10 +100,12 @@ pub fn run() -> ExperimentOutput {
     let mut stub_pts = Vec::new();
     let mut inv_pts = Vec::new();
     let mut lease_pts = Vec::new();
+    let mut reports = Vec::new();
     for (i, &pct) in ratios.iter().enumerate() {
         let seed = 10 + i as u64;
-        let stub = measure(ProxySpec::Stub, pct, seed);
-        let inv = measure(
+        let (stub, stub_obs) = measure("stub", ProxySpec::Stub, pct, seed);
+        let (inv, inv_obs) = measure(
+            "cache-inv",
             ProxySpec::Caching(CachingParams {
                 coherence: Coherence::Invalidate,
                 capacity: 1024,
@@ -107,7 +113,8 @@ pub fn run() -> ExperimentOutput {
             pct,
             seed,
         );
-        let lease = measure(
+        let (lease, _) = measure(
+            "cache-lease",
             ProxySpec::Caching(CachingParams {
                 coherence: Coherence::Lease(Duration::from_millis(20)),
                 capacity: 1024,
@@ -115,6 +122,11 @@ pub fn run() -> ExperimentOutput {
             pct,
             seed,
         );
+        // Keep one representative report pair (the 90%-reads point).
+        if pct == 90 {
+            reports.push(stub_obs);
+            reports.push(inv_obs);
+        }
         table.add_row(vec![
             pct.to_string(),
             format!("{:.1}", stub.per_op_us),
@@ -191,5 +203,6 @@ pub fn run() -> ExperimentOutput {
         title: "Caching proxy vs stub across the read/write mix (+ coherence ablation)",
         tables: vec![table],
         checks,
+        reports,
     }
 }

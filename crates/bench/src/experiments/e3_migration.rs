@@ -11,12 +11,12 @@
 //! the threshold.
 
 use naming::spawn_name_server;
-use proxy_core::{spawn_service, spawn_service_with_factories, ClientRuntime, ProxySpec};
+use proxy_core::{ClientRuntime, ProxySpec, ServiceBuilder};
 use services::counter::Counter;
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
 
 const THRESHOLD: u64 = 10;
 
@@ -26,27 +26,19 @@ struct Point {
     migrations: u64,
 }
 
-fn measure(migratory: bool, n: u64, seed: u64) -> Point {
+fn measure(migratory: bool, n: u64, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
     let factories = services::all_factories();
+    let mut builder = ServiceBuilder::new("ctr").object(|| Box::new(Counter::new()));
     if migratory {
-        spawn_service_with_factories(
-            &sim,
-            NodeId(1),
-            ns,
-            "ctr",
-            ProxySpec::Migratory {
+        builder = builder
+            .spec(ProxySpec::Migratory {
                 threshold: THRESHOLD,
-            },
-            factories.clone(),
-            || Box::new(Counter::new()),
-        );
-    } else {
-        spawn_service(&sim, NodeId(1), ns, "ctr", ProxySpec::Stub, || {
-            Box::new(Counter::new())
-        });
+            })
+            .factories(factories.clone());
     }
+    builder.spawn(&sim, NodeId(1), ns);
     let (w, r) = slot::<Point>();
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns).with_factories(factories);
@@ -61,7 +53,8 @@ fn measure(migratory: bool, n: u64, seed: u64) -> Point {
         });
     });
     sim.run();
-    take(r)
+    let label = if migratory { "migratory" } else { "stub" };
+    (take(r), obs_report(format!("{label}@N={n}"), &sim))
 }
 
 /// Runs E3 and returns its tables and shape checks.
@@ -75,11 +68,16 @@ pub fn run() -> ExperimentOutput {
     );
     let mut stub_pts = Vec::new();
     let mut mig_pts = Vec::new();
+    let mut reports = Vec::new();
     let mut crossover: Option<u64> = None;
     for (i, &n) in sweep.iter().enumerate() {
         let seed = 30 + i as u64;
-        let stub = measure(false, n, seed);
-        let mig = measure(true, n, seed);
+        let (stub, stub_obs) = measure(false, n, seed);
+        let (mig, mig_obs) = measure(true, n, seed);
+        if n == 200 {
+            reports.push(stub_obs);
+            reports.push(mig_obs);
+        }
         let winner = if mig.total_us < stub.total_us * 0.95 {
             "migratory"
         } else if stub.total_us < mig.total_us * 0.95 {
@@ -139,5 +137,6 @@ pub fn run() -> ExperimentOutput {
         title: "Migration amortization (stub vs migratory proxy, access-count sweep)",
         tables: vec![table],
         checks,
+        reports,
     }
 }

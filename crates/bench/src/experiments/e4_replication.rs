@@ -20,7 +20,7 @@ use services::directory::Directory;
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
 
 const CLIENTS: u32 = 6;
 const READS_PER_CLIENT: u64 = 100;
@@ -33,7 +33,7 @@ struct Point {
 }
 
 /// Client node ids start at 100; replica nodes at 1.
-fn measure_reads(replicas: u32, seed: u64) -> Point {
+fn measure_reads(replicas: u32, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     {
         let mut net = sim.net();
@@ -108,11 +108,14 @@ fn measure_reads(replicas: u32, seed: u64) -> Point {
         sum_elapsed += elapsed;
         max_elapsed = max_elapsed.max(elapsed);
     }
-    Point {
-        mean_read_us: sum_elapsed / total_ops,
-        // Aggregate rate over the slowest client's window, in kops/s.
-        throughput_kops: total_ops / max_elapsed * 1e3,
-    }
+    (
+        Point {
+            mean_read_us: sum_elapsed / total_ops,
+            // Aggregate rate over the slowest client's window, in kops/s.
+            throughput_kops: total_ops / max_elapsed * 1e3,
+        },
+        obs_report(format!("{replicas}-replicas"), &sim),
+    )
 }
 
 /// Mean write latency for one client against a 3-replica group.
@@ -163,8 +166,12 @@ pub fn run() -> ExperimentOutput {
         &["replicas", "mean read us", "aggregate kops/s"],
     );
     let mut pts = Vec::new();
+    let mut reports = Vec::new();
     for (i, &n) in sweep.iter().enumerate() {
-        let p = measure_reads(n, 40 + i as u64);
+        let (p, obs) = measure_reads(n, 40 + i as u64);
+        if n == 3 {
+            reports.push(obs);
+        }
         table.add_row(vec![
             n.to_string(),
             format!("{:.0}", p.mean_read_us),
@@ -227,5 +234,6 @@ pub fn run() -> ExperimentOutput {
         title: "Replica-reading proxies: read scaling and propagation ablation",
         tables: vec![table, wtable],
         checks,
+        reports,
     }
 }

@@ -10,12 +10,12 @@
 //! apart, with client code identical in all three cases.
 
 use naming::spawn_name_server;
-use proxy_core::{spawn_service, ClientRuntime, ProxySpec};
+use proxy_core::{ClientRuntime, ServiceBuilder};
 use services::counter::Counter;
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, us_per_op_f, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, us_per_op_f, ExperimentOutput, ObsReport, Table};
 
 const OPS: u64 = 100;
 
@@ -32,7 +32,7 @@ enum Placement {
     Remote,
 }
 
-fn measure(placement: Placement, seed: u64) -> Point {
+fn measure(label: &str, placement: Placement, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
     if placement != Placement::SameContext {
@@ -40,9 +40,9 @@ fn measure(placement: Placement, seed: u64) -> Point {
             Placement::SameNode => NodeId(2), // same node as the client
             _ => NodeId(1),
         };
-        spawn_service(&sim, node, ns, "ctr", ProxySpec::Stub, || {
-            Box::new(Counter::new())
-        });
+        ServiceBuilder::new("ctr")
+            .object(|| Box::new(Counter::new()))
+            .spawn(&sim, node, ns);
     }
     let (w, r) = slot::<Point>();
     sim.spawn("client", NodeId(2), move |ctx| {
@@ -63,14 +63,14 @@ fn measure(placement: Placement, seed: u64) -> Point {
     let report = sim.run();
     let mut p = take(r);
     p.msgs = report.metrics.msgs_sent;
-    p
+    (p, obs_report(label, &sim))
 }
 
 /// Runs E5 and returns its tables and shape checks.
 pub fn run() -> ExperimentOutput {
-    let local = measure(Placement::SameContext, 60);
-    let node = measure(Placement::SameNode, 61);
-    let remote = measure(Placement::Remote, 62);
+    let (local, local_obs) = measure("same-context", Placement::SameContext, 60);
+    let (node, node_obs) = measure("same-node", Placement::SameNode, 61);
+    let (remote, remote_obs) = measure("remote", Placement::Remote, 62);
 
     let mut table = Table::new(
         format!("invocation cost by placement — {OPS} increments, identical client code"),
@@ -120,5 +120,6 @@ pub fn run() -> ExperimentOutput {
         title: "Same-context fast path: procedure call vs IPC vs network",
         tables: vec![table],
         checks,
+        reports: vec![local_obs, node_obs, remote_obs],
     }
 }

@@ -8,12 +8,12 @@
 //! per-call cost as N grows; at N=1 the binding overhead dominates.
 
 use naming::spawn_name_server;
-use proxy_core::{spawn_service, CachingParams, ClientRuntime, Coherence, ProxySpec};
+use proxy_core::{CachingParams, ClientRuntime, Coherence, ProxySpec, ServiceBuilder};
 use services::kv::KvStore;
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
 
 #[derive(Debug, Clone, Copy)]
 struct Point {
@@ -22,21 +22,17 @@ struct Point {
     steady_us: f64,
 }
 
-fn measure(n: u64, seed: u64) -> Point {
+fn measure(n: u64, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
     // A subscribing spec so binding includes a real protocol round-trip.
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 64,
-        }),
-        || Box::new(KvStore::new()),
-    );
+        }))
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
     let (w, r) = slot::<Point>();
     sim.spawn("client", NodeId(2), move |ctx| {
         // Let the service register first so bind latency measures the
@@ -70,7 +66,7 @@ fn measure(n: u64, seed: u64) -> Point {
         });
     });
     sim.run();
-    take(r)
+    (take(r), obs_report(format!("bind+{n}-calls"), &sim))
 }
 
 /// Runs E6 and returns its tables and shape checks.
@@ -81,8 +77,12 @@ pub fn run() -> ExperimentOutput {
         &["N", "bind us", "steady us/call", "amortized us/call"],
     );
     let mut pts = Vec::new();
+    let mut reports = Vec::new();
     for (i, &n) in sweep.iter().enumerate() {
-        let p = measure(n, 70 + i as u64);
+        let (p, obs) = measure(n, 70 + i as u64);
+        if n == 100 {
+            reports.push(obs);
+        }
         table.add_row(vec![
             n.to_string(),
             format!("{:.0}", p.bind_us),
@@ -132,5 +132,6 @@ pub fn run() -> ExperimentOutput {
         title: "Binding cost amortization",
         tables: vec![table],
         checks,
+        reports,
     }
 }

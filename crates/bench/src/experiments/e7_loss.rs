@@ -20,7 +20,7 @@ use rpc::{ErrorCode, RemoteError, RetryPolicy, RpcClient, RpcError, RpcServer};
 use simnet::{NetworkConfig, NodeId, PortId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
 
 const CALLS: u64 = 150;
 
@@ -35,7 +35,7 @@ struct Point {
     msgs: u64,
 }
 
-fn measure(loss: f64, duplicate: f64, policy: RetryPolicy, seed: u64) -> Point {
+fn measure(loss: f64, duplicate: f64, policy: RetryPolicy, seed: u64) -> (Point, ObsReport) {
     let cfg = NetworkConfig::lan()
         .with_loss(loss)
         .with_duplicate(duplicate);
@@ -78,19 +78,22 @@ fn measure(loss: f64, duplicate: f64, policy: RetryPolicy, seed: u64) -> Point {
     // been the lost message) — that ambiguity is inherent to at-most-once.
     // An over-execution is anything beyond successes + timeouts.
     let over = executions.saturating_sub(successes + timeouts);
-    Point {
-        successes,
-        timeouts,
-        executions,
-        over_executions: over,
-        retries,
-        mean_latency_us: if successes > 0 {
-            latency_sum / successes as f64
-        } else {
-            0.0
+    (
+        Point {
+            successes,
+            timeouts,
+            executions,
+            over_executions: over,
+            retries,
+            mean_latency_us: if successes > 0 {
+                latency_sum / successes as f64
+            } else {
+                0.0
+            },
+            msgs: report.metrics.msgs_sent,
         },
-        msgs: report.metrics.msgs_sent,
-    }
+        obs_report(format!("loss={loss:.2}"), &sim),
+    )
 }
 
 /// Runs E7 and returns its tables and shape checks.
@@ -114,8 +117,12 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pts = Vec::new();
+    let mut reports = Vec::new();
     for (i, &loss) in losses.iter().enumerate() {
-        let p = measure(loss, 0.30, policy.clone(), 80 + i as u64);
+        let (p, obs) = measure(loss, 0.30, policy.clone(), 80 + i as u64);
+        if loss >= 0.29 {
+            reports.push(obs);
+        }
         table.add_row(vec![
             format!("{:.0}", loss * 100.0),
             p.successes.to_string(),
@@ -130,13 +137,13 @@ pub fn run() -> ExperimentOutput {
     }
 
     // Retransmission ablation at 20% loss.
-    let fixed = measure(
+    let (fixed, _) = measure(
         0.20,
         0.0,
         RetryPolicy::fixed(Duration::from_millis(4), 10),
         90,
     );
-    let expo = measure(
+    let (expo, _) = measure(
         0.20,
         0.0,
         RetryPolicy::exponential(Duration::from_millis(4), 10),
@@ -207,5 +214,6 @@ pub fn run() -> ExperimentOutput {
         title: "At-most-once semantics under loss/duplication (+ retry ablation)",
         tables: vec![table, ab],
         checks,
+        reports,
     }
 }

@@ -14,13 +14,13 @@ use std::time::Duration;
 
 use naming::spawn_name_server;
 use proxy_core::{
-    spawn_service, AdaptiveParams, CachingParams, ClientRuntime, Coherence, ProxySpec,
+    AdaptiveParams, CachingParams, ClientRuntime, Coherence, ProxySpec, ServiceBuilder,
 };
 use services::kv::KvStore;
 use simnet::{Ctx, NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, slot, take, ExperimentOutput, Table};
+use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
 
 const CLIENTS: u32 = 4;
 const PHASE_OPS: u64 = 150;
@@ -68,10 +68,13 @@ fn run_workload(rt: &mut ClientRuntime, ctx: &mut Ctx, handle: proxy_core::Proxy
     }
 }
 
-fn measure(spec: ProxySpec, seed: u64) -> Point {
+fn measure(label: &str, spec: ProxySpec, seed: u64) -> (Point, ObsReport) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "kv", spec, || Box::new(KvStore::new()));
+    ServiceBuilder::new("kv")
+        .spec(spec)
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
     let mut slots = Vec::new();
     for c in 0..CLIENTS {
         let (w, r) = slot::<(f64, u64)>();
@@ -98,24 +101,29 @@ fn measure(spec: ProxySpec, seed: u64) -> Point {
         total = total.max(ms);
         switches += sw;
     }
-    Point {
-        total_ms: total,
-        msgs: report.metrics.msgs_sent,
-        switches,
-    }
+    (
+        Point {
+            total_ms: total,
+            msgs: report.metrics.msgs_sent,
+            switches,
+        },
+        obs_report(label, &sim),
+    )
 }
 
 /// Runs E9 and returns its tables and shape checks.
 pub fn run() -> ExperimentOutput {
-    let stub = measure(ProxySpec::Stub, 100);
-    let caching = measure(
+    let (stub, stub_obs) = measure("stub", ProxySpec::Stub, 100);
+    let (caching, caching_obs) = measure(
+        "always-caching",
         ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 256,
         }),
         100,
     );
-    let adaptive = measure(
+    let (adaptive, adaptive_obs) = measure(
+        "adaptive",
         ProxySpec::Adaptive(AdaptiveParams {
             window: 40,
             enable_at: 0.8,
@@ -184,5 +192,6 @@ pub fn run() -> ExperimentOutput {
         title: "Adaptive proxies under a phase-shifting workload",
         tables: vec![table],
         checks,
+        reports: vec![stub_obs, caching_obs, adaptive_obs],
     }
 }

@@ -74,6 +74,27 @@ impl Table {
     }
 }
 
+/// A labelled unified observability report, serialized as JSON.
+///
+/// Captured from a representative run of each experiment so the whole
+/// suite emits machine-readable `obs::RunReport` records alongside its
+/// human-readable tables.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Which run/configuration the report covers.
+    pub label: String,
+    /// The `obs::RunReport` JSON from [`simnet::Simulation::obs_report`].
+    pub json: String,
+}
+
+/// Captures the unified run report of a finished simulation.
+pub fn obs_report(label: impl Into<String>, sim: &simnet::Simulation) -> ObsReport {
+    ObsReport {
+        label: label.into(),
+        json: sim.obs_report().to_json(),
+    }
+}
+
 /// One asserted property of an experiment's shape.
 #[derive(Debug, Clone)]
 pub struct Check {
@@ -105,6 +126,8 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Shape assertions.
     pub checks: Vec<Check>,
+    /// Unified observability reports from representative runs.
+    pub reports: Vec<ObsReport>,
 }
 
 impl ExperimentOutput {
@@ -122,6 +145,9 @@ impl ExperimentOutput {
             let mark = if c.pass { "PASS" } else { "FAIL" };
             println!("  [{mark}] {} — {}", c.name, c.detail);
             all &= c.pass;
+        }
+        for r in &self.reports {
+            println!("  obs-report[{}] {}", r.label, r.json);
         }
         all
     }

@@ -34,7 +34,7 @@
 //! ```
 //! use simnet::{Simulation, NetworkConfig, NodeId};
 //! use naming::spawn_name_server;
-//! use proxy_core::{spawn_service, ClientRuntime, ProxySpec, CachingParams};
+//! use proxy_core::{ServiceBuilder, ClientRuntime, Session, ProxySpec, CachingParams};
 //! use proxy_core::{InterfaceDesc, OpDesc, ServiceObject};
 //! use rpc::{RemoteError, ErrorCode};
 //! use wire::Value;
@@ -66,16 +66,18 @@
 //! let mut sim = Simulation::new(NetworkConfig::lan(), 1);
 //! let ns = spawn_name_server(&sim, NodeId(0));
 //! // The service decides its clients run caching proxies.
-//! spawn_service(&sim, NodeId(1), ns, "reg",
-//!     ProxySpec::Caching(CachingParams::default()),
-//!     || Box::new(Register(7)));
+//! ServiceBuilder::new("reg")
+//!     .spec(ProxySpec::Caching(CachingParams::default()))
+//!     .object(|| Box::new(Register(7)))
+//!     .spawn(&sim, NodeId(1), ns);
 //! sim.spawn("client", NodeId(2), move |ctx| {
 //!     let mut rt = ClientRuntime::new(ns);
-//!     let reg = rt.bind(ctx, "reg").unwrap();
-//!     assert_eq!(rt.invoke(ctx, reg, "read", Value::Null).unwrap(), Value::U64(7));
+//!     let mut session = Session::new(&mut rt, ctx);
+//!     let reg = session.bind("reg").unwrap();
+//!     assert_eq!(session.invoke(reg, "read", Value::Null).unwrap(), Value::U64(7));
 //!     // Second read is served from the proxy's cache: no network.
-//!     assert_eq!(rt.invoke(ctx, reg, "read", Value::Null).unwrap(), Value::U64(7));
-//!     assert_eq!(rt.stats(reg).local_hits, 1);
+//!     assert_eq!(session.invoke(reg, "read", Value::Null).unwrap(), Value::U64(7));
+//!     assert_eq!(session.stats(reg).local_hits, 1);
 //! });
 //! sim.run();
 //! ```
@@ -89,6 +91,7 @@ pub mod proxies;
 mod proxy;
 mod runtime;
 mod server;
+mod session;
 mod spec;
 mod stable;
 
@@ -96,9 +99,11 @@ pub use interface::{InterfaceDesc, OpDesc, OpKind};
 pub use object::{FactoryRegistry, ObjectCtor, ServiceObject};
 pub use proxy::{protocol, DiscardStrays, OnewaySink, Proxy, ProxyStats};
 pub use runtime::{BindContext, Binder, ClientRuntime, ProxyCtor, ProxyHandle};
+#[allow(deprecated)]
 pub use server::{
     spawn_service, spawn_service_recovered, spawn_service_with_factories, ServerStats,
-    ServiceServer,
+    ServiceBuilder, ServiceServer,
 };
+pub use session::Session;
 pub use spec::{AdaptiveParams, CachingParams, Coherence, ProxySpec, ReadTarget};
 pub use stable::{CheckpointPolicy, StableStore};

@@ -40,25 +40,11 @@ pub mod protocol {
 
 /// Counters every proxy maintains; the currency of the experiment
 /// harness.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ProxyStats {
-    /// Invocations made through the proxy.
-    pub invocations: u64,
-    /// Invocations satisfied locally (cache hit or local object).
-    pub local_hits: u64,
-    /// Invocations that crossed the network.
-    pub remote_calls: u64,
-    /// Invalidation notifications processed.
-    pub invalidations_rx: u64,
-    /// Objects migrated into this proxy's context (checkouts).
-    pub migrations: u64,
-    /// Checked-out objects returned to the service (checkins).
-    pub checkins: u64,
-    /// Bindings repaired after a `Moved` redirect or timeout.
-    pub rebinds: u64,
-    /// Strategy changes made by an adaptive proxy.
-    pub strategy_switches: u64,
-}
+///
+/// Canonical definition lives in the `obs` crate; each proxy keeps its
+/// own copy here, and the simulation-wide [`obs::MetricsRegistry`]
+/// snapshots the same counters per `(owner, service)` pair.
+pub use obs::ProxyStats;
 
 /// Collects one-way notifications that arrive while a proxy is blocked
 /// in a call but belong to *other* proxies in the same context. The
@@ -137,6 +123,7 @@ mod tests {
             from: Endpoint::new(NodeId(0), PortId(1)),
             op: "inv".into(),
             args: Value::Null,
+            span: 0,
         });
         OnewaySink::push(
             &mut sink,
@@ -144,6 +131,7 @@ mod tests {
                 from: Endpoint::new(NodeId(0), PortId(1)),
                 op: "recall".into(),
                 args: Value::Null,
+                span: 0,
             },
         );
         assert_eq!(sink.len(), 2);
@@ -156,6 +144,7 @@ mod tests {
             from: Endpoint::new(NodeId(0), PortId(1)),
             op: "inv".into(),
             args: Value::Null,
+            span: 0,
         });
         // Nothing to observe: it simply must not panic or accumulate.
     }

@@ -269,6 +269,11 @@ impl ClientRuntime {
 
     /// Invokes an operation through a bound proxy.
     ///
+    /// Opens a causal invoke span for the duration of the call (child
+    /// RPCs, retransmissions and server dispatches attach to it), records
+    /// the invocation latency into the per-`(service, op)` histogram, and
+    /// publishes the proxy's counters to the [`obs::MetricsRegistry`].
+    ///
     /// # Errors
     ///
     /// Any [`RpcError`] from the proxy.
@@ -284,8 +289,22 @@ impl ClientRuntime {
         args: Value,
     ) -> Result<Value, RpcError> {
         self.pump(ctx);
+        let service = self.proxies[handle.0].service().to_owned();
+        let span = ctx.obs().open_span(
+            obs::SpanKind::Invoke,
+            ctx.current_span(),
+            &service,
+            op,
+            ctx.now().as_nanos(),
+        );
+        let previous = ctx.set_current_span(span);
         let mut strays: Vec<Oneway> = Vec::new();
         let result = self.proxies[handle.0].invoke(ctx, op, args, &mut strays);
+        ctx.set_current_span(previous);
+        ctx.obs()
+            .close_span(span, ctx.now().as_nanos(), result.is_ok());
+        ctx.obs()
+            .set_proxy_stats(ctx.name(), &service, self.proxies[handle.0].stats());
         self.route(ctx, strays);
         result
     }

@@ -23,25 +23,11 @@ use crate::spec::ProxySpec;
 use crate::stable::CheckpointPolicy;
 
 /// Counters accumulated by a service context.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Ordinary operations dispatched to the object.
-    pub dispatched: u64,
-    /// Of those, writes.
-    pub writes: u64,
-    /// Invalidation notifications pushed to subscribers.
-    pub invalidations_sent: u64,
-    /// Successful checkouts (object left this context).
-    pub checkouts: u64,
-    /// Successful checkins (object returned).
-    pub checkins: u64,
-    /// Recall notifications sent to the current holder.
-    pub recalls_sent: u64,
-    /// Requests refused because the object was checked out.
-    pub unavailable: u64,
-    /// Checkpoints written to stable storage.
-    pub checkpoints: u64,
-}
+///
+/// Canonical definition lives in the `obs` crate; each service keeps
+/// its own copy here, and the simulation-wide [`obs::MetricsRegistry`]
+/// snapshots the same counters per service.
+pub use obs::ServerStats;
 
 /// Everything but the RPC machinery, so the dispatch closure can borrow
 /// it while [`RpcServer`] is borrowed separately.
@@ -312,7 +298,11 @@ impl ServiceServer {
     /// Processes one incoming datagram (for custom server loops).
     pub fn handle_msg(&mut self, ctx: &mut Ctx, msg: &simnet::Message) -> Served {
         let core = &mut self.core;
-        self.rpc.handle(ctx, msg, |ctx, req| core.execute(ctx, req))
+        let served = self.rpc.handle(ctx, msg, |ctx, req| core.execute(ctx, req));
+        // Publish the latest counters so the unified run report always
+        // reflects this service, even if the process never exits.
+        ctx.obs().set_server_stats(&self.core.name, self.core.stats);
+        served
     }
 
     /// Registers with the name service and serves until shutdown.
@@ -333,9 +323,152 @@ impl ServiceServer {
     }
 }
 
+/// Declarative spawning of a service process: one builder covering the
+/// plain, factory-equipped, checkpointing and crash-recovering variants
+/// that used to be separate `spawn_service*` free functions.
+///
+/// ```no_run
+/// # use proxy_core::{ServiceBuilder, ProxySpec, FactoryRegistry};
+/// # use simnet::{Simulation, NetworkConfig, NodeId, Endpoint, PortId};
+/// # fn demo(sim: &Simulation, ns: Endpoint, factories: FactoryRegistry,
+/// #         make: impl FnOnce() -> Box<dyn proxy_core::ServiceObject> + Send + 'static) {
+/// let endpoint = ServiceBuilder::new("kv")
+///     .spec(ProxySpec::Migratory { threshold: 4 })
+///     .factories(factories)
+///     .object(make)
+///     .spawn(sim, NodeId(1), ns);
+/// # }
+/// ```
+pub struct ServiceBuilder {
+    name: String,
+    spec: ProxySpec,
+    make_object: Option<Box<dyn FnOnce() -> Box<dyn ServiceObject> + Send>>,
+    factories: Option<FactoryRegistry>,
+    checkpoint: Option<CheckpointPolicy>,
+    recover: bool,
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("name", &self.name)
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceBuilder {
+    /// Starts a builder for a service registered as `name`. The proxy
+    /// spec defaults to [`ProxySpec::Stub`].
+    pub fn new(name: impl Into<String>) -> ServiceBuilder {
+        ServiceBuilder {
+            name: name.into(),
+            spec: ProxySpec::Stub,
+            make_object: None,
+            factories: None,
+            checkpoint: None,
+            recover: false,
+        }
+    }
+
+    /// The proxy implementation clients of this service must run.
+    pub fn spec(mut self, spec: ProxySpec) -> ServiceBuilder {
+        self.spec = spec;
+        self
+    }
+
+    /// The hosted object, produced inside the service process (the
+    /// closure runs on the service's simulated node). Required.
+    pub fn object(
+        mut self,
+        make: impl FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
+    ) -> ServiceBuilder {
+        self.make_object = Some(Box::new(make));
+        self
+    }
+
+    /// Factory registry for restoring checked-in object state (required
+    /// for [`ProxySpec::Migratory`] services and for recovery).
+    pub fn factories(mut self, factories: FactoryRegistry) -> ServiceBuilder {
+        self.factories = Some(factories);
+        self
+    }
+
+    /// Checkpoints the object's snapshot to the node's stable storage
+    /// under `policy`.
+    pub fn checkpointing(mut self, policy: CheckpointPolicy) -> ServiceBuilder {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Checkpoints under `policy` *and* recovers from the node's last
+    /// checkpoint at spawn, if one exists (the [`object`] closure then
+    /// only supplies the cold-start default). Re-registering bumps the
+    /// naming generation, so stub proxies whose calls time out against
+    /// the dead incarnation transparently re-resolve to the new one.
+    /// Requires [`factories`].
+    ///
+    /// [`object`]: ServiceBuilder::object
+    /// [`factories`]: ServiceBuilder::factories
+    pub fn recovered(mut self, policy: CheckpointPolicy) -> ServiceBuilder {
+        self.checkpoint = Some(policy);
+        self.recover = true;
+        self
+    }
+
+    /// Spawns the service process on `node`, registered with the name
+    /// server at `ns`. Returns the service's endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`object`](ServiceBuilder::object) was supplied, or
+    /// if [`recovered`](ServiceBuilder::recovered) was requested without
+    /// [`factories`](ServiceBuilder::factories).
+    pub fn spawn(self, sim: &Simulation, node: NodeId, ns: Endpoint) -> Endpoint {
+        let ServiceBuilder {
+            name,
+            spec,
+            make_object,
+            factories,
+            checkpoint,
+            recover,
+        } = self;
+        let make_object = make_object
+            .unwrap_or_else(|| panic!("service `{name}` spawned without an object closure"));
+        assert!(
+            !recover || factories.is_some(),
+            "service `{name}`: recovery needs a factory registry to rebuild snapshots"
+        );
+        let label = format!("svc-{name}");
+        sim.spawn(label, node, move |ctx| {
+            let default = make_object();
+            let object = match (&checkpoint, recover) {
+                (Some(policy), true) => match policy.store.load(ctx.node(), &name) {
+                    Some(snapshot) => factories
+                        .as_ref()
+                        .expect("checked above")
+                        .create(&default.interface().type_name, &snapshot)
+                        .unwrap_or(default),
+                    None => default,
+                },
+                _ => default,
+            };
+            let mut server = ServiceServer::new(name, object, spec);
+            if let Some(factories) = factories {
+                server = server.with_factories(factories);
+            }
+            if let Some(policy) = checkpoint {
+                server = server.with_checkpointing(policy);
+            }
+            server.run(ctx, ns);
+        })
+    }
+}
+
 /// Spawns a service process on `node`, hosting the object produced by
 /// `make_object`, registered with the name server at `ns`. Returns the
 /// service's endpoint.
+#[deprecated(note = "use `ServiceBuilder::new(name).spec(..).object(..).spawn(..)`")]
 pub fn spawn_service<F>(
     sim: &Simulation,
     node: NodeId,
@@ -347,19 +480,17 @@ pub fn spawn_service<F>(
 where
     F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
 {
-    let name = name.to_owned();
-    let label = format!("svc-{name}");
-    sim.spawn(label, node, move |ctx| {
-        ServiceServer::new(name, make_object(), spec).run(ctx, ns);
-    })
+    ServiceBuilder::new(name)
+        .spec(spec)
+        .object(make_object)
+        .spawn(sim, node, ns)
 }
 
 /// Spawns a service that recovers from the node's last checkpoint if
 /// one exists (otherwise hosts the object from `make_default`), and
-/// keeps checkpointing under `policy`. Re-registering bumps the naming
-/// generation, so stub proxies whose calls time out against the dead
-/// incarnation transparently re-resolve to the new one.
-#[allow(clippy::too_many_arguments)] // spawn helpers mirror ServiceServer's builder knobs
+/// keeps checkpointing under `policy`.
+#[deprecated(note = "use `ServiceBuilder` with `.factories(..).recovered(policy)`")]
+#[allow(clippy::too_many_arguments)] // mirrors the historical signature
 pub fn spawn_service_recovered<F>(
     sim: &Simulation,
     node: NodeId,
@@ -373,24 +504,16 @@ pub fn spawn_service_recovered<F>(
 where
     F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
 {
-    let name = name.to_owned();
-    let label = format!("svc-{name}");
-    sim.spawn(label, node, move |ctx| {
-        let default = make_default();
-        let object = match policy.store.load(ctx.node(), &name) {
-            Some(snapshot) => factories
-                .create(&default.interface().type_name, &snapshot)
-                .unwrap_or(default),
-            None => default,
-        };
-        ServiceServer::new(name, object, spec)
-            .with_factories(factories)
-            .with_checkpointing(policy)
-            .run(ctx, ns);
-    })
+    ServiceBuilder::new(name)
+        .spec(spec)
+        .factories(factories)
+        .recovered(policy)
+        .object(make_default)
+        .spawn(sim, node, ns)
 }
 
 /// Like [`spawn_service`], with a factory registry for checkin support.
+#[deprecated(note = "use `ServiceBuilder` with `.factories(..)`")]
 pub fn spawn_service_with_factories<F>(
     sim: &Simulation,
     node: NodeId,
@@ -403,11 +526,9 @@ pub fn spawn_service_with_factories<F>(
 where
     F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
 {
-    let name = name.to_owned();
-    let label = format!("svc-{name}");
-    sim.spawn(label, node, move |ctx| {
-        ServiceServer::new(name, make_object(), spec)
-            .with_factories(factories)
-            .run(ctx, ns);
-    })
+    ServiceBuilder::new(name)
+        .spec(spec)
+        .factories(factories)
+        .object(make_object)
+        .spawn(sim, node, ns)
 }

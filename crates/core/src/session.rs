@@ -1,0 +1,198 @@
+//! A client session: the runtime and its simulation context, bundled.
+//!
+//! Every client-side operation needs the same two-object pair — the
+//! [`ClientRuntime`] holding the proxies and the [`Ctx`] the process
+//! runs in. Threading `(rt, ctx)` through every typed-client method
+//! doubled each signature and invited argument-order slips.
+//! [`Session`] borrows both once; typed clients (and application code)
+//! take a single `&mut Session<'_>`.
+//!
+//! ```
+//! use simnet::{Simulation, NetworkConfig, NodeId};
+//! use naming::spawn_name_server;
+//! use proxy_core::{ServiceBuilder, ClientRuntime, Session, ProxySpec};
+//! # use proxy_core::{InterfaceDesc, OpDesc, ServiceObject};
+//! # use rpc::RemoteError;
+//! # use wire::Value;
+//! # #[derive(Clone)]
+//! # struct Echo;
+//! # impl ServiceObject for Echo {
+//! #     fn interface(&self) -> InterfaceDesc {
+//! #         InterfaceDesc::new("echo", [OpDesc::read("echo", "v")])
+//! #     }
+//! #     fn dispatch(&mut self, _: &mut simnet::Ctx, _: &str, args: &Value)
+//! #         -> Result<Value, RemoteError> { Ok(args.clone()) }
+//! # }
+//!
+//! let mut sim = Simulation::new(NetworkConfig::lan(), 7);
+//! let ns = spawn_name_server(&sim, NodeId(0));
+//! ServiceBuilder::new("echo")
+//!     .spec(ProxySpec::Stub)
+//!     .object(|| Box::new(Echo))
+//!     .spawn(&sim, NodeId(1), ns);
+//! sim.spawn("client", NodeId(2), move |ctx| {
+//!     let mut rt = ClientRuntime::new(ns);
+//!     let mut session = Session::new(&mut rt, ctx);
+//!     let h = session.bind("echo").unwrap();
+//!     let v = session.invoke(h, "echo", Value::str("hi")).unwrap();
+//!     assert_eq!(v, Value::str("hi"));
+//!     session.shutdown();
+//! });
+//! sim.run();
+//! ```
+
+use simnet::Ctx;
+use wire::Value;
+
+use rpc::RpcError;
+
+use crate::proxy::ProxyStats;
+use crate::runtime::{ClientRuntime, ProxyHandle};
+
+/// A borrowed `(runtime, context)` pair — the unit every client-side
+/// call actually operates on.
+///
+/// `Session` owns nothing: it reborrows a [`ClientRuntime`] and the
+/// process [`Ctx`] for as long as the client needs them together, and
+/// forwards to the runtime's methods. Construct it once at the top of a
+/// client body and pass `&mut session` everywhere a typed client or
+/// helper used to take the `(rt, ctx)` pair.
+#[derive(Debug)]
+pub struct Session<'a> {
+    rt: &'a mut ClientRuntime,
+    ctx: &'a mut Ctx,
+}
+
+impl<'a> Session<'a> {
+    /// Bundles a runtime and a context into a session.
+    pub fn new(rt: &'a mut ClientRuntime, ctx: &'a mut Ctx) -> Session<'a> {
+        Session { rt, ctx }
+    }
+
+    /// Binds to `service`, waiting up to 100ms of virtual time for it to
+    /// register.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::Binder::bind_wait`].
+    pub fn bind(&mut self, service: &str) -> Result<ProxyHandle, RpcError> {
+        self.rt.bind(self.ctx, service)
+    }
+
+    /// Invokes an operation through a bound proxy.
+    ///
+    /// See [`ClientRuntime::invoke`] for span and metrics behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this session's runtime.
+    pub fn invoke(
+        &mut self,
+        handle: ProxyHandle,
+        op: &str,
+        args: Value,
+    ) -> Result<Value, RpcError> {
+        self.rt.invoke(self.ctx, handle, op, args)
+    }
+
+    /// Hosts an object directly in this context under `service` (the
+    /// same-context fast path). See [`ClientRuntime::host_local`].
+    pub fn host_local(
+        &mut self,
+        service: impl Into<String>,
+        object: Box<dyn crate::ServiceObject>,
+    ) -> ProxyHandle {
+        self.rt.host_local(service, object)
+    }
+
+    /// Drains the mailbox, routes notifications and polls proxies. See
+    /// [`ClientRuntime::pump`].
+    pub fn pump(&mut self) {
+        self.rt.pump(self.ctx);
+    }
+
+    /// Stats for one proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this session's runtime.
+    pub fn stats(&self, handle: ProxyHandle) -> ProxyStats {
+        self.rt.stats(handle)
+    }
+
+    /// Cleanly detaches one proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this session's runtime.
+    pub fn unbind(&mut self, handle: ProxyHandle) {
+        self.rt.unbind(self.ctx, handle);
+    }
+
+    /// Detaches every proxy (call before client exit).
+    pub fn shutdown(&mut self) {
+        self.rt.shutdown(self.ctx);
+    }
+
+    /// The simulation context (for time, randomness, raw messaging).
+    pub fn ctx(&mut self) -> &mut Ctx {
+        self.ctx
+    }
+
+    /// The underlying runtime (to register custom proxies, etc.).
+    pub fn runtime(&mut self) -> &mut ClientRuntime {
+        self.rt
+    }
+
+    /// Splits the session back into its parts, for code paths that need
+    /// both with independent lifetimes.
+    pub fn parts(&mut self) -> (&mut ClientRuntime, &mut Ctx) {
+        (self.rt, self.ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InterfaceDesc, OpDesc, ServiceObject};
+    use rpc::RemoteError;
+    use simnet::{NetworkConfig, NodeId, Simulation};
+
+    #[derive(Clone)]
+    struct Echo;
+    impl ServiceObject for Echo {
+        fn interface(&self) -> InterfaceDesc {
+            InterfaceDesc::new("echo", [OpDesc::read("echo", "v")])
+        }
+        fn dispatch(
+            &mut self,
+            _ctx: &mut Ctx,
+            _op: &str,
+            args: &Value,
+        ) -> Result<Value, RemoteError> {
+            Ok(args.clone())
+        }
+    }
+
+    #[test]
+    fn session_drives_a_local_object() {
+        let mut sim = Simulation::new(NetworkConfig::lan(), 3);
+        let ns = naming::spawn_name_server(&sim, NodeId(0));
+        sim.spawn("client", NodeId(1), move |ctx| {
+            let mut rt = ClientRuntime::new(ns);
+            let mut session = Session::new(&mut rt, ctx);
+            let h = session.host_local("echo", Box::new(Echo));
+            let v = session.invoke(h, "echo", Value::str("x")).unwrap();
+            assert_eq!(v, Value::str("x"));
+            assert_eq!(session.stats(h).invocations, 1);
+            session.pump();
+            session.unbind(h);
+            session.shutdown();
+        });
+        sim.run();
+    }
+}

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use naming::spawn_name_server;
 use proxy_core::{
-    spawn_service_recovered, CheckpointPolicy, ClientRuntime, FactoryRegistry, InterfaceDesc,
-    OpDesc, ProxySpec, ServiceObject, StableStore,
+    CheckpointPolicy, ClientRuntime, FactoryRegistry, InterfaceDesc, OpDesc, ProxySpec,
+    ServiceBuilder, ServiceObject, StableStore,
 };
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::{Ctx, NetworkConfig, NodeId, Simulation};
@@ -99,16 +99,11 @@ fn checkpoints_are_written_on_schedule() {
     let ns = spawn_name_server(&sim, NodeId(0));
     let store = StableStore::new();
     let s2 = store.clone();
-    spawn_service_recovered(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Stub,
-        factories(),
-        CheckpointPolicy::every(store.clone(), 3),
-        || Box::new(Kv::default()),
-    );
+    ServiceBuilder::new("kv")
+        .factories(factories())
+        .recovered(CheckpointPolicy::every(store.clone(), 3))
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -130,16 +125,11 @@ fn crash_restart_recovers_last_checkpoint_and_clients_rebind() {
     let ns = spawn_name_server(&sim, NodeId(0));
     let store = StableStore::new();
 
-    let old_incarnation = spawn_service_recovered(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Stub,
-        factories(),
-        CheckpointPolicy::every(store.clone(), 2),
-        || Box::new(Kv::default()),
-    );
+    let old_incarnation = ServiceBuilder::new("kv")
+        .factories(factories())
+        .recovered(CheckpointPolicy::every(store.clone(), 2))
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
 
     let verified = Arc::new(AtomicU64::new(0));
     let v2 = Arc::clone(&verified);
@@ -193,20 +183,15 @@ fn recovery_with_empty_store_starts_fresh() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 3);
     let ns = spawn_name_server(&sim, NodeId(0));
     let store = StableStore::new();
-    spawn_service_recovered(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Stub,
-        factories(),
-        CheckpointPolicy::every(store, 5),
-        || {
+    ServiceBuilder::new("kv")
+        .factories(factories())
+        .recovered(CheckpointPolicy::every(store, 5))
+        .object(|| {
             let mut kv = Kv::default();
             kv.0.insert("seeded".into(), "yes".into());
             Box::new(kv)
-        },
-    );
+        })
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -223,16 +208,11 @@ fn checkpoints_are_per_node() {
     // Two services with the same name-prefix on different nodes must not
     // clobber each other's checkpoints.
     for (node, svc) in [(1u32, "kv-a"), (2, "kv-b")] {
-        spawn_service_recovered(
-            &sim,
-            NodeId(node),
-            ns,
-            svc,
-            ProxySpec::Stub,
-            factories(),
-            CheckpointPolicy::every(store.clone(), 1),
-            || Box::new(Kv::default()),
-        );
+        ServiceBuilder::new(svc)
+            .factories(factories())
+            .recovered(CheckpointPolicy::every(store.clone(), 1))
+            .object(|| Box::new(Kv::default()))
+            .spawn(&sim, NodeId(node), ns);
     }
     let s2 = store.clone();
     sim.spawn("client", NodeId(3), move |ctx| {

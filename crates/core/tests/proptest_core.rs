@@ -13,8 +13,8 @@ use std::time::Duration;
 use naming::spawn_name_server;
 use proptest::prelude::*;
 use proxy_core::{
-    spawn_service, AdaptiveParams, CachingParams, ClientRuntime, Coherence, InterfaceDesc, OpDesc,
-    OpKind, ProxySpec, ReadTarget, ServiceObject,
+    AdaptiveParams, CachingParams, ClientRuntime, Coherence, InterfaceDesc, OpDesc, OpKind,
+    ProxySpec, ReadTarget, ServiceBuilder, ServiceObject,
 };
 use rpc::{ErrorCode, RemoteError};
 use simnet::{Ctx, Endpoint, NetworkConfig, NodeId, PortId, Simulation};
@@ -202,17 +202,13 @@ impl ServiceObject for ModelKv {
 fn run_model(steps: Vec<Step>, coherence: Coherence, seed: u64) -> Result<(), TestCaseError> {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence,
             capacity: 4, // deliberately tiny: evictions happen mid-run
-        }),
-        || Box::new(ModelKv(BTreeMap::new())),
-    );
+        }))
+        .object(|| Box::new(ModelKv(BTreeMap::new())))
+        .spawn(&sim, NodeId(1), ns);
     let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
     let f2 = Arc::clone(&failure);
     sim.spawn("driver", NodeId(2), move |ctx| {

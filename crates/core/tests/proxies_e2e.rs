@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use naming::spawn_name_server;
 use proxy_core::{
-    spawn_service, spawn_service_with_factories, AdaptiveParams, CachingParams, ClientRuntime,
-    Coherence, FactoryRegistry, InterfaceDesc, OpDesc, ProxySpec, ServiceObject,
+    AdaptiveParams, CachingParams, ClientRuntime, Coherence, FactoryRegistry, InterfaceDesc,
+    OpDesc, ProxySpec, ServiceBuilder, ServiceObject,
 };
 use rpc::{ErrorCode, RemoteError};
 use simnet::{Ctx, NetworkConfig, NodeId, Simulation};
@@ -112,9 +112,9 @@ fn put_args(key: &str, value: &str) -> Value {
 fn stub_proxy_forwards_everything() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 1);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "kv", ProxySpec::Stub, || {
-        Box::new(Kv::default())
-    });
+    ServiceBuilder::new("kv")
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -139,17 +139,13 @@ fn caching_proxy_hits_after_first_read() {
     let ns = spawn_name_server(&sim, NodeId(0));
     let dispatches = Arc::new(AtomicU64::new(0));
     let d = Arc::clone(&dispatches);
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 64,
-        }),
-        move || Box::new(Kv::with_counter(d)),
-    );
+        }))
+        .object(move || Box::new(Kv::with_counter(d)))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -172,14 +168,10 @@ fn caching_proxy_hits_after_first_read() {
 fn caching_proxy_reads_own_writes() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 3);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams::default()),
-        || Box::new(Kv::default()),
-    );
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams::default()))
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -203,17 +195,13 @@ fn caching_proxy_reads_own_writes() {
 fn invalidations_propagate_between_clients() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 4);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 64,
-        }),
-        || Box::new(Kv::default()),
-    );
+        }))
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     let reader_saw = Arc::new(AtomicU64::new(0));
     let rs = Arc::clone(&reader_saw);
     // Reader caches "a", then waits; writer updates "a"; reader must see
@@ -251,17 +239,13 @@ fn lease_coherence_expires_entries() {
     let ns = spawn_name_server(&sim, NodeId(0));
     let dispatches = Arc::new(AtomicU64::new(0));
     let d = Arc::clone(&dispatches);
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Lease(Duration::from_millis(5)),
             capacity: 64,
-        }),
-        move || Box::new(Kv::with_counter(d)),
-    );
+        }))
+        .object(move || Box::new(Kv::with_counter(d)))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -283,17 +267,13 @@ fn lease_coherence_expires_entries() {
 fn cache_capacity_is_bounded() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 6);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 4,
-        }),
-        || Box::new(Kv::default()),
-    );
+        }))
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -322,15 +302,11 @@ fn migratory_proxy_localizes_after_threshold() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 7);
     let ns = spawn_name_server(&sim, NodeId(0));
     let factories = FactoryRegistry::new().register("kv", Kv::from_snapshot);
-    spawn_service_with_factories(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Migratory { threshold: 5 },
-        factories.clone(),
-        || Box::new(Kv::default()),
-    );
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Migratory { threshold: 5 })
+        .factories(factories.clone())
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns).with_factories(factories);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -361,15 +337,11 @@ fn migratory_object_recalled_for_second_client() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 8);
     let ns = spawn_name_server(&sim, NodeId(0));
     let factories = FactoryRegistry::new().register("kv", Kv::from_snapshot);
-    spawn_service_with_factories(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Migratory { threshold: 2 },
-        factories.clone(),
-        || Box::new(Kv::default()),
-    );
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Migratory { threshold: 2 })
+        .factories(factories.clone())
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     let b_done = Arc::new(AtomicU64::new(0));
     let bd = Arc::clone(&b_done);
 
@@ -428,12 +400,8 @@ fn migratory_object_recalled_for_second_client() {
 fn adaptive_proxy_switches_with_workload() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 9);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Adaptive(AdaptiveParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Adaptive(AdaptiveParams {
             window: 20,
             enable_at: 0.8,
             disable_at: 0.4,
@@ -441,9 +409,9 @@ fn adaptive_proxy_switches_with_workload() {
                 coherence: Coherence::Invalidate,
                 capacity: 64,
             },
-        }),
-        || Box::new(Kv::default()),
-    );
+        }))
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let kv = rt.bind(ctx, "kv").unwrap();
@@ -505,7 +473,10 @@ fn service_switches_spec_without_client_change() {
     ] {
         let mut sim = Simulation::new(NetworkConfig::lan(), seed);
         let ns = spawn_name_server(&sim, NodeId(0));
-        spawn_service(&sim, NodeId(1), ns, "kv", spec, || Box::new(Kv::default()));
+        ServiceBuilder::new("kv")
+            .spec(spec)
+            .object(|| Box::new(Kv::default()))
+            .spawn(&sim, NodeId(1), ns);
         let calls = Arc::new(AtomicU64::new(0));
         let c = Arc::clone(&calls);
         sim.spawn("client", NodeId(2), move |ctx| {
@@ -550,17 +521,13 @@ fn custom_proxy_kind_via_factory() {
 
     let mut sim = Simulation::new(NetworkConfig::lan(), 12);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Custom {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Custom {
             kind: "counting".into(),
             params: Value::Null,
-        },
-        || Box::new(Kv::default()),
-    );
+        })
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     let count = Arc::new(AtomicU64::new(0));
     let c = Arc::clone(&count);
     sim.spawn("client", NodeId(2), move |ctx| {
@@ -585,17 +552,13 @@ fn custom_proxy_kind_via_factory() {
 fn unknown_custom_kind_fails_bind() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 13);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Custom {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Custom {
             kind: "alien".into(),
             params: Value::Null,
-        },
-        || Box::new(Kv::default()),
-    );
+        })
+        .object(|| Box::new(Kv::default()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let err = rt.bind(ctx, "kv").unwrap_err();

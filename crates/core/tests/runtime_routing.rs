@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use naming::spawn_name_server;
 use proxy_core::{
-    spawn_service, CachingParams, ClientRuntime, Coherence, InterfaceDesc, OpDesc, ProxySpec,
+    CachingParams, ClientRuntime, Coherence, InterfaceDesc, OpDesc, ProxySpec, ServiceBuilder,
     ServiceObject,
 };
 use rpc::{ErrorCode, RemoteError};
@@ -66,19 +66,25 @@ fn invalidation_for_proxy_a_arriving_during_call_to_b_is_routed() {
         capacity: 64,
     });
     // Service A: fast kv, invalidation-coherent caching.
-    spawn_service(&sim, NodeId(1), ns, "svc-a", caching.clone(), || {
-        Box::new(SlowKv {
-            map: BTreeMap::new(),
-            read_delay: Duration::ZERO,
+    ServiceBuilder::new("svc-a")
+        .spec(caching.clone())
+        .object(|| {
+            Box::new(SlowKv {
+                map: BTreeMap::new(),
+                read_delay: Duration::ZERO,
+            })
         })
-    });
+        .spawn(&sim, NodeId(1), ns);
     // Service B: reads take 30ms, holding the observer's call open.
-    spawn_service(&sim, NodeId(2), ns, "svc-b", caching, || {
-        Box::new(SlowKv {
-            map: BTreeMap::new(),
-            read_delay: Duration::from_millis(30),
+    ServiceBuilder::new("svc-b")
+        .spec(caching)
+        .object(|| {
+            Box::new(SlowKv {
+                map: BTreeMap::new(),
+                read_delay: Duration::from_millis(30),
+            })
         })
-    });
+        .spawn(&sim, NodeId(2), ns);
 
     let observed = Arc::new(AtomicU64::new(0));
     let o2 = Arc::clone(&observed);
@@ -122,22 +128,18 @@ fn invalidation_for_proxy_a_arriving_during_call_to_b_is_routed() {
 fn pump_routes_notifications_while_idle() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 11);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "svc-a",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("svc-a")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 64,
-        }),
-        || {
+        }))
+        .object(|| {
             Box::new(SlowKv {
                 map: BTreeMap::new(),
                 read_delay: Duration::ZERO,
             })
-        },
-    );
+        })
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("observer", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
         let a = rt.bind(ctx, "svc-a").unwrap();

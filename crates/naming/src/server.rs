@@ -139,6 +139,7 @@ mod tests {
             object: String::new(),
             op: op.into(),
             args,
+            span: 0,
         }
     }
 

@@ -1,0 +1,1347 @@
+//! Unified observability layer for proxide.
+//!
+//! This crate is the single home for everything the workspace measures:
+//!
+//! * **Causal call spans** — a [`SpanId`] is allocated when a proxy
+//!   invocation starts, travels inside the RPC packet header, and is
+//!   stamped onto server dispatches, retransmissions, one-way
+//!   notifications and replies. Spans let a test assert end-to-end
+//!   causality: every reply correlates with a span that was opened by a
+//!   client, and every retransmission shares the span of its original
+//!   request.
+//! * **Latency histograms** — a dependency-free log₂-bucket
+//!   [`Histogram`] records per-service/per-op invocation latency in
+//!   simulated time and answers p50/p95/p99 queries.
+//! * **A single [`MetricsRegistry`]** — the network counters
+//!   ([`MetricsSnapshot`]), RPC counters ([`CallStats`], [`ServeStats`])
+//!   and proxy/server counters ([`ProxyStats`], [`ServerStats`]) all
+//!   land in one registry, which renders them as one serializable
+//!   [`RunReport`].
+//!
+//! The counter structs are *defined* here and re-exported by the crates
+//! that populate them (`simnet`, `rpc`, `proxy-core`), so a report is a
+//! plain aggregate with no cross-crate mirroring.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Span identifiers
+// ---------------------------------------------------------------------------
+
+/// Identifier of one causal call span.
+///
+/// Span ids are allocated by [`MetricsRegistry::open_span`] starting at 1;
+/// the value 0 ([`SpanId::NONE`]) means "no span" and is what a packet
+/// carries when it was sent outside any tracked invocation (e.g. name
+/// service traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (wire value 0).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Raw wire representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a span id back from its wire representation.
+    pub fn from_raw(raw: u64) -> SpanId {
+        SpanId(raw)
+    }
+
+    /// True if this is a real span (not [`SpanId::NONE`]).
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == 0 {
+            write!(f, "sp:-")
+        } else {
+            write!(f, "sp:{}", self.0)
+        }
+    }
+}
+
+/// What kind of work a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A client-side proxy invocation (opened by the client runtime).
+    Invoke,
+    /// A server-side dispatch of one request (child of an `Invoke`).
+    Dispatch,
+    /// A one-way notification (invalidate / recall / custom message).
+    Oneway,
+}
+
+impl SpanKind {
+    /// Short lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Invoke => "invoke",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Oneway => "oneway",
+        }
+    }
+}
+
+/// One recorded span. All times are simulated nanoseconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// Parent span, or [`SpanId::NONE`] for roots.
+    pub parent: SpanId,
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// Service name (client view for invokes, process name for dispatches).
+    pub service: String,
+    /// Operation name.
+    pub op: String,
+    /// When the span was opened.
+    pub start_ns: u64,
+    /// When the span was closed; `None` while still open.
+    pub end_ns: Option<u64>,
+    /// `Some(true)` if the spanned work succeeded, `Some(false)` if it
+    /// failed, `None` while open.
+    pub ok: Option<bool>,
+    /// Number of retransmissions that reused this span's request.
+    pub retransmissions: u64,
+    /// Number of replies observed for this span (matched + late).
+    pub replies: u64,
+}
+
+impl SpanRecord {
+    /// Span duration, if closed.
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter structs (canonical definitions, re-exported by their producers)
+// ---------------------------------------------------------------------------
+
+/// Counters maintained by the network simulator.
+///
+/// Produced by `simnet::Metrics::snapshot`; a [`RunReport`] embeds the
+/// snapshot taken when the report was built.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Messages handed to the network.
+    pub msgs_sent: u64,
+    /// Messages delivered to a mailbox.
+    pub msgs_delivered: u64,
+    /// Messages dropped by loss or partitions.
+    pub msgs_dropped: u64,
+    /// Extra deliveries injected by duplication.
+    pub msgs_duplicated: u64,
+    /// Messages silently discarded by a blackhole rule.
+    pub msgs_blackholed: u64,
+    /// Total payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Scheduler events dispatched.
+    pub events_dispatched: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference between two snapshots (`self` minus the `earlier` one),
+    /// saturating at zero per field.
+    ///
+    /// Destructures exhaustively so that adding a counter to the struct
+    /// is a compile error here until the diff handles it too.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let MetricsSnapshot {
+            msgs_sent,
+            msgs_delivered,
+            msgs_dropped,
+            msgs_duplicated,
+            msgs_blackholed,
+            bytes_sent,
+            events_dispatched,
+        } = *self;
+        let MetricsSnapshot {
+            msgs_sent: e_sent,
+            msgs_delivered: e_delivered,
+            msgs_dropped: e_dropped,
+            msgs_duplicated: e_duplicated,
+            msgs_blackholed: e_blackholed,
+            bytes_sent: e_bytes,
+            events_dispatched: e_events,
+        } = *earlier;
+        MetricsSnapshot {
+            msgs_sent: msgs_sent.saturating_sub(e_sent),
+            msgs_delivered: msgs_delivered.saturating_sub(e_delivered),
+            msgs_dropped: msgs_dropped.saturating_sub(e_dropped),
+            msgs_duplicated: msgs_duplicated.saturating_sub(e_duplicated),
+            msgs_blackholed: msgs_blackholed.saturating_sub(e_blackholed),
+            bytes_sent: bytes_sent.saturating_sub(e_bytes),
+            events_dispatched: events_dispatched.saturating_sub(e_events),
+        }
+    }
+}
+
+/// Client-side RPC counters (at-most-once caller).
+///
+/// Canonical definition; `rpc` re-exports it and each `RpcClient` keeps
+/// its own copy, while the registry aggregates across all clients.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallStats {
+    /// Calls issued.
+    pub calls: u64,
+    /// Retransmissions (attempts beyond the first).
+    pub retries: u64,
+    /// Calls that exhausted every attempt.
+    pub timeouts: u64,
+    /// Replies that matched an already-completed call id.
+    pub stale_replies: u64,
+    /// Non-reply packets discarded while waiting.
+    pub strays_dropped: u64,
+}
+
+impl CallStats {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &CallStats) {
+        let CallStats {
+            calls,
+            retries,
+            timeouts,
+            stale_replies,
+            strays_dropped,
+        } = *other;
+        self.calls += calls;
+        self.retries += retries;
+        self.timeouts += timeouts;
+        self.stale_replies += stale_replies;
+        self.strays_dropped += strays_dropped;
+    }
+}
+
+/// Server-side RPC counters (at-most-once executor).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests executed for the first time.
+    pub executed: u64,
+    /// Duplicate requests answered from the reply cache.
+    pub duplicates_suppressed: u64,
+    /// Duplicate requests dropped (already acknowledged).
+    pub duplicates_dropped: u64,
+    /// One-way messages received.
+    pub oneways: u64,
+    /// Packets that failed to decode.
+    pub undecodable: u64,
+}
+
+impl ServeStats {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &ServeStats) {
+        let ServeStats {
+            executed,
+            duplicates_suppressed,
+            duplicates_dropped,
+            oneways,
+            undecodable,
+        } = *other;
+        self.executed += executed;
+        self.duplicates_suppressed += duplicates_suppressed;
+        self.duplicates_dropped += duplicates_dropped;
+        self.oneways += oneways;
+        self.undecodable += undecodable;
+    }
+}
+
+/// Per-proxy counters maintained by the client runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyStats {
+    /// Invocations routed through the proxy.
+    pub invocations: u64,
+    /// Invocations satisfied locally (cache hit, checked-out object...).
+    pub local_hits: u64,
+    /// Invocations that crossed the network.
+    pub remote_calls: u64,
+    /// Invalidation notifications received.
+    pub invalidations_rx: u64,
+    /// Times the object migrated to this client.
+    pub migrations: u64,
+    /// Times the object was checked back in.
+    pub checkins: u64,
+    /// Times the proxy re-bound after losing its server.
+    pub rebinds: u64,
+    /// Times an adaptive proxy switched strategy.
+    pub strategy_switches: u64,
+}
+
+/// Per-service counters maintained by the service server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Operations dispatched to the service object.
+    pub dispatched: u64,
+    /// Dispatches that mutated state.
+    pub writes: u64,
+    /// Invalidation notifications sent to subscribers.
+    pub invalidations_sent: u64,
+    /// Successful checkouts (migrations away).
+    pub checkouts: u64,
+    /// Successful checkins (migrations back).
+    pub checkins: u64,
+    /// Recall notifications sent to the current holder.
+    pub recalls_sent: u64,
+    /// Requests refused because the object was checked out.
+    pub unavailable: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Log2-bucket histogram
+// ---------------------------------------------------------------------------
+
+/// Number of buckets: bucket `i` holds values whose bit length is `i`,
+/// i.e. value 0 in bucket 0, values `[2^(i-1), 2^i)` in bucket `i`.
+const BUCKETS: usize = 65;
+
+/// A fixed-size log₂-bucket histogram of `u64` samples.
+///
+/// Recording is O(1) and allocation-free after construction; percentile
+/// queries interpolate linearly inside the winning bucket, which keeps
+/// the error within the bucket's factor-of-two width. That resolution is
+/// plenty for latency distributions where the interesting differences
+/// are multiples, not percents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, linearly interpolated inside
+    /// the winning log₂ bucket and clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)).saturating_mul(2).saturating_sub(1)
+                };
+                // Position of the wanted rank inside this bucket.
+                let within = (rank - seen - 1) as f64 / n as f64;
+                let est = lo as f64 + within * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).clamp(self.min(), self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Summarizes the histogram for a report.
+    pub fn summary(&self) -> OpLatency {
+        OpLatency {
+            count: self.count(),
+            min_ns: self.min(),
+            max_ns: self.max(),
+            mean_ns: self.mean(),
+            p50_ns: self.p50(),
+            p95_ns: self.p95(),
+            p99_ns: self.p99(),
+        }
+    }
+}
+
+/// Latency summary for one `(service, op)` pair, in simulated nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Samples recorded.
+    pub count: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Mean.
+    pub mean_ns: u64,
+    /// Median estimate.
+    pub p50_ns: u64,
+    /// 95th percentile estimate.
+    pub p95_ns: u64,
+    /// 99th percentile estimate.
+    pub p99_ns: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// How a reply related to the span it carried when it was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyKind {
+    /// Reply for a span that was still open — the normal case.
+    Matched,
+    /// Reply for a span that had already closed (duplicate or stale).
+    Late,
+    /// Reply carried a span id the registry never allocated.
+    UnknownSpan,
+    /// Reply carried no span (sent outside any tracked invocation).
+    Untracked,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// All spans ever opened; span id `n` lives at index `n - 1`.
+    spans: Vec<SpanRecord>,
+    /// Per `(service, op)` latency histograms.
+    hists: BTreeMap<(String, String), Histogram>,
+    /// Aggregated client-side RPC counters.
+    rpc_client: CallStats,
+    /// Aggregated server-side RPC counters.
+    rpc_server: ServeStats,
+    /// Last published per-proxy stats, keyed `service@owner`.
+    proxies: BTreeMap<String, ProxyStats>,
+    /// Last published per-service server stats, keyed by service name.
+    servers: BTreeMap<String, ServerStats>,
+    /// Replies matched to a live span.
+    replies_matched: u64,
+    /// Replies whose span had already closed.
+    replies_late: u64,
+    /// Replies carrying a span id never allocated here.
+    replies_unknown_span: u64,
+    /// Replies carrying span 0.
+    replies_untracked: u64,
+}
+
+/// The process-wide sink for spans, histograms and counters.
+///
+/// One registry is shared by every process of a simulation (it hangs off
+/// the scheduler's shared state), so a single [`RunReport`] covers the
+/// whole run. All methods take `&self`; interior mutability keeps the
+/// call sites free of plumbing.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    next_span: AtomicU64,
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with no spans or counters.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // -- spans ------------------------------------------------------------
+
+    /// Opens a span and returns its id (never [`SpanId::NONE`]).
+    pub fn open_span(
+        &self,
+        kind: SpanKind,
+        parent: SpanId,
+        service: &str,
+        op: &str,
+        now_ns: u64,
+    ) -> SpanId {
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed) + 1);
+        let mut inner = self.lock();
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            kind,
+            service: service.to_string(),
+            op: op.to_string(),
+            start_ns: now_ns,
+            end_ns: None,
+            ok: None,
+            retransmissions: 0,
+            replies: 0,
+        });
+        id
+    }
+
+    /// Closes a span and, for `Invoke` and `Dispatch` spans, records its
+    /// duration into the `(service, op)` histogram. Closing
+    /// [`SpanId::NONE`] or an already-closed span is a no-op.
+    pub fn close_span(&self, id: SpanId, now_ns: u64, ok: bool) {
+        if !id.is_some() {
+            return;
+        }
+        let mut inner = self.lock();
+        let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) else {
+            return;
+        };
+        if rec.end_ns.is_some() {
+            return;
+        }
+        rec.end_ns = Some(now_ns);
+        rec.ok = Some(ok);
+        let key = (rec.service.clone(), rec.op.clone());
+        let dur = now_ns.saturating_sub(rec.start_ns);
+        let record_latency = matches!(rec.kind, SpanKind::Invoke | SpanKind::Dispatch);
+        if record_latency {
+            inner.hists.entry(key).or_default().record(dur);
+        }
+    }
+
+    /// Notes a retransmission of the request belonging to `id`.
+    pub fn span_retransmit(&self, id: SpanId) {
+        if !id.is_some() {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) {
+            rec.retransmissions += 1;
+        }
+    }
+
+    /// Notes a reply observed for the raw wire span `raw` and classifies
+    /// it against the registry's span table.
+    pub fn span_reply(&self, raw: u64, _now_ns: u64) -> ReplyKind {
+        let mut inner = self.lock();
+        if raw == 0 {
+            inner.replies_untracked += 1;
+            return ReplyKind::Untracked;
+        }
+        match inner.spans.get_mut(raw as usize - 1) {
+            None => {
+                inner.replies_unknown_span += 1;
+                ReplyKind::UnknownSpan
+            }
+            Some(rec) => {
+                rec.replies += 1;
+                if rec.end_ns.is_some() {
+                    inner.replies_late += 1;
+                    ReplyKind::Late
+                } else {
+                    inner.replies_matched += 1;
+                    ReplyKind::Matched
+                }
+            }
+        }
+    }
+
+    /// Records a one-way notification as an immediately-closed span
+    /// parented to `parent` (commonly the dispatch span that triggered
+    /// the notification). Returns the new span's id.
+    pub fn note_oneway(&self, parent: SpanId, service: &str, op: &str, now_ns: u64) -> SpanId {
+        let id = self.open_span(SpanKind::Oneway, parent, service, op, now_ns);
+        // Close without touching the latency histograms: a one-way has
+        // no observable duration.
+        let mut inner = self.lock();
+        if let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) {
+            rec.end_ns = Some(now_ns);
+            rec.ok = Some(true);
+        }
+        id
+    }
+
+    /// Copy of every span recorded so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// Number of spans opened so far.
+    pub fn span_count(&self) -> u64 {
+        self.next_span.load(Ordering::Relaxed)
+    }
+
+    /// Checks the structural causality invariants of the span table and
+    /// returns a human-readable description of each violation:
+    ///
+    /// * every parent reference points at an allocated span,
+    /// * a child span never starts before its parent,
+    /// * every `Dispatch` span has an `Invoke` or `Dispatch` parent,
+    /// * no reply was observed for a span id that was never allocated.
+    pub fn verify_causality(&self) -> Vec<String> {
+        let inner = self.lock();
+        let mut violations = Vec::new();
+        for rec in &inner.spans {
+            if rec.parent.is_some() {
+                match inner.spans.get(rec.parent.0 as usize - 1) {
+                    None => violations.push(format!(
+                        "{} ({} {}/{}) has unallocated parent {}",
+                        rec.id,
+                        rec.kind.label(),
+                        rec.service,
+                        rec.op,
+                        rec.parent
+                    )),
+                    Some(parent) => {
+                        if rec.start_ns < parent.start_ns {
+                            violations.push(format!(
+                                "{} starts at {}ns before its parent {} at {}ns",
+                                rec.id, rec.start_ns, parent.id, parent.start_ns
+                            ));
+                        }
+                    }
+                }
+            }
+            if rec.kind == SpanKind::Dispatch && rec.parent.is_some() {
+                if let Some(parent) = inner.spans.get(rec.parent.0 as usize - 1) {
+                    if parent.kind == SpanKind::Oneway {
+                        violations.push(format!(
+                            "dispatch {} is parented to one-way {}",
+                            rec.id, parent.id
+                        ));
+                    }
+                }
+            }
+        }
+        if inner.replies_unknown_span > 0 {
+            violations.push(format!(
+                "{} replies carried span ids never allocated",
+                inner.replies_unknown_span
+            ));
+        }
+        violations
+    }
+
+    // -- latency ----------------------------------------------------------
+
+    /// Records a latency sample for `(service, op)` directly (spans do
+    /// this automatically when closed).
+    pub fn record_latency(&self, service: &str, op: &str, ns: u64) {
+        self.lock()
+            .hists
+            .entry((service.to_string(), op.to_string()))
+            .or_default()
+            .record(ns);
+    }
+
+    /// Copy of the histogram for `(service, op)`, if any sample landed.
+    pub fn histogram(&self, service: &str, op: &str) -> Option<Histogram> {
+        self.lock()
+            .hists
+            .get(&(service.to_string(), op.to_string()))
+            .cloned()
+    }
+
+    // -- RPC counters ------------------------------------------------------
+
+    /// A call was issued.
+    pub fn on_call(&self) {
+        self.lock().rpc_client.calls += 1;
+    }
+
+    /// A request was retransmitted.
+    pub fn on_retry(&self) {
+        self.lock().rpc_client.retries += 1;
+    }
+
+    /// A call exhausted all attempts.
+    pub fn on_timeout(&self) {
+        self.lock().rpc_client.timeouts += 1;
+    }
+
+    /// A reply arrived for an already-completed call.
+    pub fn on_stale_reply(&self) {
+        self.lock().rpc_client.stale_replies += 1;
+    }
+
+    /// A stray packet was discarded while waiting for a reply.
+    pub fn on_stray_dropped(&self) {
+        self.lock().rpc_client.strays_dropped += 1;
+    }
+
+    /// A request was executed for the first time.
+    pub fn on_executed(&self) {
+        self.lock().rpc_server.executed += 1;
+    }
+
+    /// A duplicate request was answered from the reply cache.
+    pub fn on_duplicate_suppressed(&self) {
+        self.lock().rpc_server.duplicates_suppressed += 1;
+    }
+
+    /// A duplicate request was dropped.
+    pub fn on_duplicate_dropped(&self) {
+        self.lock().rpc_server.duplicates_dropped += 1;
+    }
+
+    /// A one-way message was received by a server.
+    pub fn on_oneway_rx(&self) {
+        self.lock().rpc_server.oneways += 1;
+    }
+
+    /// An undecodable packet was received by a server.
+    pub fn on_undecodable(&self) {
+        self.lock().rpc_server.undecodable += 1;
+    }
+
+    // -- published snapshots ----------------------------------------------
+
+    /// Publishes the latest stats of one proxy. Keyed `service@owner`;
+    /// stats are monotonic so overwriting is idempotent.
+    pub fn set_proxy_stats(&self, owner: &str, service: &str, stats: ProxyStats) {
+        self.lock()
+            .proxies
+            .insert(format!("{service}@{owner}"), stats);
+    }
+
+    /// Publishes the latest stats of one service server.
+    pub fn set_server_stats(&self, service: &str, stats: ServerStats) {
+        self.lock().servers.insert(service.to_string(), stats);
+    }
+
+    // -- reporting ---------------------------------------------------------
+
+    /// Builds the unified report. `net` is the simulator's counter
+    /// snapshot and `end_time_ns` the simulated clock at report time.
+    pub fn report(&self, net: MetricsSnapshot, end_time_ns: u64) -> RunReport {
+        let inner = self.lock();
+        let mut ops = BTreeMap::new();
+        for ((service, op), hist) in &inner.hists {
+            ops.insert(format!("{service}/{op}"), hist.summary());
+        }
+        let mut started = 0u64;
+        let mut completed = 0u64;
+        let mut oneways = 0u64;
+        let mut retransmissions = 0u64;
+        for rec in &inner.spans {
+            match rec.kind {
+                SpanKind::Oneway => oneways += 1,
+                _ => {
+                    started += 1;
+                    if rec.end_ns.is_some() {
+                        completed += 1;
+                    }
+                }
+            }
+            retransmissions += rec.retransmissions;
+        }
+        RunReport {
+            end_time_ns,
+            net,
+            rpc: RpcReport {
+                client: inner.rpc_client,
+                server: inner.rpc_server,
+            },
+            proxies: inner.proxies.clone(),
+            servers: inner.servers.clone(),
+            ops,
+            spans: SpanReport {
+                started,
+                completed,
+                open: started - completed,
+                oneways,
+                retransmissions,
+                replies: ReplyReport {
+                    matched: inner.replies_matched,
+                    late: inner.replies_late,
+                    unknown_span: inner.replies_unknown_span,
+                    untracked: inner.replies_untracked,
+                },
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified run report
+// ---------------------------------------------------------------------------
+
+/// Aggregated RPC counters, both sides.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpcReport {
+    /// Summed over every client in the run.
+    pub client: CallStats,
+    /// Summed over every server in the run.
+    pub server: ServeStats,
+}
+
+/// Reply/span correlation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplyReport {
+    /// Replies matched to a live span.
+    pub matched: u64,
+    /// Replies whose span had already closed (duplicates, stale).
+    pub late: u64,
+    /// Replies carrying a span id that was never allocated. Any nonzero
+    /// value is a causality violation.
+    pub unknown_span: u64,
+    /// Replies carrying no span (traffic outside tracked invocations).
+    pub untracked: u64,
+}
+
+/// Span table summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// Invoke + dispatch spans opened.
+    pub started: u64,
+    /// Of those, spans closed.
+    pub completed: u64,
+    /// Spans still open at report time.
+    pub open: u64,
+    /// One-way notification spans.
+    pub oneways: u64,
+    /// Retransmissions summed over all spans.
+    pub retransmissions: u64,
+    /// Reply correlation counts.
+    pub replies: ReplyReport,
+}
+
+/// The unified observability report for one run: network counters, RPC
+/// counters, per-proxy and per-server stats, per-op latency percentiles
+/// and the span summary, in one serializable value.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Simulated clock when the report was taken, in nanoseconds.
+    pub end_time_ns: u64,
+    /// Network simulator counters.
+    pub net: MetricsSnapshot,
+    /// RPC layer counters.
+    pub rpc: RpcReport,
+    /// Per-proxy stats, keyed `service@owner`.
+    pub proxies: BTreeMap<String, ProxyStats>,
+    /// Per-service server stats.
+    pub servers: BTreeMap<String, ServerStats>,
+    /// Per-op latency summaries, keyed `service/op`.
+    pub ops: BTreeMap<String, OpLatency>,
+    /// Span table summary.
+    pub spans: SpanReport,
+}
+
+impl RunReport {
+    /// Renders the report as a self-contained JSON object.
+    ///
+    /// Hand-rolled so the report stays serializable even when the
+    /// workspace is built against the offline serde stand-in; the output
+    /// is stable (maps are ordered) and safe to diff across runs.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.field_u64("end_time_ns", self.end_time_ns);
+            w.field_obj("net", |w| {
+                let MetricsSnapshot {
+                    msgs_sent,
+                    msgs_delivered,
+                    msgs_dropped,
+                    msgs_duplicated,
+                    msgs_blackholed,
+                    bytes_sent,
+                    events_dispatched,
+                } = self.net;
+                w.field_u64("msgs_sent", msgs_sent);
+                w.field_u64("msgs_delivered", msgs_delivered);
+                w.field_u64("msgs_dropped", msgs_dropped);
+                w.field_u64("msgs_duplicated", msgs_duplicated);
+                w.field_u64("msgs_blackholed", msgs_blackholed);
+                w.field_u64("bytes_sent", bytes_sent);
+                w.field_u64("events_dispatched", events_dispatched);
+            });
+            w.field_obj("rpc", |w| {
+                w.field_obj("client", |w| {
+                    let CallStats {
+                        calls,
+                        retries,
+                        timeouts,
+                        stale_replies,
+                        strays_dropped,
+                    } = self.rpc.client;
+                    w.field_u64("calls", calls);
+                    w.field_u64("retries", retries);
+                    w.field_u64("timeouts", timeouts);
+                    w.field_u64("stale_replies", stale_replies);
+                    w.field_u64("strays_dropped", strays_dropped);
+                });
+                w.field_obj("server", |w| {
+                    let ServeStats {
+                        executed,
+                        duplicates_suppressed,
+                        duplicates_dropped,
+                        oneways,
+                        undecodable,
+                    } = self.rpc.server;
+                    w.field_u64("executed", executed);
+                    w.field_u64("duplicates_suppressed", duplicates_suppressed);
+                    w.field_u64("duplicates_dropped", duplicates_dropped);
+                    w.field_u64("oneways", oneways);
+                    w.field_u64("undecodable", undecodable);
+                });
+            });
+            w.field_obj("proxies", |w| {
+                for (key, s) in &self.proxies {
+                    w.field_obj(key, |w| {
+                        let ProxyStats {
+                            invocations,
+                            local_hits,
+                            remote_calls,
+                            invalidations_rx,
+                            migrations,
+                            checkins,
+                            rebinds,
+                            strategy_switches,
+                        } = *s;
+                        w.field_u64("invocations", invocations);
+                        w.field_u64("local_hits", local_hits);
+                        w.field_u64("remote_calls", remote_calls);
+                        w.field_u64("invalidations_rx", invalidations_rx);
+                        w.field_u64("migrations", migrations);
+                        w.field_u64("checkins", checkins);
+                        w.field_u64("rebinds", rebinds);
+                        w.field_u64("strategy_switches", strategy_switches);
+                    });
+                }
+            });
+            w.field_obj("servers", |w| {
+                for (key, s) in &self.servers {
+                    w.field_obj(key, |w| {
+                        let ServerStats {
+                            dispatched,
+                            writes,
+                            invalidations_sent,
+                            checkouts,
+                            checkins,
+                            recalls_sent,
+                            unavailable,
+                            checkpoints,
+                        } = *s;
+                        w.field_u64("dispatched", dispatched);
+                        w.field_u64("writes", writes);
+                        w.field_u64("invalidations_sent", invalidations_sent);
+                        w.field_u64("checkouts", checkouts);
+                        w.field_u64("checkins", checkins);
+                        w.field_u64("recalls_sent", recalls_sent);
+                        w.field_u64("unavailable", unavailable);
+                        w.field_u64("checkpoints", checkpoints);
+                    });
+                }
+            });
+            w.field_obj("ops", |w| {
+                for (key, s) in &self.ops {
+                    w.field_obj(key, |w| {
+                        let OpLatency {
+                            count,
+                            min_ns,
+                            max_ns,
+                            mean_ns,
+                            p50_ns,
+                            p95_ns,
+                            p99_ns,
+                        } = *s;
+                        w.field_u64("count", count);
+                        w.field_u64("min_ns", min_ns);
+                        w.field_u64("max_ns", max_ns);
+                        w.field_u64("mean_ns", mean_ns);
+                        w.field_u64("p50_ns", p50_ns);
+                        w.field_u64("p95_ns", p95_ns);
+                        w.field_u64("p99_ns", p99_ns);
+                    });
+                }
+            });
+            w.field_obj("spans", |w| {
+                let SpanReport {
+                    started,
+                    completed,
+                    open,
+                    oneways,
+                    retransmissions,
+                    replies,
+                } = self.spans;
+                w.field_u64("started", started);
+                w.field_u64("completed", completed);
+                w.field_u64("open", open);
+                w.field_u64("oneways", oneways);
+                w.field_u64("retransmissions", retransmissions);
+                w.field_obj("replies", |w| {
+                    let ReplyReport {
+                        matched,
+                        late,
+                        unknown_span,
+                        untracked,
+                    } = replies;
+                    w.field_u64("matched", matched);
+                    w.field_u64("late", late);
+                    w.field_u64("unknown_span", unknown_span);
+                    w.field_u64("untracked", untracked);
+                });
+            });
+        });
+        w.finish()
+    }
+}
+
+/// Minimal JSON emitter: objects with string keys and u64 / nested
+/// object values — exactly what [`RunReport::to_json`] needs.
+struct JsonWriter {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            need_comma: Vec::new(),
+        }
+    }
+
+    fn sep(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.sep();
+        self.out.push('"');
+        for c in key.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push_str("\":");
+    }
+
+    fn obj(&mut self, body: impl FnOnce(&mut JsonWriter)) {
+        self.out.push('{');
+        self.need_comma.push(false);
+        body(self);
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    fn field_u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    fn field_obj(&mut self, key: &str, body: impl FnOnce(&mut JsonWriter)) {
+        self.key(key);
+        self.obj(body);
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_uniform() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        // Log2 buckets give factor-of-two resolution; check the order of
+        // magnitude, not exact values.
+        let p50 = h.p50();
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+        assert!(h.p95() >= p50);
+        assert!(h.p99() >= h.p95());
+        assert!(h.p99() <= 1000);
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.mean(), 42);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [1000u64, 10_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 10_000);
+    }
+
+    #[test]
+    fn span_lifecycle_and_latency() {
+        let reg = MetricsRegistry::new();
+        let inv = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 100);
+        assert!(inv.is_some());
+        let disp = reg.open_span(SpanKind::Dispatch, inv, "svc-kv", "get", 150);
+        reg.close_span(disp, 180, true);
+        assert_eq!(reg.span_reply(inv.raw(), 190), ReplyKind::Matched);
+        reg.close_span(inv, 200, true);
+        // Duplicate reply after the span closed.
+        assert_eq!(reg.span_reply(inv.raw(), 210), ReplyKind::Late);
+        // Closing twice is a no-op.
+        reg.close_span(inv, 999, false);
+
+        let h = reg.histogram("kv", "get").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), 100);
+        let hd = reg.histogram("svc-kv", "get").unwrap();
+        assert_eq!(hd.count(), 1);
+
+        assert!(reg.verify_causality().is_empty());
+
+        let report = reg.report(MetricsSnapshot::default(), 1000);
+        assert_eq!(report.spans.started, 2);
+        assert_eq!(report.spans.completed, 2);
+        assert_eq!(report.spans.replies.matched, 1);
+        assert_eq!(report.spans.replies.late, 1);
+        assert_eq!(report.spans.replies.unknown_span, 0);
+    }
+
+    #[test]
+    fn unknown_and_untracked_replies() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.span_reply(0, 10), ReplyKind::Untracked);
+        assert_eq!(reg.span_reply(777, 10), ReplyKind::UnknownSpan);
+        let violations = reg.verify_causality();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("never allocated"));
+    }
+
+    #[test]
+    fn retransmissions_accumulate_on_one_span() {
+        let reg = MetricsRegistry::new();
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "put", 0);
+        reg.span_retransmit(sp);
+        reg.span_retransmit(sp);
+        let report = reg.report(MetricsSnapshot::default(), 50);
+        assert_eq!(report.spans.retransmissions, 2);
+        let spans = reg.spans();
+        assert_eq!(spans[0].retransmissions, 2);
+    }
+
+    #[test]
+    fn causality_flags_bad_parent() {
+        let reg = MetricsRegistry::new();
+        reg.open_span(SpanKind::Dispatch, SpanId(99), "svc", "op", 5);
+        let violations = reg.verify_causality();
+        assert!(!violations.is_empty());
+        assert!(violations[0].contains("unallocated parent"));
+    }
+
+    #[test]
+    fn oneway_spans_are_closed_and_parented() {
+        let reg = MetricsRegistry::new();
+        let disp = reg.open_span(SpanKind::Dispatch, SpanId::NONE, "svc-kv", "put", 10);
+        let ow = reg.note_oneway(disp, "kv", "inv", 20);
+        let spans = reg.spans();
+        let rec = &spans[ow.raw() as usize - 1];
+        assert_eq!(rec.kind, SpanKind::Oneway);
+        assert_eq!(rec.parent, disp);
+        assert_eq!(rec.end_ns, Some(20));
+        // One-way spans never land in a latency histogram.
+        assert!(reg.histogram("kv", "inv").is_none());
+    }
+
+    #[test]
+    fn snapshot_since_saturates() {
+        let a = MetricsSnapshot {
+            msgs_sent: 10,
+            msgs_delivered: 8,
+            msgs_dropped: 2,
+            msgs_duplicated: 0,
+            msgs_blackholed: 0,
+            bytes_sent: 640,
+            events_dispatched: 30,
+        };
+        let b = MetricsSnapshot {
+            msgs_sent: 15,
+            msgs_delivered: 12,
+            msgs_dropped: 3,
+            msgs_duplicated: 1,
+            msgs_blackholed: 0,
+            bytes_sent: 900,
+            events_dispatched: 45,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.msgs_sent, 5);
+        assert_eq!(d.msgs_delivered, 4);
+        assert_eq!(d.bytes_sent, 260);
+        // Reversed order saturates instead of wrapping.
+        let r = a.since(&b);
+        assert_eq!(r.msgs_sent, 0);
+    }
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let reg = MetricsRegistry::new();
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        reg.on_call();
+        reg.close_span(sp, 1500, true);
+        reg.set_proxy_stats(
+            "client-1",
+            "kv",
+            ProxyStats {
+                invocations: 1,
+                remote_calls: 1,
+                ..Default::default()
+            },
+        );
+        reg.set_server_stats(
+            "kv",
+            ServerStats {
+                dispatched: 1,
+                ..Default::default()
+            },
+        );
+        let json = reg
+            .report(
+                MetricsSnapshot {
+                    msgs_sent: 2,
+                    msgs_delivered: 2,
+                    ..Default::default()
+                },
+                2000,
+            )
+            .to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"end_time_ns\":2000"));
+        assert!(json.contains("\"kv/get\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"kv@client-1\""));
+        assert!(json.contains("\"msgs_sent\":2"));
+        // Balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -358,6 +358,12 @@ impl ReplicaServer {
         };
         let mut rpc = RpcClient::new(primary_ep);
         let from = *version + 1;
+        // Updates propagated while we wait for the fetch reply arrive as
+        // stray one-ways; losing them would leave the backup permanently
+        // behind (the fetch was issued before they were logged, and no
+        // later update may ever come to expose the new gap). Buffer them
+        // and merge after the reply.
+        let mut late_applies: Vec<Value> = Vec::new();
         let reply = rpc.call_with_strays(
             ctx,
             "",
@@ -366,6 +372,10 @@ impl ReplicaServer {
             |_ctx, stray| match stray {
                 Stray::Request(_, m) => {
                     requeued.push_back((*m).clone());
+                    StrayVerdict::Consumed
+                }
+                Stray::Oneway(ow, _) if ow.op == "_apply" => {
+                    late_applies.push(ow.args.clone());
                     StrayVerdict::Consumed
                 }
                 Stray::Oneway(..) => StrayVerdict::Drop,
@@ -381,6 +391,16 @@ impl ReplicaServer {
                                 (op.to_owned(), u.get("args").cloned().unwrap_or(Value::Null)),
                             );
                         }
+                    }
+                }
+            }
+            for u in &late_applies {
+                if let (Ok(v), Ok(op)) = (u.get_u64("ver"), u.get_str("op")) {
+                    if v > *version && !pending.contains_key(&v) {
+                        pending.insert(
+                            v,
+                            (op.to_owned(), u.get("args").cloned().unwrap_or(Value::Null)),
+                        );
                     }
                 }
             }

@@ -68,21 +68,11 @@ impl Default for RetryPolicy {
 }
 
 /// Counters accumulated by a client across calls.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CallStats {
-    /// Calls issued.
-    pub calls: u64,
-    /// Retransmissions sent (excludes the first send of each call).
-    pub retries: u64,
-    /// Calls that exhausted their retry budget.
-    pub timeouts: u64,
-    /// Replies discarded because their id or source did not match the
-    /// outstanding call (late duplicates).
-    pub stale_replies: u64,
-    /// Non-reply datagrams seen while waiting and not consumed by a
-    /// stray handler.
-    pub strays_dropped: u64,
-}
+///
+/// Canonical definition lives in the `obs` crate; each client keeps its
+/// own copy here, and the simulation-wide [`obs::MetricsRegistry`]
+/// aggregates the same counters across every client.
+pub use obs::CallStats;
 
 /// A synchronous RPC client bound to one server endpoint.
 ///
@@ -170,59 +160,75 @@ impl RpcClient {
         // sees strictly increasing fresh ids.
         let call_id = ctx.next_seq();
         self.stats.calls += 1;
+        ctx.obs().on_call();
 
+        // The request inherits the caller's active span. It is encoded
+        // exactly once, so every retransmission below carries the same
+        // span by construction.
+        let span = ctx.current_span();
         let request = Request {
             call_id,
             reply_to: ctx.endpoint(),
             object: object.to_owned(),
             op: op.to_owned(),
             args,
+            span: span.raw(),
         };
         let datagram = request.to_bytes();
 
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
                 self.stats.retries += 1;
+                ctx.obs().on_retry();
+                ctx.obs().span_retransmit(span);
             }
             ctx.send(self.server, datagram.clone());
             let deadline = ctx.now() + self.policy.attempt_timeout(attempt);
-            loop {
-                let Some(msg) = ctx.recv_deadline(deadline)? else {
-                    break; // attempt timed out; retransmit
-                };
+            // Drain replies until the attempt deadline; a `None` recv
+            // means the attempt timed out and we retransmit.
+            while let Some(msg) = ctx.recv_deadline(deadline)? {
                 match Packet::from_bytes(&msg.payload) {
                     Ok(Packet::Reply(rep)) => {
+                        ctx.obs().span_reply(rep.span, ctx.now().as_nanos());
                         if rep.call_id == call_id && msg.src == self.server {
                             return rep.result.map_err(RpcError::Remote);
                         }
                         self.stats.stale_replies += 1;
+                        ctx.obs().on_stale_reply();
                     }
                     Ok(Packet::Oneway(o)) => match on_stray(ctx, Stray::Oneway(&o, &msg)) {
                         StrayVerdict::Consumed => {}
-                        StrayVerdict::Drop => self.stats.strays_dropped += 1,
+                        StrayVerdict::Drop => {
+                            self.stats.strays_dropped += 1;
+                            ctx.obs().on_stray_dropped();
+                        }
                     },
                     Ok(Packet::Request(r)) => match on_stray(ctx, Stray::Request(&r, &msg)) {
                         StrayVerdict::Consumed => {}
-                        StrayVerdict::Drop => self.stats.strays_dropped += 1,
+                        StrayVerdict::Drop => {
+                            self.stats.strays_dropped += 1;
+                            ctx.obs().on_stray_dropped();
+                        }
                     },
-                    Err(_) => self.stats.strays_dropped += 1,
+                    Err(_) => {
+                        self.stats.strays_dropped += 1;
+                        ctx.obs().on_stray_dropped();
+                    }
                 }
             }
         }
         self.stats.timeouts += 1;
+        ctx.obs().on_timeout();
         Err(RpcError::Timeout {
             attempts: self.policy.max_attempts,
         })
     }
 
     /// Sends a one-way notification to the server (no reply, no retry).
+    /// Stamped with the caller's active span and recorded as an
+    /// immediately-closed one-way span parented to it.
     pub fn notify(&self, ctx: &Ctx, op: &str, args: Value) {
-        let msg = Oneway {
-            from: ctx.endpoint(),
-            op: op.to_owned(),
-            args,
-        };
-        ctx.send(self.server, msg.to_bytes());
+        send_oneway(ctx, self.server, op, args);
     }
 }
 
@@ -245,24 +251,43 @@ pub enum StrayVerdict {
 }
 
 /// Sends a one-way notification outside any client (helper for servers
-/// pushing invalidations or replication traffic).
+/// pushing invalidations or replication traffic). The notification
+/// carries the caller's active span and is recorded as an
+/// immediately-closed one-way span parented to it, which is how
+/// invalidations and recalls stay causally attributable to the write
+/// that triggered them.
 pub fn send_oneway(ctx: &Ctx, to: Endpoint, op: &str, args: Value) {
+    let parent = ctx.current_span();
+    let span = note_oneway_span(ctx, parent, op, &args);
     let msg = Oneway {
         from: ctx.endpoint(),
         op: op.to_owned(),
         args,
+        span: span.raw(),
     };
     ctx.send(to, msg.to_bytes());
 }
 
 /// Sends a one-way notification from a specific bound source endpoint.
 pub fn send_oneway_from(ctx: &Ctx, from: Endpoint, to: Endpoint, op: &str, args: Value) {
+    let parent = ctx.current_span();
+    let span = note_oneway_span(ctx, parent, op, &args);
     let msg = Oneway {
         from,
         op: op.to_owned(),
         args,
+        span: span.raw(),
     };
     ctx.send_from(from, to, msg.to_bytes());
+}
+
+/// Records a one-way span for a notification. The service label comes
+/// from the body's `"svc"` field when present (invalidate/recall bodies
+/// carry it), falling back to the sending process's name.
+fn note_oneway_span(ctx: &Ctx, parent: obs::SpanId, op: &str, args: &Value) -> obs::SpanId {
+    let service = args.get_str("svc").unwrap_or(ctx.name()).to_owned();
+    ctx.obs()
+        .note_oneway(parent, &service, op, ctx.now().as_nanos())
 }
 
 #[cfg(test)]

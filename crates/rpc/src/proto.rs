@@ -43,19 +43,27 @@ pub struct Request {
     pub op: String,
     /// Operation arguments.
     pub args: Value,
+    /// Causal span this request belongs to (raw [`obs::SpanId`]), or 0
+    /// when sent outside any tracked invocation. Retransmissions reuse
+    /// the encoded datagram, so they share the span by construction.
+    pub span: u64,
 }
 
 impl Request {
     /// Encodes this request into a framed datagram payload.
     pub fn to_bytes(&self) -> Bytes {
-        frame(&Value::record([
+        let mut fields = vec![
             ("t", Value::str("req")),
             ("id", Value::U64(self.call_id)),
             ("rt", endpoint_to_value(self.reply_to)),
             ("obj", Value::str(self.object.clone())),
             ("op", Value::str(self.op.clone())),
             ("args", self.args.clone()),
-        ]))
+        ];
+        if self.span != 0 {
+            fields.push(("sp", Value::U64(self.span)));
+        }
+        frame(&Value::record(fields))
     }
 
     fn from_value(v: &Value) -> Result<Request, WireError> {
@@ -65,6 +73,7 @@ impl Request {
             object: v.get_str("obj")?.to_owned(),
             op: v.get_str("op")?.to_owned(),
             args: v.get("args").cloned().unwrap_or(Value::Null),
+            span: v.get_u64("sp").unwrap_or(0),
         })
     }
 }
@@ -76,26 +85,32 @@ pub struct Reply {
     pub call_id: u64,
     /// Success value or remote failure.
     pub result: Result<Value, RemoteError>,
+    /// Echoes the request's causal span (0 for untracked traffic), so a
+    /// client can correlate the reply with the invocation that caused it.
+    pub span: u64,
 }
 
 impl Reply {
     /// Encodes this reply into a framed datagram payload.
     pub fn to_bytes(&self) -> Bytes {
-        let fields = match &self.result {
-            Ok(v) => Value::record([
+        let mut fields = match &self.result {
+            Ok(v) => vec![
                 ("t", Value::str("rep")),
                 ("id", Value::U64(self.call_id)),
                 ("ok", v.clone()),
-            ]),
-            Err(e) => Value::record([
+            ],
+            Err(e) => vec![
                 ("t", Value::str("rep")),
                 ("id", Value::U64(self.call_id)),
                 ("err", Value::str(e.code.as_str())),
                 ("msg", Value::str(e.message.clone())),
                 ("data", e.data.clone()),
-            ]),
+            ],
         };
-        frame(&fields)
+        if self.span != 0 {
+            fields.push(("sp", Value::U64(self.span)));
+        }
+        frame(&Value::record(fields))
     }
 
     fn from_value(v: &Value) -> Result<Reply, WireError> {
@@ -109,7 +124,11 @@ impl Reply {
                 data: v.get("data").cloned().unwrap_or(Value::Null),
             })
         };
-        Ok(Reply { call_id, result })
+        Ok(Reply {
+            call_id,
+            result,
+            span: v.get_u64("sp").unwrap_or(0),
+        })
     }
 }
 
@@ -123,17 +142,24 @@ pub struct Oneway {
     pub op: String,
     /// Notification body.
     pub args: Value,
+    /// Causal span of the work that triggered this notification (e.g.
+    /// the dispatch whose write broadcast an invalidation), or 0.
+    pub span: u64,
 }
 
 impl Oneway {
     /// Encodes this notification into a framed datagram payload.
     pub fn to_bytes(&self) -> Bytes {
-        frame(&Value::record([
+        let mut fields = vec![
             ("t", Value::str("msg")),
             ("from", endpoint_to_value(self.from)),
             ("op", Value::str(self.op.clone())),
             ("args", self.args.clone()),
-        ]))
+        ];
+        if self.span != 0 {
+            fields.push(("sp", Value::U64(self.span)));
+        }
+        frame(&Value::record(fields))
     }
 
     fn from_value(v: &Value) -> Result<Oneway, WireError> {
@@ -141,6 +167,7 @@ impl Oneway {
             from: endpoint_from_value(v.get("from").ok_or(WireError::MissingField("from"))?)?,
             op: v.get_str("op")?.to_owned(),
             args: v.get("args").cloned().unwrap_or(Value::Null),
+            span: v.get_u64("sp").unwrap_or(0),
         })
     }
 }
@@ -193,6 +220,7 @@ mod tests {
             object: "kv0".into(),
             op: "get".into(),
             args: Value::record([("key", Value::str("color"))]),
+            span: 9,
         };
         match Packet::from_bytes(&req.to_bytes()).unwrap() {
             Packet::Request(r) => assert_eq!(r, req),
@@ -205,6 +233,7 @@ mod tests {
         let rep = Reply {
             call_id: 7,
             result: Ok(Value::str("blue")),
+            span: 9,
         };
         match Packet::from_bytes(&rep.to_bytes()).unwrap() {
             Packet::Reply(r) => assert_eq!(r, rep),
@@ -221,6 +250,7 @@ mod tests {
                 "object moved",
                 endpoint_to_value(ep(3, 12)),
             )),
+            span: 0,
         };
         match Packet::from_bytes(&rep.to_bytes()).unwrap() {
             Packet::Reply(r) => {
@@ -238,9 +268,30 @@ mod tests {
             from: ep(2, 5),
             op: "invalidate".into(),
             args: Value::str("key1"),
+            span: 3,
         };
         match Packet::from_bytes(&m.to_bytes()).unwrap() {
             Packet::Oneway(o) => assert_eq!(o, m),
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_is_optional_on_the_wire() {
+        // A spanless packet encodes no "sp" field at all and decodes
+        // back to span 0, so pre-span peers interoperate unchanged.
+        let req = Request {
+            call_id: 1,
+            reply_to: ep(1, 2),
+            object: String::new(),
+            op: "get".into(),
+            args: Value::Null,
+            span: 0,
+        };
+        let v = wire::unframe(&req.to_bytes()).unwrap();
+        assert!(v.get("sp").is_none());
+        match Packet::from_bytes(&req.to_bytes()).unwrap() {
+            Packet::Request(r) => assert_eq!(r.span, 0),
             other => panic!("wrong packet {other:?}"),
         }
     }

@@ -20,19 +20,11 @@ use crate::proto::{Oneway, Packet, Reply, Request};
 const REPLY_CACHE_PER_CLIENT: usize = 32;
 
 /// Counters accumulated by a server.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Requests executed (handler invoked).
-    pub executed: u64,
-    /// Duplicate requests answered from the reply cache.
-    pub duplicates_suppressed: u64,
-    /// Duplicates of calls too old to still be cached (dropped).
-    pub duplicates_dropped: u64,
-    /// One-way notifications received.
-    pub oneways: u64,
-    /// Datagrams that failed to decode.
-    pub undecodable: u64,
-}
+///
+/// Canonical definition lives in the `obs` crate; each server keeps its
+/// own copy here, and the simulation-wide [`obs::MetricsRegistry`]
+/// aggregates the same counters across every server.
+pub use obs::ServeStats;
 
 /// What [`RpcServer::handle`] did with one datagram.
 #[derive(Debug)]
@@ -105,6 +97,7 @@ impl RpcServer {
             Ok(p) => p,
             Err(_) => {
                 self.stats.undecodable += 1;
+                ctx.obs().on_undecodable();
                 return Served::Undecodable;
             }
         };
@@ -112,6 +105,7 @@ impl RpcServer {
             Packet::Request(req) => self.handle_request(ctx, req, handler),
             Packet::Oneway(o) => {
                 self.stats.oneways += 1;
+                ctx.obs().on_oneway_rx();
                 Served::Oneway(o)
             }
             Packet::Reply(r) => Served::Reply(r),
@@ -127,9 +121,12 @@ impl RpcServer {
         let window = self.windows.entry(req.reply_to).or_default();
         if let Some(cached) = window.lookup(req.call_id) {
             // Retransmission of a call we already executed: resend the
-            // recorded reply; do NOT run the handler again.
+            // recorded reply; do NOT run the handler again. The cached
+            // bytes already carry the original request's span, so the
+            // resent reply correlates with the same invocation.
             let cached = cached.clone();
             self.stats.duplicates_suppressed += 1;
+            ctx.obs().on_duplicate_suppressed();
             ctx.send(req.reply_to, cached);
             return Served::DuplicateSuppressed;
         }
@@ -137,12 +134,29 @@ impl RpcServer {
             // Executed long ago and evicted: the client cannot still be
             // waiting (ids are monotonic and calls synchronous) — drop.
             self.stats.duplicates_dropped += 1;
+            ctx.obs().on_duplicate_dropped();
             return Served::DuplicateDropped;
         }
+        // Open a dispatch span as a child of the request's invoke span
+        // and make it the process's active span while the handler runs,
+        // so notifications the handler sends (invalidations, recalls,
+        // replication updates) are parented to this dispatch.
+        let dispatch = ctx.obs().open_span(
+            obs::SpanKind::Dispatch,
+            obs::SpanId::from_raw(req.span),
+            ctx.name(),
+            &req.op,
+            ctx.now().as_nanos(),
+        );
+        let previous = ctx.set_current_span(dispatch);
         let result = handler(ctx, &req);
+        ctx.set_current_span(previous);
+        ctx.obs()
+            .close_span(dispatch, ctx.now().as_nanos(), result.is_ok());
         let reply = Reply {
             call_id: req.call_id,
             result,
+            span: req.span,
         };
         let encoded = reply.to_bytes();
         self.windows
@@ -150,6 +164,7 @@ impl RpcServer {
             .or_default()
             .insert(req.call_id, encoded.clone());
         self.stats.executed += 1;
+        ctx.obs().on_executed();
         ctx.send(req.reply_to, encoded);
         Served::Executed(req)
     }

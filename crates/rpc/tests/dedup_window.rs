@@ -18,6 +18,7 @@ fn raw_request(call_id: u64, reply_to: Endpoint, op: &str) -> Bytes {
         object: String::new(),
         op: op.to_owned(),
         args: Value::Null,
+        span: 0,
     }
     .to_bytes()
 }

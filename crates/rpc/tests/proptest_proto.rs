@@ -47,7 +47,7 @@ proptest! {
         op in "[a-z_]{1,12}",
         args in arb_value(),
     ) {
-        let req = Request { call_id, reply_to, object, op, args };
+        let req = Request { call_id, reply_to, object, op, args, span: 0 };
         match Packet::from_bytes(&req.to_bytes()).unwrap() {
             Packet::Request(r) => prop_assert_eq!(r, req),
             other => prop_assert!(false, "wrong packet {:?}", other),
@@ -56,7 +56,7 @@ proptest! {
 
     #[test]
     fn reply_ok_roundtrips(call_id in any::<u64>(), v in arb_value()) {
-        let rep = Reply { call_id, result: Ok(v) };
+        let rep = Reply { call_id, result: Ok(v), span: 0 };
         match Packet::from_bytes(&rep.to_bytes()).unwrap() {
             Packet::Reply(r) => prop_assert_eq!(r, rep),
             other => prop_assert!(false, "wrong packet {:?}", other),
@@ -73,6 +73,7 @@ proptest! {
         let rep = Reply {
             call_id,
             result: Err(RemoteError { code, message: msg, data }),
+            span: 0,
         };
         match Packet::from_bytes(&rep.to_bytes()).unwrap() {
             Packet::Reply(r) => prop_assert_eq!(r, rep),
@@ -82,7 +83,7 @@ proptest! {
 
     #[test]
     fn oneway_roundtrips(from in arb_endpoint(), op in "[a-z_]{1,12}", args in arb_value()) {
-        let m = Oneway { from, op, args };
+        let m = Oneway { from, op, args, span: 0 };
         match Packet::from_bytes(&m.to_bytes()).unwrap() {
             Packet::Oneway(o) => prop_assert_eq!(o, m),
             other => prop_assert!(false, "wrong packet {:?}", other),
@@ -103,9 +104,9 @@ proptest! {
     ) {
         // A request and a reply with identical ids/payloads must decode
         // to their own kinds (the "t" discriminator does its job).
-        let req = Request { call_id, reply_to, object: String::new(), op: op.clone(), args: args.clone() };
-        let rep = Reply { call_id, result: Ok(args.clone()) };
-        let one = Oneway { from: reply_to, op, args };
+        let req = Request { call_id, reply_to, object: String::new(), op: op.clone(), args: args.clone(), span: 0 };
+        let rep = Reply { call_id, result: Ok(args.clone()), span: 0 };
+        let one = Oneway { from: reply_to, op, args, span: 0 };
         prop_assert!(matches!(Packet::from_bytes(&req.to_bytes()).unwrap(), Packet::Request(_)));
         prop_assert!(matches!(Packet::from_bytes(&rep.to_bytes()).unwrap(), Packet::Reply(_)));
         prop_assert!(matches!(Packet::from_bytes(&one.to_bytes()).unwrap(), Packet::Oneway(_)));

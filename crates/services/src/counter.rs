@@ -4,7 +4,7 @@
 //! state fits in one datagram, so the checkout cost is one RTT and the
 //! crossover against a stub appears after only a handful of calls.
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject};
+use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -98,14 +98,25 @@ impl CounterClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the bind.
-    pub fn bind(
+    pub fn bind(session: &mut Session<'_>, service: &str) -> Result<CounterClient, RpcError> {
+        Ok(CounterClient {
+            handle: session.bind(service)?,
+        })
+    }
+
+    /// Pair-style variant of [`CounterClient::bind`] for callers not yet
+    /// on [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the bind.
+    #[deprecated(note = "use `bind` with a `Session`")]
+    pub fn bind_with(
         rt: &mut ClientRuntime,
         ctx: &mut Ctx,
         service: &str,
     ) -> Result<CounterClient, RpcError> {
-        Ok(CounterClient {
-            handle: rt.bind(ctx, service)?,
-        })
+        CounterClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).
@@ -118,8 +129,8 @@ impl CounterClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn get(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
-        let v = rt.invoke(ctx, self.handle, "get", Value::Null)?;
+    pub fn get(&self, session: &mut Session<'_>) -> Result<u64, RpcError> {
+        let v = session.invoke(self.handle, "get", Value::Null)?;
         Ok(v.as_u64().unwrap_or(0))
     }
 
@@ -128,9 +139,19 @@ impl CounterClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn inc(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
-        let v = rt.invoke(ctx, self.handle, "inc", Value::Null)?;
+    pub fn inc(&self, session: &mut Session<'_>) -> Result<u64, RpcError> {
+        let v = session.invoke(self.handle, "inc", Value::Null)?;
         Ok(v.as_u64().unwrap_or(0))
+    }
+
+    /// Pair-style variant of [`CounterClient::inc`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    #[deprecated(note = "use `inc` with a `Session`")]
+    pub fn inc_with(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
+        self.inc(&mut Session::new(rt, ctx))
     }
 
     /// Adds `n` and returns the new value.
@@ -138,13 +159,8 @@ impl CounterClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn add(&self, rt: &mut ClientRuntime, ctx: &mut Ctx, n: u64) -> Result<u64, RpcError> {
-        let v = rt.invoke(
-            ctx,
-            self.handle,
-            "add",
-            Value::record([("n", Value::U64(n))]),
-        )?;
+    pub fn add(&self, session: &mut Session<'_>, n: u64) -> Result<u64, RpcError> {
+        let v = session.invoke(self.handle, "add", Value::record([("n", Value::U64(n))]))?;
         Ok(v.as_u64().unwrap_or(0))
     }
 }

@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject};
+use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -168,14 +168,25 @@ impl DirectoryClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the bind.
-    pub fn bind(
+    pub fn bind(session: &mut Session<'_>, service: &str) -> Result<DirectoryClient, RpcError> {
+        Ok(DirectoryClient {
+            handle: session.bind(service)?,
+        })
+    }
+
+    /// Pair-style variant of [`DirectoryClient::bind`] for callers not
+    /// yet on [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the bind.
+    #[deprecated(note = "use `bind` with a `Session`")]
+    pub fn bind_with(
         rt: &mut ClientRuntime,
         ctx: &mut Ctx,
         service: &str,
     ) -> Result<DirectoryClient, RpcError> {
-        Ok(DirectoryClient {
-            handle: rt.bind(ctx, service)?,
-        })
+        DirectoryClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).
@@ -190,12 +201,10 @@ impl DirectoryClient {
     /// Any [`RpcError`] from the invocation.
     pub fn lookup(
         &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
+        session: &mut Session<'_>,
         path: &str,
     ) -> Result<Option<DirEntry>, RpcError> {
-        let v = rt.invoke(
-            ctx,
+        let v = session.invoke(
             self.handle,
             "lookup",
             Value::record([("path", Value::str(path))]),
@@ -216,13 +225,11 @@ impl DirectoryClient {
     /// Any [`RpcError`] from the invocation.
     pub fn insert(
         &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
+        session: &mut Session<'_>,
         path: &str,
         value: &str,
     ) -> Result<u64, RpcError> {
-        let v = rt.invoke(
-            ctx,
+        let v = session.invoke(
             self.handle,
             "insert",
             Value::record([("path", Value::str(path)), ("value", Value::str(value))]),
@@ -235,14 +242,8 @@ impl DirectoryClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn remove(
-        &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        path: &str,
-    ) -> Result<bool, RpcError> {
-        let v = rt.invoke(
-            ctx,
+    pub fn remove(&self, session: &mut Session<'_>, path: &str) -> Result<bool, RpcError> {
+        let v = session.invoke(
             self.handle,
             "remove",
             Value::record([("path", Value::str(path))]),
@@ -255,14 +256,8 @@ impl DirectoryClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn list(
-        &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        prefix: &str,
-    ) -> Result<Vec<String>, RpcError> {
-        let v = rt.invoke(
-            ctx,
+    pub fn list(&self, session: &mut Session<'_>, prefix: &str) -> Result<Vec<String>, RpcError> {
+        let v = session.invoke(
             self.handle,
             "list",
             Value::record([("prefix", Value::str(prefix))]),

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use bytes::Bytes;
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject};
+use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -156,14 +156,25 @@ impl FileClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the bind.
-    pub fn bind(
+    pub fn bind(session: &mut Session<'_>, service: &str) -> Result<FileClient, RpcError> {
+        Ok(FileClient {
+            handle: session.bind(service)?,
+        })
+    }
+
+    /// Pair-style variant of [`FileClient::bind`] for callers not yet
+    /// on [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the bind.
+    #[deprecated(note = "use `bind` with a `Session`")]
+    pub fn bind_with(
         rt: &mut ClientRuntime,
         ctx: &mut Ctx,
         service: &str,
     ) -> Result<FileClient, RpcError> {
-        Ok(FileClient {
-            handle: rt.bind(ctx, service)?,
-        })
+        FileClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).
@@ -178,13 +189,11 @@ impl FileClient {
     /// Any [`RpcError`] from the invocation.
     pub fn read(
         &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
+        session: &mut Session<'_>,
         file: &str,
         index: u64,
     ) -> Result<Option<Bytes>, RpcError> {
-        let v = rt.invoke(
-            ctx,
+        let v = session.invoke(
             self.handle,
             "read",
             Value::record([("addr", Value::str(block_addr(file, index)))]),
@@ -200,14 +209,12 @@ impl FileClient {
     /// blocks over [`BLOCK_SIZE`].
     pub fn write(
         &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
+        session: &mut Session<'_>,
         file: &str,
         index: u64,
         data: impl Into<Bytes>,
     ) -> Result<(), RpcError> {
-        rt.invoke(
-            ctx,
+        session.invoke(
             self.handle,
             "write",
             Value::record([
@@ -223,8 +230,8 @@ impl FileClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn blocks(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
-        let v = rt.invoke(ctx, self.handle, "blocks", Value::Null)?;
+    pub fn blocks(&self, session: &mut Session<'_>) -> Result<u64, RpcError> {
+        let v = session.invoke(self.handle, "blocks", Value::Null)?;
         Ok(v.as_u64().unwrap_or(0))
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject};
+use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -115,19 +115,30 @@ pub struct KvClient {
 }
 
 impl KvClient {
-    /// Binds to the named kv service through `rt`.
+    /// Binds to the named kv service.
     ///
     /// # Errors
     ///
     /// Any [`RpcError`] from the bind.
-    pub fn bind(
+    pub fn bind(session: &mut Session<'_>, service: &str) -> Result<KvClient, RpcError> {
+        Ok(KvClient {
+            handle: session.bind(service)?,
+        })
+    }
+
+    /// Pair-style variant of [`KvClient::bind`] for callers not yet on
+    /// [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the bind.
+    #[deprecated(note = "use `bind` with a `Session`")]
+    pub fn bind_with(
         rt: &mut ClientRuntime,
         ctx: &mut Ctx,
         service: &str,
     ) -> Result<KvClient, RpcError> {
-        Ok(KvClient {
-            handle: rt.bind(ctx, service)?,
-        })
+        KvClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).
@@ -140,19 +151,28 @@ impl KvClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn get(
-        &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        key: &str,
-    ) -> Result<Option<String>, RpcError> {
-        let v = rt.invoke(
-            ctx,
+    pub fn get(&self, session: &mut Session<'_>, key: &str) -> Result<Option<String>, RpcError> {
+        let v = session.invoke(
             self.handle,
             "get",
             Value::record([("key", Value::str(key))]),
         )?;
         Ok(v.as_str().map(str::to_owned))
+    }
+
+    /// Pair-style variant of [`KvClient::get`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    #[deprecated(note = "use `get` with a `Session`")]
+    pub fn get_with(
+        &self,
+        rt: &mut ClientRuntime,
+        ctx: &mut Ctx,
+        key: &str,
+    ) -> Result<Option<String>, RpcError> {
+        self.get(&mut Session::new(rt, ctx), key)
     }
 
     /// Writes a key, returning the previous value if any.
@@ -162,13 +182,11 @@ impl KvClient {
     /// Any [`RpcError`] from the invocation.
     pub fn put(
         &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
+        session: &mut Session<'_>,
         key: &str,
         value: &str,
     ) -> Result<Option<String>, RpcError> {
-        let v = rt.invoke(
-            ctx,
+        let v = session.invoke(
             self.handle,
             "put",
             Value::record([("key", Value::str(key)), ("value", Value::str(value))]),
@@ -176,14 +194,29 @@ impl KvClient {
         Ok(v.as_str().map(str::to_owned))
     }
 
+    /// Pair-style variant of [`KvClient::put`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the invocation.
+    #[deprecated(note = "use `put` with a `Session`")]
+    pub fn put_with(
+        &self,
+        rt: &mut ClientRuntime,
+        ctx: &mut Ctx,
+        key: &str,
+        value: &str,
+    ) -> Result<Option<String>, RpcError> {
+        self.put(&mut Session::new(rt, ctx), key, value)
+    }
+
     /// Deletes a key; true if it existed.
     ///
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn del(&self, rt: &mut ClientRuntime, ctx: &mut Ctx, key: &str) -> Result<bool, RpcError> {
-        let v = rt.invoke(
-            ctx,
+    pub fn del(&self, session: &mut Session<'_>, key: &str) -> Result<bool, RpcError> {
+        let v = session.invoke(
             self.handle,
             "del",
             Value::record([("key", Value::str(key))]),
@@ -196,8 +229,8 @@ impl KvClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn len(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
-        let v = rt.invoke(ctx, self.handle, "len", Value::Null)?;
+    pub fn len(&self, session: &mut Session<'_>) -> Result<u64, RpcError> {
+        let v = session.invoke(self.handle, "len", Value::Null)?;
         Ok(v.as_u64().unwrap_or(0))
     }
 
@@ -206,8 +239,8 @@ impl KvClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn is_empty(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<bool, RpcError> {
-        Ok(self.len(rt, ctx)? == 0)
+    pub fn is_empty(&self, session: &mut Session<'_>) -> Result<bool, RpcError> {
+        Ok(self.len(session)? == 0)
     }
 }
 

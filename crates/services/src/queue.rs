@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject};
+use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -127,14 +127,25 @@ impl QueueClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the bind.
-    pub fn bind(
+    pub fn bind(session: &mut Session<'_>, service: &str) -> Result<QueueClient, RpcError> {
+        Ok(QueueClient {
+            handle: session.bind(service)?,
+        })
+    }
+
+    /// Pair-style variant of [`QueueClient::bind`] for callers not yet
+    /// on [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`] from the bind.
+    #[deprecated(note = "use `bind` with a `Session`")]
+    pub fn bind_with(
         rt: &mut ClientRuntime,
         ctx: &mut Ctx,
         service: &str,
     ) -> Result<QueueClient, RpcError> {
-        Ok(QueueClient {
-            handle: rt.bind(ctx, service)?,
-        })
+        QueueClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).
@@ -147,14 +158,8 @@ impl QueueClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn submit(
-        &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        doc: &str,
-    ) -> Result<u64, RpcError> {
-        let v = rt.invoke(
-            ctx,
+    pub fn submit(&self, session: &mut Session<'_>, doc: &str) -> Result<u64, RpcError> {
+        let v = session.invoke(
             self.handle,
             "submit",
             Value::record([("doc", Value::str(doc))]),
@@ -167,8 +172,8 @@ impl QueueClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn take(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<Option<Job>, RpcError> {
-        let v = rt.invoke(ctx, self.handle, "take", Value::Null)?;
+    pub fn take(&self, session: &mut Session<'_>) -> Result<Option<Job>, RpcError> {
+        let v = session.invoke(self.handle, "take", Value::Null)?;
         if v == Value::Null {
             return Ok(None);
         }
@@ -183,8 +188,8 @@ impl QueueClient {
     /// # Errors
     ///
     /// Any [`RpcError`] from the invocation.
-    pub fn len(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
-        let v = rt.invoke(ctx, self.handle, "len", Value::Null)?;
+    pub fn len(&self, session: &mut Session<'_>) -> Result<u64, RpcError> {
+        let v = session.invoke(self.handle, "len", Value::Null)?;
         Ok(v.as_u64().unwrap_or(0))
     }
 }

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use naming::spawn_name_server;
-use proxy_core::{spawn_service, CachingParams, ClientRuntime, Coherence, ProxySpec};
+use proxy_core::{CachingParams, ClientRuntime, Coherence, ProxySpec, ServiceBuilder, Session};
 use services::counter::{Counter, CounterClient};
 use services::directory::{Directory, DirectoryClient};
 use services::file::{BlockFile, FileClient};
@@ -17,21 +17,22 @@ use simnet::{NetworkConfig, NodeId, Simulation};
 fn kv_client_full_surface() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 1);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "kv", ProxySpec::Stub, || {
-        Box::new(KvStore::new())
-    });
+    ServiceBuilder::new("kv")
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let kv = KvClient::bind(&mut rt, ctx, "kv").unwrap();
-        assert!(kv.is_empty(&mut rt, ctx).unwrap());
-        assert_eq!(kv.put(&mut rt, ctx, "a", "1").unwrap(), None);
-        assert_eq!(kv.put(&mut rt, ctx, "a", "2").unwrap(), Some("1".into()));
-        assert_eq!(kv.get(&mut rt, ctx, "a").unwrap(), Some("2".into()));
-        assert_eq!(kv.get(&mut rt, ctx, "zzz").unwrap(), None);
-        assert_eq!(kv.len(&mut rt, ctx).unwrap(), 1);
-        assert!(kv.del(&mut rt, ctx, "a").unwrap());
-        assert!(!kv.del(&mut rt, ctx, "a").unwrap());
-        assert!(kv.is_empty(&mut rt, ctx).unwrap());
+        let mut s = Session::new(&mut rt, ctx);
+        let kv = KvClient::bind(&mut s, "kv").unwrap();
+        assert!(kv.is_empty(&mut s).unwrap());
+        assert_eq!(kv.put(&mut s, "a", "1").unwrap(), None);
+        assert_eq!(kv.put(&mut s, "a", "2").unwrap(), Some("1".into()));
+        assert_eq!(kv.get(&mut s, "a").unwrap(), Some("2".into()));
+        assert_eq!(kv.get(&mut s, "zzz").unwrap(), None);
+        assert_eq!(kv.len(&mut s).unwrap(), 1);
+        assert!(kv.del(&mut s, "a").unwrap());
+        assert!(!kv.del(&mut s, "a").unwrap());
+        assert!(kv.is_empty(&mut s).unwrap());
     });
     sim.run();
 }
@@ -40,39 +41,30 @@ fn kv_client_full_surface() {
 fn file_client_full_surface() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 2);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "fs",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("fs")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 64,
-        }),
-        || Box::new(BlockFile::new()),
-    );
+        }))
+        .object(|| Box::new(BlockFile::new()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let fs = FileClient::bind(&mut rt, ctx, "fs").unwrap();
-        assert_eq!(fs.read(&mut rt, ctx, "doc", 0).unwrap(), None);
-        fs.write(&mut rt, ctx, "doc", 0, vec![1, 2, 3]).unwrap();
+        let mut s = Session::new(&mut rt, ctx);
+        let fs = FileClient::bind(&mut s, "fs").unwrap();
+        assert_eq!(fs.read(&mut s, "doc", 0).unwrap(), None);
+        fs.write(&mut s, "doc", 0, vec![1, 2, 3]).unwrap();
         assert_eq!(
-            fs.read(&mut rt, ctx, "doc", 0).unwrap().as_deref(),
+            fs.read(&mut s, "doc", 0).unwrap().as_deref(),
             Some(&[1u8, 2, 3][..])
         );
         // Cached second read.
-        fs.read(&mut rt, ctx, "doc", 0).unwrap();
-        assert_eq!(rt.stats(fs.handle()).local_hits, 1);
-        assert_eq!(fs.blocks(&mut rt, ctx).unwrap(), 1);
+        fs.read(&mut s, "doc", 0).unwrap();
+        assert_eq!(s.stats(fs.handle()).local_hits, 1);
+        assert_eq!(fs.blocks(&mut s).unwrap(), 1);
         // Oversized block surfaces the remote validation error.
         let err = fs
-            .write(
-                &mut rt,
-                ctx,
-                "doc",
-                1,
-                vec![0u8; services::file::BLOCK_SIZE + 1],
-            )
+            .write(&mut s, "doc", 1, vec![0u8; services::file::BLOCK_SIZE + 1])
             .unwrap_err();
         assert!(matches!(err, rpc::RpcError::Remote(ref e) if e.code == rpc::ErrorCode::BadArgs));
     });
@@ -83,15 +75,16 @@ fn file_client_full_surface() {
 fn counter_client_full_surface() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 3);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "ctr", ProxySpec::Stub, || {
-        Box::new(Counter::starting_at(10))
-    });
+    ServiceBuilder::new("ctr")
+        .object(|| Box::new(Counter::starting_at(10)))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let ctr = CounterClient::bind(&mut rt, ctx, "ctr").unwrap();
-        assert_eq!(ctr.get(&mut rt, ctx).unwrap(), 10);
-        assert_eq!(ctr.inc(&mut rt, ctx).unwrap(), 11);
-        assert_eq!(ctr.add(&mut rt, ctx, 9).unwrap(), 20);
+        let mut s = Session::new(&mut rt, ctx);
+        let ctr = CounterClient::bind(&mut s, "ctr").unwrap();
+        assert_eq!(ctr.get(&mut s).unwrap(), 10);
+        assert_eq!(ctr.inc(&mut s).unwrap(), 11);
+        assert_eq!(ctr.add(&mut s, 9).unwrap(), 20);
     });
     sim.run();
 }
@@ -100,18 +93,19 @@ fn counter_client_full_surface() {
 fn queue_client_full_surface() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 4);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "q", ProxySpec::Stub, || {
-        Box::new(PrintQueue::new())
-    });
+    ServiceBuilder::new("q")
+        .object(|| Box::new(PrintQueue::new()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let q = QueueClient::bind(&mut rt, ctx, "q").unwrap();
-        assert_eq!(q.take(&mut rt, ctx).unwrap(), None);
-        let id1 = q.submit(&mut rt, ctx, "first").unwrap();
-        let id2 = q.submit(&mut rt, ctx, "second").unwrap();
+        let mut s = Session::new(&mut rt, ctx);
+        let q = QueueClient::bind(&mut s, "q").unwrap();
+        assert_eq!(q.take(&mut s).unwrap(), None);
+        let id1 = q.submit(&mut s, "first").unwrap();
+        let id2 = q.submit(&mut s, "second").unwrap();
         assert!(id2 > id1);
-        assert_eq!(q.len(&mut rt, ctx).unwrap(), 2);
-        let job = q.take(&mut rt, ctx).unwrap().unwrap();
+        assert_eq!(q.len(&mut s).unwrap(), 2);
+        let job = q.take(&mut s).unwrap().unwrap();
         assert_eq!((job.id, job.doc.as_str()), (id1, "first"));
     });
     sim.run();
@@ -121,21 +115,22 @@ fn queue_client_full_surface() {
 fn directory_client_full_surface() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 5);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "dir", ProxySpec::Stub, || {
-        Box::new(Directory::new())
-    });
+    ServiceBuilder::new("dir")
+        .object(|| Box::new(Directory::new()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let dir = DirectoryClient::bind(&mut rt, ctx, "dir").unwrap();
-        assert_eq!(dir.lookup(&mut rt, ctx, "/a").unwrap(), None);
-        assert_eq!(dir.insert(&mut rt, ctx, "/a", "one").unwrap(), 1);
-        assert_eq!(dir.insert(&mut rt, ctx, "/a", "two").unwrap(), 2);
-        assert_eq!(dir.insert(&mut rt, ctx, "/b/c", "x").unwrap(), 1);
-        let e = dir.lookup(&mut rt, ctx, "/a").unwrap().unwrap();
+        let mut s = Session::new(&mut rt, ctx);
+        let dir = DirectoryClient::bind(&mut s, "dir").unwrap();
+        assert_eq!(dir.lookup(&mut s, "/a").unwrap(), None);
+        assert_eq!(dir.insert(&mut s, "/a", "one").unwrap(), 1);
+        assert_eq!(dir.insert(&mut s, "/a", "two").unwrap(), 2);
+        assert_eq!(dir.insert(&mut s, "/b/c", "x").unwrap(), 1);
+        let e = dir.lookup(&mut s, "/a").unwrap().unwrap();
         assert_eq!((e.value.as_str(), e.revision), ("two", 2));
-        assert_eq!(dir.list(&mut rt, ctx, "/b").unwrap(), vec!["/b/c"]);
-        assert!(dir.remove(&mut rt, ctx, "/a").unwrap());
-        assert!(!dir.remove(&mut rt, ctx, "/a").unwrap());
+        assert_eq!(dir.list(&mut s, "/b").unwrap(), vec!["/b/c"]);
+        assert!(dir.remove(&mut s, "/a").unwrap());
+        assert!(!dir.remove(&mut s, "/a").unwrap());
     });
     sim.run();
 }
@@ -146,34 +141,32 @@ fn directory_client_full_surface() {
 fn unbind_cancels_invalidation_subscription() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 6);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 64,
-        }),
-        || Box::new(KvStore::new()),
-    );
+        }))
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("subscriber", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let kv = KvClient::bind(&mut rt, ctx, "kv").unwrap();
-        kv.put(&mut rt, ctx, "a", "1").unwrap();
-        kv.get(&mut rt, ctx, "a").unwrap(); // now subscribed & cached
-        rt.unbind(ctx, kv.handle());
+        let mut s = Session::new(&mut rt, ctx);
+        let kv = KvClient::bind(&mut s, "kv").unwrap();
+        kv.put(&mut s, "a", "1").unwrap();
+        kv.get(&mut s, "a").unwrap(); // now subscribed & cached
+        s.unbind(kv.handle());
         // Stay alive while the writer writes; if we were still
         // subscribed, an invalidation would arrive in our mailbox.
-        ctx.sleep(Duration::from_millis(40)).unwrap();
-        let stray = ctx.try_recv().unwrap();
+        s.ctx().sleep(Duration::from_millis(40)).unwrap();
+        let stray = s.ctx().try_recv().unwrap();
         assert!(stray.is_none(), "received traffic after unbind: {stray:?}");
     });
     sim.spawn("writer", NodeId(3), move |ctx| {
         ctx.sleep(Duration::from_millis(15)).unwrap();
         let mut rt = ClientRuntime::new(ns);
-        let kv = KvClient::bind(&mut rt, ctx, "kv").unwrap();
-        kv.put(&mut rt, ctx, "a", "2").unwrap();
+        let mut s = Session::new(&mut rt, ctx);
+        let kv = KvClient::bind(&mut s, "kv").unwrap();
+        kv.put(&mut s, "a", "2").unwrap();
     });
     sim.run();
 }

@@ -2,8 +2,15 @@
 //!
 //! Every simulation owns a [`Metrics`] instance; experiment harnesses read
 //! it after a run to report message counts alongside simulated latencies.
+//!
+//! The snapshot type is defined in the `obs` crate (the unified
+//! observability layer) and re-exported here, so the same struct flows
+//! unchanged into an [`obs::RunReport`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Re-export of the canonical snapshot type from the observability layer.
+pub use obs::MetricsSnapshot;
 
 /// Monotonic counters accumulated over a simulation run.
 ///
@@ -19,44 +26,6 @@ pub struct Metrics {
     msgs_blackholed: AtomicU64,
     bytes_sent: AtomicU64,
     events_dispatched: AtomicU64,
-}
-
-/// A point-in-time copy of [`Metrics`], convenient for diffing before and
-/// after a phase of an experiment.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct MetricsSnapshot {
-    /// Messages handed to the network by senders.
-    pub msgs_sent: u64,
-    /// Messages delivered to a destination mailbox.
-    pub msgs_delivered: u64,
-    /// Messages dropped by the loss model.
-    pub msgs_dropped: u64,
-    /// Extra copies injected by the duplication model.
-    pub msgs_duplicated: u64,
-    /// Messages discarded because src/dst were partitioned or the
-    /// destination endpoint was unbound.
-    pub msgs_blackholed: u64,
-    /// Total payload bytes handed to the network.
-    pub bytes_sent: u64,
-    /// Scheduler events dispatched.
-    pub events_dispatched: u64,
-}
-
-impl MetricsSnapshot {
-    /// Counter-wise difference `self - earlier` (saturating).
-    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
-        MetricsSnapshot {
-            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
-            msgs_delivered: self.msgs_delivered.saturating_sub(earlier.msgs_delivered),
-            msgs_dropped: self.msgs_dropped.saturating_sub(earlier.msgs_dropped),
-            msgs_duplicated: self.msgs_duplicated.saturating_sub(earlier.msgs_duplicated),
-            msgs_blackholed: self.msgs_blackholed.saturating_sub(earlier.msgs_blackholed),
-            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
-            events_dispatched: self
-                .events_dispatched
-                .saturating_sub(earlier.events_dispatched),
-        }
-    }
 }
 
 impl Metrics {

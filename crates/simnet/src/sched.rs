@@ -162,6 +162,7 @@ struct Shared {
     registry: Mutex<Registry>,
     network: Mutex<Network>,
     metrics: Arc<Metrics>,
+    obs: Arc<obs::MetricsRegistry>,
     rng: Mutex<StdRng>,
     trace: Mutex<Option<Trace>>,
 }
@@ -279,6 +280,7 @@ impl Shared {
             yield_tx: yield_tx.clone(),
             stopped: false,
             seq_counter: std::cell::Cell::new(0),
+            current_span: std::cell::Cell::new(obs::SpanId::NONE),
         };
 
         let handle = std::thread::Builder::new()
@@ -371,6 +373,7 @@ pub struct Ctx {
     yield_tx: Sender<YieldMsg>,
     stopped: bool,
     seq_counter: std::cell::Cell<u64>,
+    current_span: std::cell::Cell<obs::SpanId>,
 }
 
 impl std::fmt::Debug for Ctx {
@@ -424,6 +427,27 @@ impl Ctx {
         let v = self.seq_counter.get() + 1;
         self.seq_counter.set(v);
         v
+    }
+
+    /// The simulation-wide observability registry: spans, latency
+    /// histograms and aggregated protocol counters all land here.
+    pub fn obs(&self) -> &obs::MetricsRegistry {
+        &self.shared.obs
+    }
+
+    /// The span currently active in this process, or [`obs::SpanId::NONE`].
+    ///
+    /// Protocol layers stamp this onto outgoing packets so that work done
+    /// on behalf of an invocation (dispatches, retransmissions, one-way
+    /// notifications) stays attributable to it.
+    pub fn current_span(&self) -> obs::SpanId {
+        self.current_span.get()
+    }
+
+    /// Makes `span` the process's active span and returns the previous
+    /// one, which the caller must restore when its scope ends.
+    pub fn set_current_span(&self, span: obs::SpanId) -> obs::SpanId {
+        self.current_span.replace(span)
     }
 
     /// Sends `payload` to `dst`. Non-blocking; delivery (or loss) is
@@ -685,6 +709,7 @@ impl Simulation {
                 }),
                 network: Mutex::new(Network::new(config)),
                 metrics: Arc::new(Metrics::new()),
+                obs: Arc::new(obs::MetricsRegistry::new()),
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 trace: Mutex::new(None),
             }),
@@ -700,6 +725,21 @@ impl Simulation {
     /// Current network/scheduler counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The simulation-wide observability registry (same instance every
+    /// process sees through [`Ctx::obs`]).
+    pub fn obs(&self) -> &obs::MetricsRegistry {
+        &self.shared.obs
+    }
+
+    /// Builds the unified observability report: network counters, RPC
+    /// counters, per-proxy/per-server stats, per-op latency percentiles
+    /// and the span summary, as of the current simulated time.
+    pub fn obs_report(&self) -> obs::RunReport {
+        self.shared
+            .obs
+            .report(self.shared.metrics.snapshot(), self.shared.now().as_nanos())
     }
 
     /// Starts recording a timeline of up to `capacity` events (older

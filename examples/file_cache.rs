@@ -19,35 +19,32 @@ fn main() {
 
     // File server on node 1, with 100µs of simulated disk time per block.
     // The service chooses invalidation-coherent caching proxies.
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "src-tree",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("src-tree")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 4096,
-        }),
-        || Box::new(BlockFile::new().with_disk_time(Duration::from_micros(100))),
-    );
+        }))
+        .object(|| Box::new(BlockFile::new().with_disk_time(Duration::from_micros(100))))
+        .spawn(&sim, NodeId(1), ns);
 
     // Engineer A: writes a file, then "builds" (re-reads it many times).
     sim.spawn("engineer-a", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let fs = FileClient::bind(&mut rt, ctx, "src-tree").expect("bind");
+        let mut session = Session::new(&mut rt, ctx);
+        let fs = FileClient::bind(&mut session, "src-tree").expect("bind");
 
         for block in 0..8u64 {
-            fs.write(&mut rt, ctx, "main.rs", block, vec![b'a'; 512])
+            fs.write(&mut session, "main.rs", block, vec![b'a'; 512])
                 .expect("write");
         }
         // Three "build passes" over the whole file.
         for _pass in 0..3 {
             for block in 0..8u64 {
-                let data = fs.read(&mut rt, ctx, "main.rs", block).expect("read");
+                let data = fs.read(&mut session, "main.rs", block).expect("read");
                 assert!(data.is_some());
             }
         }
-        let s = rt.stats(fs.handle());
+        let s = session.stats(fs.handle());
         println!(
             "engineer-a: {} reads, {} from cache, {} remote",
             24, s.local_hits, s.remote_calls
@@ -57,8 +54,8 @@ fn main() {
         assert!(s.local_hits >= 15, "second and third passes should hit");
 
         // Keep polling briefly so engineer B's save can invalidate us.
-        ctx.sleep(Duration::from_millis(30)).unwrap();
-        let after_save = fs.read(&mut rt, ctx, "main.rs", 0).expect("read");
+        session.ctx().sleep(Duration::from_millis(30)).unwrap();
+        let after_save = fs.read(&mut session, "main.rs", 0).expect("read");
         assert_eq!(
             after_save.as_deref(),
             Some(&[b'B'; 512][..]),
@@ -71,8 +68,9 @@ fn main() {
     sim.spawn("engineer-b", NodeId(3), move |ctx| {
         ctx.sleep(Duration::from_millis(15)).unwrap();
         let mut rt = ClientRuntime::new(ns);
-        let fs = FileClient::bind(&mut rt, ctx, "src-tree").expect("bind");
-        fs.write(&mut rt, ctx, "main.rs", 0, vec![b'B'; 512])
+        let mut session = Session::new(&mut rt, ctx);
+        let fs = FileClient::bind(&mut session, "src-tree").expect("bind");
+        fs.write(&mut session, "main.rs", 0, vec![b'B'; 512])
             .expect("save");
         println!("engineer-b: saved main.rs block 0");
     });

@@ -21,27 +21,24 @@ fn main() {
 
     // The service chooses a migratory proxy: any client that makes 10
     // calls takes custody of the object.
-    spawn_service_with_factories(
-        &sim,
-        NodeId(1),
-        ns,
-        "edit-count",
-        ProxySpec::Migratory { threshold: 10 },
-        factories.clone(),
-        || Box::new(Counter::new()),
-    );
+    ServiceBuilder::new("edit-count")
+        .spec(ProxySpec::Migratory { threshold: 10 })
+        .factories(factories.clone())
+        .object(|| Box::new(Counter::new()))
+        .spawn(&sim, NodeId(1), ns);
 
     let f_editor = factories.clone();
     sim.spawn("editor", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns).with_factories(f_editor);
-        let doc = CounterClient::bind(&mut rt, ctx, "edit-count").expect("bind");
+        let mut session = Session::new(&mut rt, ctx);
+        let doc = CounterClient::bind(&mut session, "edit-count").expect("bind");
 
-        let t0 = ctx.now();
+        let t0 = session.ctx().now();
         for _ in 0..200 {
-            doc.inc(&mut rt, ctx).expect("inc");
+            doc.inc(&mut session).expect("inc");
         }
-        let elapsed = ctx.now() - t0;
-        let s = rt.stats(doc.handle());
+        let elapsed = session.ctx().now() - t0;
+        let s = session.stats(doc.handle());
         println!(
             "editor: 200 increments in {:.2}ms — {} remote, {} local, {} migration(s)",
             elapsed.as_secs_f64() * 1e3,
@@ -54,27 +51,31 @@ fn main() {
 
         // Stay responsive so the recall (for the reviewer) is honoured.
         for _ in 0..30 {
-            ctx.sleep(Duration::from_millis(2)).unwrap();
-            rt.pump(ctx);
+            session.ctx().sleep(Duration::from_millis(2)).unwrap();
+            session.pump();
         }
-        println!("editor: checkins = {}", rt.stats(doc.handle()).checkins);
+        println!(
+            "editor: checkins = {}",
+            session.stats(doc.handle()).checkins
+        );
     });
 
     sim.spawn("reviewer", NodeId(3), move |ctx| {
         ctx.sleep(Duration::from_millis(25)).unwrap();
         let mut rt = ClientRuntime::new(ns).with_factories(factories);
-        let doc = CounterClient::bind(&mut rt, ctx, "edit-count").expect("bind");
+        let mut session = Session::new(&mut rt, ctx);
+        let doc = CounterClient::bind(&mut session, "edit-count").expect("bind");
         // The object is checked out to the editor; the service recalls
         // it on our behalf. Retry until the transfer completes.
         for attempt in 0..100 {
-            match doc.get(&mut rt, ctx) {
+            match doc.get(&mut session) {
                 Ok(v) => {
                     println!("reviewer: edit count = {v} (after {attempt} retries)");
                     assert_eq!(v, 200);
                     return;
                 }
                 Err(RpcError::Remote(ref e)) if e.code == ErrorCode::Unavailable => {
-                    ctx.sleep(Duration::from_millis(2)).unwrap();
+                    session.ctx().sleep(Duration::from_millis(2)).unwrap();
                 }
                 Err(e) => panic!("unexpected error: {e}"),
             }

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use proxide::prelude::*;
-use proxide::proxy_core::{spawn_service_recovered, CheckpointPolicy, ServiceServer, StableStore};
+use proxide::proxy_core::{CheckpointPolicy, ServiceServer, StableStore};
 use proxide::services::all_factories;
 use proxide::services::kv::{KvClient, KvStore};
 
@@ -20,29 +20,25 @@ fn main() {
     let store = StableStore::new();
 
     // A kv service that checkpoints after every 3 writes.
-    let incarnation_one = spawn_service_recovered(
-        &sim,
-        NodeId(1),
-        ns,
-        "ledger",
-        ProxySpec::Stub,
-        all_factories(),
-        CheckpointPolicy::every(store.clone(), 3),
-        || Box::new(KvStore::new()),
-    );
+    let incarnation_one = ServiceBuilder::new("ledger")
+        .factories(all_factories())
+        .recovered(CheckpointPolicy::every(store.clone(), 3))
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
 
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let ledger = KvClient::bind(&mut rt, ctx, "ledger").expect("bind");
+        let mut session = Session::new(&mut rt, ctx);
+        let ledger = KvClient::bind(&mut session, "ledger").expect("bind");
 
         for (k, v) in [("mon", "12"), ("tue", "7"), ("wed", "31"), ("thu", "4")] {
-            ledger.put(&mut rt, ctx, k, v).expect("put");
+            ledger.put(&mut session, k, v).expect("put");
         }
         println!("client: wrote 4 entries (checkpoint covers the first 3)");
 
         // ── The service crashes. ────────────────────────────────────
-        assert!(ctx.kill(incarnation_one));
-        match ledger.get(&mut rt, ctx, "mon") {
+        assert!(session.ctx().kill(incarnation_one));
+        match ledger.get(&mut session, "mon") {
             Err(RpcError::Timeout { .. }) => println!("client: service is down (call timed out)"),
             other => panic!("expected an outage, got {other:?}"),
         }
@@ -50,25 +46,27 @@ fn main() {
         // ── Operations restarts it on the same node from its disk. ──
         let factories = all_factories();
         let policy = CheckpointPolicy::every(store.clone(), 3);
-        ctx.spawn("ledger-reborn", NodeId(1), move |sctx| {
-            let default: Box<dyn ServiceObject> = Box::new(KvStore::new());
-            let object = match policy.store.load(sctx.node(), "ledger") {
-                Some(snapshot) => factories
-                    .create(proxide::services::kv::TYPE_NAME, &snapshot)
-                    .unwrap_or(default),
-                None => default,
-            };
-            ServiceServer::new("ledger", object, ProxySpec::Stub)
-                .with_factories(factories)
-                .with_checkpointing(policy)
-                .run(sctx, ns);
-        });
-        ctx.sleep(Duration::from_millis(10)).unwrap();
+        session
+            .ctx()
+            .spawn("ledger-reborn", NodeId(1), move |sctx| {
+                let default: Box<dyn ServiceObject> = Box::new(KvStore::new());
+                let object = match policy.store.load(sctx.node(), "ledger") {
+                    Some(snapshot) => factories
+                        .create(proxide::services::kv::TYPE_NAME, &snapshot)
+                        .unwrap_or(default),
+                    None => default,
+                };
+                ServiceServer::new("ledger", object, ProxySpec::Stub)
+                    .with_factories(factories)
+                    .with_checkpointing(policy)
+                    .run(sctx, ns);
+            });
+        session.ctx().sleep(Duration::from_millis(10)).unwrap();
 
         // Same proxy keeps working: it re-resolves through the name
         // service on its next call.
-        let mon = ledger.get(&mut rt, ctx, "mon").expect("get after recovery");
-        let thu = ledger.get(&mut rt, ctx, "thu").expect("get after recovery");
+        let mon = ledger.get(&mut session, "mon").expect("get after recovery");
+        let thu = ledger.get(&mut session, "thu").expect("get after recovery");
         println!(
             "client: after recovery mon={:?} (checkpointed), thu={:?} (lost with the crash)",
             mon, thu
@@ -77,7 +75,7 @@ fn main() {
         assert_eq!(thu, None);
         println!(
             "client: proxy rebinds performed transparently: {}",
-            rt.stats(ledger.handle()).rebinds
+            session.stats(ledger.handle()).rebinds
         );
     });
 

@@ -18,32 +18,29 @@ fn main() {
     // The SERVICE decides its clients run caching proxies. Changing this
     // one line to `ProxySpec::Stub` changes the distribution strategy of
     // every client — without touching any client code.
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "settings",
-        ProxySpec::Caching(CachingParams::default()),
-        || Box::new(KvStore::new()),
-    );
+    ServiceBuilder::new("settings")
+        .spec(ProxySpec::Caching(CachingParams::default()))
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
 
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let kv = KvClient::bind(&mut rt, ctx, "settings").expect("bind");
+        let mut session = Session::new(&mut rt, ctx);
+        let kv = KvClient::bind(&mut session, "settings").expect("bind");
 
-        kv.put(&mut rt, ctx, "theme", "dark").expect("put");
-        kv.put(&mut rt, ctx, "lang", "en").expect("put");
+        kv.put(&mut session, "theme", "dark").expect("put");
+        kv.put(&mut session, "lang", "en").expect("put");
 
         // Read each key a few times; only the first read of each goes
         // over the network.
         for _ in 0..5 {
-            let theme = kv.get(&mut rt, ctx, "theme").expect("get");
-            let lang = kv.get(&mut rt, ctx, "lang").expect("get");
+            let theme = kv.get(&mut session, "theme").expect("get");
+            let lang = kv.get(&mut session, "lang").expect("get");
             assert_eq!(theme.as_deref(), Some("dark"));
             assert_eq!(lang.as_deref(), Some("en"));
         }
 
-        let stats = rt.stats(kv.handle());
+        let stats = session.stats(kv.handle());
         println!("invocations : {}", stats.invocations);
         println!("remote calls: {}", stats.remote_calls);
         println!("cache hits  : {}", stats.local_hits);

@@ -53,17 +53,18 @@ fn main() {
     // The Paris client seeds the directory.
     sim.spawn("paris", NodeId(11), move |ctx| {
         let mut rt = client_runtime(ns);
-        let dir = DirectoryClient::bind(&mut rt, ctx, "staff").expect("bind");
+        let mut session = Session::new(&mut rt, ctx);
+        let dir = DirectoryClient::bind(&mut session, "staff").expect("bind");
         for (path, name) in [
             ("/eng/alice", "Alice — systems"),
             ("/eng/bob", "Bob — networks"),
             ("/ops/carol", "Carol — sites"),
         ] {
-            dir.insert(&mut rt, ctx, path, name).expect("insert");
+            dir.insert(&mut session, path, name).expect("insert");
         }
         println!(
             "paris: seeded {} entries",
-            dir.list(&mut rt, ctx, "/").unwrap().len()
+            dir.list(&mut session, "/").unwrap().len()
         );
     });
 
@@ -71,21 +72,26 @@ fn main() {
     for (name, node) in [("london", 12u32), ("oslo", 13)] {
         sim.spawn(name, NodeId(node), move |ctx| {
             let mut rt = client_runtime(ns);
-            let dir = DirectoryClient::bind(&mut rt, ctx, "staff").expect("bind");
+            let mut session = Session::new(&mut rt, ctx);
+            let dir = DirectoryClient::bind(&mut session, "staff").expect("bind");
             // Wait for the Paris seed (sync-propagated writes over slow
             // inter-site links) to become visible.
-            while dir.list(&mut rt, ctx, "/").expect("list").len() < 3 {
-                ctx.sleep(Duration::from_millis(10)).unwrap();
+            while dir.list(&mut session, "/").expect("list").len() < 3 {
+                session.ctx().sleep(Duration::from_millis(10)).unwrap();
             }
-            let t0 = ctx.now();
+            let t0 = session.ctx().now();
             for _ in 0..20 {
-                let eng = dir.list(&mut rt, ctx, "/eng/").expect("list");
+                let eng = dir.list(&mut session, "/eng/").expect("list");
                 assert_eq!(eng.len(), 2);
-                let alice = dir.lookup(&mut rt, ctx, "/eng/alice").expect("lookup");
+                let alice = dir.lookup(&mut session, "/eng/alice").expect("lookup");
                 assert!(alice.unwrap().value.starts_with("Alice"));
             }
-            let elapsed = ctx.now() - t0;
-            println!("{}: 40 reads in {} (simulated)", ctx.name(), fmt(elapsed));
+            let elapsed = session.ctx().now() - t0;
+            println!(
+                "{}: 40 reads in {} (simulated)",
+                session.ctx().name(),
+                fmt(elapsed)
+            );
             // 40 nearest reads at ~300µs RTT ≈ 12ms ≪ 40 × 24ms remote.
             assert!(
                 elapsed < Duration::from_millis(100),

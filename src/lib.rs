@@ -29,14 +29,16 @@
 //!
 //! let mut sim = Simulation::new(NetworkConfig::lan(), 7);
 //! let ns = spawn_name_server(&sim, NodeId(0));
-//! spawn_service(&sim, NodeId(1), ns, "kv",
-//!     ProxySpec::Caching(CachingParams::default()),
-//!     || Box::new(services::kv::KvStore::new()));
+//! ServiceBuilder::new("kv")
+//!     .spec(ProxySpec::Caching(CachingParams::default()))
+//!     .object(|| Box::new(services::kv::KvStore::new()))
+//!     .spawn(&sim, NodeId(1), ns);
 //! sim.spawn("client", NodeId(2), move |ctx| {
 //!     let mut rt = ClientRuntime::new(ns);
-//!     let kv = services::kv::KvClient::bind(&mut rt, ctx, "kv").unwrap();
-//!     kv.put(&mut rt, ctx, "color", "blue").unwrap();
-//!     assert_eq!(kv.get(&mut rt, ctx, "color").unwrap().as_deref(), Some("blue"));
+//!     let mut session = Session::new(&mut rt, ctx);
+//!     let kv = services::kv::KvClient::bind(&mut session, "kv").unwrap();
+//!     kv.put(&mut session, "color", "blue").unwrap();
+//!     assert_eq!(kv.get(&mut session, "color").unwrap().as_deref(), Some("blue"));
 //! });
 //! sim.run();
 //! ```
@@ -57,10 +59,12 @@ pub use wire;
 pub mod prelude {
     pub use migration::{request_migration, spawn_migratable, ForwardMode, MigratableConfig};
     pub use naming::{spawn_name_server, NameClient};
+    #[allow(deprecated)]
+    pub use proxy_core::{spawn_service, spawn_service_with_factories};
     pub use proxy_core::{
-        spawn_service, spawn_service_with_factories, AdaptiveParams, Binder, CachingParams,
-        ClientRuntime, Coherence, FactoryRegistry, InterfaceDesc, OpDesc, Proxy, ProxySpec,
-        ReadTarget, ServiceObject, ServiceServer,
+        AdaptiveParams, Binder, CachingParams, ClientRuntime, Coherence, FactoryRegistry,
+        InterfaceDesc, OpDesc, Proxy, ProxySpec, ReadTarget, ServiceBuilder, ServiceObject,
+        ServiceServer, Session,
     };
     pub use replication::{client_runtime, spawn_replica_group, Propagation, ReplicaGroupConfig};
     pub use rpc::{ErrorCode, RemoteError, RpcClient, RpcError, RpcServer};

@@ -6,7 +6,10 @@
 //! * services: caching kv, migratory counter, stub queue, async
 //!   replicated register — all driven concurrently by several clients;
 //! * invariants: read-your-writes on private kv keys, monotonic register
-//!   reads, queue exactly-once bounds, counter conservation.
+//!   reads, queue exactly-once bounds, counter conservation — plus the
+//!   observability layer's own promises: every reply correlates to an
+//!   allocated span, retransmissions share the original call's span, and
+//!   the span graph is causally well-formed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,26 +34,18 @@ fn chaos_soak_preserves_every_layer_invariant() {
     let ns = spawn_name_server(&sim, NodeId(0));
     let factories = proxide::services::all_factories();
 
-    spawn_service(
-        &sim,
-        NodeId(1),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams::default()),
-        || Box::new(KvStore::new()),
-    );
-    spawn_service_with_factories(
-        &sim,
-        NodeId(2),
-        ns,
-        "ctr",
-        ProxySpec::Migratory { threshold: 15 },
-        factories.clone(),
-        || Box::new(Counter::new()),
-    );
-    spawn_service(&sim, NodeId(3), ns, "queue", ProxySpec::Stub, || {
-        Box::new(PrintQueue::new())
-    });
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams::default()))
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
+    ServiceBuilder::new("ctr")
+        .spec(ProxySpec::Migratory { threshold: 15 })
+        .factories(factories.clone())
+        .object(|| Box::new(Counter::new()))
+        .spawn(&sim, NodeId(2), ns);
+    ServiceBuilder::new("queue")
+        .object(|| Box::new(PrintQueue::new()))
+        .spawn(&sim, NodeId(3), ns);
     spawn_replica_group(
         &sim,
         ns,
@@ -75,34 +70,35 @@ fn chaos_soak_preserves_every_layer_invariant() {
         sim.spawn(format!("client{c}"), NodeId(10 + c), move |ctx| {
             let mut rt = ClientRuntime::new(ns).with_factories(facs);
             register_replica_proxy(rt.binder_mut());
-            let kv = match KvClient::bind(&mut rt, ctx, "kv") {
+            let mut s = Session::new(&mut rt, ctx);
+            let kv = match KvClient::bind(&mut s, "kv") {
                 Ok(h) => h,
                 Err(_) => return,
             };
-            let ctr = CounterClient::bind(&mut rt, ctx, "ctr").unwrap();
-            let q = QueueClient::bind(&mut rt, ctx, "queue").unwrap();
-            let reg = rt.bind(ctx, "reg").unwrap();
+            let ctr = CounterClient::bind(&mut s, "ctr").unwrap();
+            let q = QueueClient::bind(&mut s, "queue").unwrap();
+            let reg = s.bind("reg").unwrap();
 
             let mut my_kv: Option<String> = None; // last acked value of MY key
             for round in 0..ROUNDS {
                 // kv: write then read MY OWN key — RYW must hold since
                 // nobody else touches it.
                 let val = format!("r{round}");
-                match kv.put(&mut rt, ctx, &format!("client{c}"), &val) {
+                match kv.put(&mut s, &format!("client{c}"), &val) {
                     Ok(_) => my_kv = Some(val),
                     Err(RpcError::Timeout { .. }) => my_kv = None, // ambiguous
                     Err(RpcError::Remote(_)) | Err(RpcError::Wire(_)) => {}
                     Err(RpcError::Stopped) => return,
                 }
                 if let Some(expect) = &my_kv {
-                    if let Ok(Some(got)) = kv.get(&mut rt, ctx, &format!("client{c}")) {
+                    if let Ok(Some(got)) = kv.get(&mut s, &format!("client{c}")) {
                         if &got != expect {
                             fails.fetch_add(1, Ordering::SeqCst);
                         }
                     }
                 }
                 // counter: count only acknowledged increments.
-                match ctr.inc(&mut rt, ctx) {
+                match ctr.inc(&mut s) {
                     Ok(_) => {
                         incs.fetch_add(1, Ordering::SeqCst);
                     }
@@ -110,7 +106,7 @@ fn chaos_soak_preserves_every_layer_invariant() {
                     Err(_) => {}
                 }
                 // queue: acked submissions must appear exactly once.
-                match q.submit(&mut rt, ctx, &format!("c{c}r{round}")) {
+                match q.submit(&mut s, &format!("c{c}r{round}")) {
                     Ok(_) => {
                         subs.fetch_add(1, Ordering::SeqCst);
                     }
@@ -122,16 +118,15 @@ fn chaos_soak_preserves_every_layer_invariant() {
                 // concurrent writers the *values* are arbitrary, so the
                 // checkable invariant here is just that reads keep
                 // working through partitions and replica lag.
-                let _ = rt.invoke(ctx, reg, "read", Value::Null);
+                let _ = s.invoke(reg, "read", Value::Null);
                 if round % 7 == c as u64 % 7 {
-                    let _ = rt.invoke(
-                        ctx,
+                    let _ = s.invoke(
                         reg,
                         "write",
                         Value::record([("v", Value::U64(round * 100 + c as u64))]),
                     );
                 }
-                if ctx.sleep(Duration::from_millis(2)).is_err() {
+                if s.ctx().sleep(Duration::from_millis(2)).is_err() {
                     return;
                 }
             }
@@ -171,6 +166,166 @@ fn chaos_soak_preserves_every_layer_invariant() {
     // failures above plus a panic-free, deadlock-free run to completion.
     assert!(acked_submissions.load(Ordering::SeqCst) > 0);
     assert!(acked_incs.load(Ordering::SeqCst) > 0);
+
+    // ---- Observability invariants, checked on the same hostile run ----
+    let report = sim.obs_report();
+
+    // Loss forced retransmissions, and each one inside an invocation
+    // was attributed to that call's span (the client re-sends the same
+    // encoded datagram, so the span is shared by construction). Only
+    // bind-time and registration traffic runs outside a span, so the
+    // span-attributed count is a nonzero lower bound on total retries.
+    assert!(report.rpc.client.retries > 0, "chaos run saw no retries?");
+    assert!(
+        report.spans.retransmissions > 0,
+        "no retransmission was attributed to its call's span"
+    );
+    assert!(
+        report.spans.retransmissions <= report.rpc.client.retries,
+        "more span retransmissions ({}) than rpc retries ({})?",
+        report.spans.retransmissions,
+        report.rpc.client.retries
+    );
+
+    // Every reply that reached a client correlated with a span this
+    // registry actually allocated — duplicated replies may arrive late
+    // (after their span closed) but never unknown.
+    assert_eq!(
+        report.spans.replies.unknown_span, 0,
+        "reply correlated to a span nobody opened"
+    );
+    assert!(
+        report.spans.replies.matched > 0,
+        "no reply matched a live span"
+    );
+
+    // The span graph itself is causally well-formed: parents exist,
+    // children do not start before their parents, dispatches are never
+    // parented to one-way notifications.
+    let violations = sim.obs().verify_causality();
+    assert!(
+        violations.is_empty(),
+        "span causality violated: {violations:?}"
+    );
+
+    // The unified report covers the layers this soak exercised.
+    assert!(report.net.msgs_dropped > 0, "lossy run dropped nothing?");
+    assert!(report.rpc.server.executed > 0);
+    assert!(
+        report.ops.keys().any(|k| k.starts_with("kv/")),
+        "kv latency histograms missing from report: {:?}",
+        report.ops.keys().collect::<Vec<_>>()
+    );
+    assert!(!report.proxies.is_empty(), "proxy stats never published");
+    assert!(!report.servers.is_empty(), "server stats never published");
+}
+
+/// Proxy self-repair counters under adversity: a lossy, partitioned
+/// network must surface as `retries` and `rebinds` (stub re-resolving a
+/// dead endpoint), and a phase-shifted workload must surface as
+/// `strategy_switches` on an adaptive proxy. The soak above checks
+/// invariants; this checks the *meters* the experiments read.
+#[test]
+fn proxy_stats_meter_adversity() {
+    // Part 1: rebinds + retries. A stub client calls a migratable
+    // counter through a lossy network; mid-run the object migrates, so
+    // the old home answers `Moved` redirects and the proxy must repair
+    // its binding. A partition window adds timeout pressure on top.
+    let cfg = NetworkConfig::lan().with_loss(0.10).with_jitter(0.2);
+    let mut sim = Simulation::new(cfg, 4242);
+    let ns = spawn_name_server(&sim, NodeId(0));
+    let factories = proxide::services::all_factories();
+    let home = spawn_migratable(
+        &sim,
+        NodeId(1),
+        ns,
+        MigratableConfig::new("ctr"),
+        factories.clone(),
+        || Box::new(Counter::new()),
+    );
+
+    let observed = Arc::new(AtomicU64::new(0));
+    let obs2 = Arc::clone(&observed);
+    sim.spawn("client", NodeId(2), move |ctx| {
+        let mut rt = ClientRuntime::new(ns).with_factories(factories);
+        let mut s = Session::new(&mut rt, ctx);
+        let ctr = CounterClient::bind(&mut s, "ctr").unwrap();
+        for _ in 0..15 {
+            let _ = ctr.inc(&mut s);
+        }
+        // Move the object: the stale binding now yields Moved redirects,
+        // each repaired with a rebind to the forwarder's next hop.
+        request_migration(s.ctx(), home, NodeId(3)).unwrap();
+        for _ in 0..15 {
+            let _ = ctr.inc(&mut s);
+        }
+        // A partition window forces timeouts too (retries under loss are
+        // already guaranteed by the 10% drop rate).
+        s.ctx().net().partition(NodeId(3), NodeId(2));
+        let _ = ctr.get(&mut s);
+        s.ctx().net().heal(NodeId(3), NodeId(2));
+        let _ = ctr.get(&mut s);
+
+        let stats = s.stats(ctr.handle());
+        assert!(stats.invocations >= 32);
+        assert!(
+            stats.rebinds >= 1,
+            "Moved redirects after migration must repair the binding: {stats:?}"
+        );
+        obs2.store(1, Ordering::SeqCst);
+    });
+    sim.run();
+    assert_eq!(observed.load(Ordering::SeqCst), 1);
+
+    // The lossy network must also show up as RPC retries in the unified
+    // report, and the published per-proxy stats must match what the
+    // client saw (the registry holds the last snapshot).
+    let report = sim.obs_report();
+    assert!(
+        report.rpc.client.retries > 0,
+        "10% loss produced no retransmissions?"
+    );
+    let proxy = report
+        .proxies
+        .get("ctr@client")
+        .expect("client proxy stats published to the registry");
+    assert!(proxy.rebinds >= 1);
+
+    // Part 2: strategy_switches. Drive an adaptive proxy read-heavy
+    // (caching turns on), then write-heavy (caching turns off): two
+    // switches, visible both locally and in the registry.
+    let mut sim = Simulation::new(NetworkConfig::lan(), 4343);
+    let ns = spawn_name_server(&sim, NodeId(0));
+    ServiceBuilder::new("adapt")
+        .spec(ProxySpec::Adaptive(AdaptiveParams::default()))
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
+    sim.spawn("client", NodeId(2), move |ctx| {
+        let mut rt = ClientRuntime::new(ns);
+        let mut s = Session::new(&mut rt, ctx);
+        let kv = KvClient::bind(&mut s, "adapt").unwrap();
+        kv.put(&mut s, "k", "v").unwrap();
+        for _ in 0..40 {
+            kv.get(&mut s, "k").unwrap(); // read-heavy: caching turns on
+        }
+        for i in 0..40u64 {
+            kv.put(&mut s, "k", &format!("v{i}")).unwrap(); // write-heavy: off again
+        }
+        let stats = s.stats(kv.handle());
+        assert!(
+            stats.strategy_switches >= 2,
+            "read->write phase shift must toggle the adaptive strategy: {stats:?}"
+        );
+    });
+    sim.run();
+    let report = sim.obs_report();
+    assert!(
+        report
+            .proxies
+            .get("adapt@client")
+            .is_some_and(|p| p.strategy_switches >= 2),
+        "strategy switches not published to the registry"
+    );
 }
 
 /// Minimal register object for the replicated group.

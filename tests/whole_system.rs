@@ -21,40 +21,28 @@ fn five_services_five_strategies_one_client() {
     let ns = spawn_name_server(&sim, NodeId(0));
     let factories = proxide::services::all_factories();
 
-    spawn_service(&sim, NodeId(1), ns, "kv", ProxySpec::Stub, || {
-        Box::new(KvStore::new())
-    });
-    spawn_service(
-        &sim,
-        NodeId(2),
-        ns,
-        "files",
+    ServiceBuilder::new("kv")
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
+    ServiceBuilder::new("files")
         // Pure invalidation coherence: entries live until written, so the
         // second read pass below hits even though it happens tens of
         // simulated milliseconds later.
-        ProxySpec::Caching(CachingParams {
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 1024,
-        }),
-        || Box::new(BlockFile::new()),
-    );
-    spawn_service_with_factories(
-        &sim,
-        NodeId(3),
-        ns,
-        "counter",
-        ProxySpec::Migratory { threshold: 5 },
-        factories.clone(),
-        || Box::new(Counter::new()),
-    );
-    spawn_service(
-        &sim,
-        NodeId(4),
-        ns,
-        "queue",
-        ProxySpec::Adaptive(AdaptiveParams::default()),
-        || Box::new(PrintQueue::new()),
-    );
+        }))
+        .object(|| Box::new(BlockFile::new()))
+        .spawn(&sim, NodeId(2), ns);
+    ServiceBuilder::new("counter")
+        .spec(ProxySpec::Migratory { threshold: 5 })
+        .factories(factories.clone())
+        .object(|| Box::new(Counter::new()))
+        .spawn(&sim, NodeId(3), ns);
+    ServiceBuilder::new("queue")
+        .spec(ProxySpec::Adaptive(AdaptiveParams::default()))
+        .object(|| Box::new(PrintQueue::new()))
+        .spawn(&sim, NodeId(4), ns);
     spawn_replica_group(
         &sim,
         ns,
@@ -72,48 +60,46 @@ fn five_services_five_strategies_one_client() {
     sim.spawn("client", NodeId(9), move |ctx| {
         let mut rt = ClientRuntime::new(ns).with_factories(factories);
         register_replica_proxy(rt.binder_mut());
+        let mut s = Session::new(&mut rt, ctx);
 
-        let kv = KvClient::bind(&mut rt, ctx, "kv").unwrap();
-        let fs = FileClient::bind(&mut rt, ctx, "files").unwrap();
-        let ctr = CounterClient::bind(&mut rt, ctx, "counter").unwrap();
-        let q = QueueClient::bind(&mut rt, ctx, "queue").unwrap();
-        let dir = DirectoryClient::bind(&mut rt, ctx, "dir").unwrap();
+        let kv = KvClient::bind(&mut s, "kv").unwrap();
+        let fs = FileClient::bind(&mut s, "files").unwrap();
+        let ctr = CounterClient::bind(&mut s, "counter").unwrap();
+        let q = QueueClient::bind(&mut s, "queue").unwrap();
+        let dir = DirectoryClient::bind(&mut s, "dir").unwrap();
 
         // Interleave operations across all five.
         for i in 0..20u64 {
-            kv.put(&mut rt, ctx, &format!("k{i}"), "v").unwrap();
-            fs.write(&mut rt, ctx, "f", i, vec![i as u8]).unwrap();
-            ctr.inc(&mut rt, ctx).unwrap();
-            q.submit(&mut rt, ctx, &format!("job{i}")).unwrap();
-            dir.insert(&mut rt, ctx, &format!("/p{i}"), "x").unwrap();
+            kv.put(&mut s, &format!("k{i}"), "v").unwrap();
+            fs.write(&mut s, "f", i, vec![i as u8]).unwrap();
+            ctr.inc(&mut s).unwrap();
+            q.submit(&mut s, &format!("job{i}")).unwrap();
+            dir.insert(&mut s, &format!("/p{i}"), "x").unwrap();
         }
         for pass in 0..2 {
             for i in 0..20u64 {
                 assert_eq!(
-                    kv.get(&mut rt, ctx, &format!("k{i}")).unwrap().as_deref(),
+                    kv.get(&mut s, &format!("k{i}")).unwrap().as_deref(),
                     Some("v")
                 );
                 assert_eq!(
-                    fs.read(&mut rt, ctx, "f", i).unwrap().as_deref(),
+                    fs.read(&mut s, "f", i).unwrap().as_deref(),
                     Some(&[i as u8][..])
                 );
-                assert!(dir
-                    .lookup(&mut rt, ctx, &format!("/p{i}"))
-                    .unwrap()
-                    .is_some());
+                assert!(dir.lookup(&mut s, &format!("/p{i}")).unwrap().is_some());
             }
             let _ = pass;
         }
-        assert_eq!(ctr.get(&mut rt, ctx).unwrap(), 20);
-        assert_eq!(q.len(&mut rt, ctx).unwrap(), 20);
-        let job = q.take(&mut rt, ctx).unwrap().unwrap();
+        assert_eq!(ctr.get(&mut s).unwrap(), 20);
+        assert_eq!(q.len(&mut s).unwrap(), 20);
+        let job = q.take(&mut s).unwrap().unwrap();
         assert_eq!(job.doc, "job0");
 
         // The migratory counter should have localized.
-        assert_eq!(rt.stats(ctr.handle()).migrations, 1);
+        assert_eq!(s.stats(ctr.handle()).migrations, 1);
         // The caching file proxy fills on the first read pass and hits
         // on the whole second pass.
-        assert!(rt.stats(fs.handle()).local_hits >= 20);
+        assert!(s.stats(fs.handle()).local_hits >= 20);
 
         d.store(1, Ordering::SeqCst);
     });
@@ -128,24 +114,21 @@ fn whole_system_is_deterministic() {
     fn run(seed: u64) -> (u64, u64, u64) {
         let mut sim = Simulation::new(NetworkConfig::lan().with_jitter(0.2).with_loss(0.05), seed);
         let ns = spawn_name_server(&sim, NodeId(0));
-        spawn_service(
-            &sim,
-            NodeId(1),
-            ns,
-            "kv",
-            ProxySpec::Caching(CachingParams::default()),
-            || Box::new(KvStore::new()),
-        );
+        ServiceBuilder::new("kv")
+            .spec(ProxySpec::Caching(CachingParams::default()))
+            .object(|| Box::new(KvStore::new()))
+            .spawn(&sim, NodeId(1), ns);
         for c in 0..3u32 {
             sim.spawn(format!("c{c}"), NodeId(2 + c), move |ctx| {
                 let mut rt = ClientRuntime::new(ns);
-                let kv = KvClient::bind(&mut rt, ctx, "kv").unwrap();
+                let mut s = Session::new(&mut rt, ctx);
+                let kv = KvClient::bind(&mut s, "kv").unwrap();
                 for i in 0..30u64 {
                     let key = format!("k{}", i % 7);
                     if i % 3 == 0 {
-                        let _ = kv.put(&mut rt, ctx, &key, "x");
+                        let _ = kv.put(&mut s, &key, "x");
                     } else {
-                        let _ = kv.get(&mut rt, ctx, &key);
+                        let _ = kv.get(&mut s, &key);
                     }
                 }
             });
@@ -171,17 +154,18 @@ fn queue_is_exactly_once_under_hostile_network() {
         .with_jitter(0.3);
     let mut sim = Simulation::new(cfg, 200);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "printq", ProxySpec::Stub, || {
-        Box::new(PrintQueue::new())
-    });
+    ServiceBuilder::new("printq")
+        .object(|| Box::new(PrintQueue::new()))
+        .spawn(&sim, NodeId(1), ns);
     let submitted = Arc::new(AtomicU64::new(0));
     let s2 = Arc::clone(&submitted);
     sim.spawn("submitter", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let q = QueueClient::bind(&mut rt, ctx, "printq").unwrap();
+        let mut s = Session::new(&mut rt, ctx);
+        let q = QueueClient::bind(&mut s, "printq").unwrap();
         let mut ok = 0u64;
         for i in 0..60 {
-            match q.submit(&mut rt, ctx, &format!("doc{i}")) {
+            match q.submit(&mut s, &format!("doc{i}")) {
                 Ok(_) => ok += 1,
                 Err(RpcError::Timeout { .. }) => {} // may have executed; counted below
                 Err(e) => panic!("unexpected: {e}"),
@@ -190,7 +174,7 @@ fn queue_is_exactly_once_under_hostile_network() {
         s2.store(ok, Ordering::SeqCst);
         // Drain: the queue length must be between the acknowledged count
         // (every acked submit executed exactly once) and 60.
-        let len = q.len(&mut rt, ctx).unwrap();
+        let len = q.len(&mut s).unwrap();
         assert!(len >= ok, "acked submissions missing: {len} < {ok}");
         assert!(len <= 60, "duplicate executions inflated the queue: {len}");
     });
@@ -214,34 +198,31 @@ fn migration_and_caching_coexist() {
         factories.clone(),
         || Box::new(Counter::new()),
     );
-    spawn_service(
-        &sim,
-        NodeId(2),
-        ns,
-        "kv",
-        ProxySpec::Caching(CachingParams {
+    ServiceBuilder::new("kv")
+        .spec(ProxySpec::Caching(CachingParams {
             coherence: Coherence::Invalidate,
             capacity: 128,
-        }),
-        || Box::new(KvStore::new()),
-    );
+        }))
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(2), ns);
 
     sim.spawn("client", NodeId(3), move |ctx| {
         let mut rt = ClientRuntime::new(ns).with_factories(factories);
-        let ctr = CounterClient::bind(&mut rt, ctx, "ctr").unwrap();
-        let kv = KvClient::bind(&mut rt, ctx, "kv").unwrap();
+        let mut s = Session::new(&mut rt, ctx);
+        let ctr = CounterClient::bind(&mut s, "ctr").unwrap();
+        let kv = KvClient::bind(&mut s, "kv").unwrap();
 
-        kv.put(&mut rt, ctx, "a", "1").unwrap();
-        assert_eq!(kv.get(&mut rt, ctx, "a").unwrap().as_deref(), Some("1"));
-        ctr.inc(&mut rt, ctx).unwrap();
+        kv.put(&mut s, "a", "1").unwrap();
+        assert_eq!(kv.get(&mut s, "a").unwrap().as_deref(), Some("1"));
+        ctr.inc(&mut s).unwrap();
 
         // Move the counter to another node mid-session.
-        request_migration(ctx, home, NodeId(4)).unwrap();
+        request_migration(s.ctx(), home, NodeId(4)).unwrap();
 
         // Both services still work; cached kv entry still valid.
-        assert_eq!(ctr.inc(&mut rt, ctx).unwrap(), 2);
-        assert_eq!(kv.get(&mut rt, ctx, "a").unwrap().as_deref(), Some("1"));
-        let kv_stats = rt.stats(kv.handle());
+        assert_eq!(ctr.inc(&mut s).unwrap(), 2);
+        assert_eq!(kv.get(&mut s, "a").unwrap().as_deref(), Some("1"));
+        let kv_stats = s.stats(kv.handle());
         assert_eq!(kv_stats.local_hits, 1, "cache disturbed by migration");
     });
     sim.run();
@@ -253,22 +234,23 @@ fn migration_and_caching_coexist() {
 fn crash_and_recovery_through_same_proxy() {
     let mut sim = Simulation::new(NetworkConfig::lan(), 400);
     let ns = spawn_name_server(&sim, NodeId(0));
-    spawn_service(&sim, NodeId(1), ns, "kv", ProxySpec::Stub, || {
-        Box::new(KvStore::new())
-    });
+    ServiceBuilder::new("kv")
+        .object(|| Box::new(KvStore::new()))
+        .spawn(&sim, NodeId(1), ns);
     sim.spawn("client", NodeId(2), move |ctx| {
         let mut rt = ClientRuntime::new(ns);
-        let kv = KvClient::bind(&mut rt, ctx, "kv").unwrap();
-        kv.put(&mut rt, ctx, "x", "1").unwrap();
+        let mut s = Session::new(&mut rt, ctx);
+        let kv = KvClient::bind(&mut s, "kv").unwrap();
+        kv.put(&mut s, "x", "1").unwrap();
 
-        ctx.net().take_down(NodeId(1));
-        match kv.get(&mut rt, ctx, "x") {
+        s.ctx().net().take_down(NodeId(1));
+        match kv.get(&mut s, "x") {
             Err(RpcError::Timeout { .. }) => {}
             other => panic!("expected timeout while down, got {other:?}"),
         }
 
-        ctx.net().bring_up(NodeId(1));
-        assert_eq!(kv.get(&mut rt, ctx, "x").unwrap().as_deref(), Some("1"));
+        s.ctx().net().bring_up(NodeId(1));
+        assert_eq!(kv.get(&mut s, "x").unwrap().as_deref(), Some("1"));
     });
     sim.run();
 }

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no access to a crate registry, so the
+//! workspace patches `bytes` to this API-compatible subset (see
+//! `[patch.crates-io]` in the workspace `Cargo.toml`). It provides the
+//! pieces this repository actually uses: [`Bytes`] (cheaply clonable,
+//! immutable), [`BytesMut`] (growable builder) and the [`BufMut`]
+//! writer methods. Remove the patch to use the real crate when a
+//! registry is reachable.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice (copied here; the real crate borrows).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-range sharing the same backing allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for b in self.iter() {
+            for esc in std::ascii::escape_default(*b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref().iter()
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Writer methods for growable byte buffers (subset of the real trait).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian f64.
+    fn put_f64_le(&mut self, x: f64) {
+        self.put_slice(&x.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(1);
+        b.put_u32_le(0x0403_0201);
+        b.put_slice(b"xy");
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 7);
+        assert_eq!(&frozen[..], &[1, 1, 2, 3, 4, b'x', b'y']);
+        let s = frozen.slice(1..5);
+        assert_eq!(&s[..], &[1, 2, 3, 4]);
+        assert_eq!(s.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a.clone(), b);
+        assert!(Bytes::new().is_empty());
+    }
+}

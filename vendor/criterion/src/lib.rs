@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark body for a short, fixed number of iterations and
+//! prints a rough mean per-iteration time. No statistics, plots or
+//! saved baselines — just enough to keep `benches/` compiling and
+//! runnable without a crate registry.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (the real crate's is compatible).
+pub use std::hint::black_box;
+
+/// Iteration count used by the stand-in (the real crate samples
+/// adaptively).
+const ITERS: u64 = 1000;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted and ignored (the stand-in has a fixed budget).
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Accepted and ignored.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Accepted and ignored.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        run_one("", id, f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (throughput reporting is not implemented).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.to_string(), f);
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.name, &id.label, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark body to drive iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = ITERS;
+    }
+
+    /// Lets the body time itself: `f(iters)` returns the measured
+    /// duration for `iters` iterations.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        // Keep custom bodies (which may build whole simulations) cheap.
+        let iters = 100;
+        self.total = f(iters);
+        self.iters = iters;
+    }
+}
+
+fn run_one(group: &str, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let per = if b.iters > 0 {
+        b.total.as_nanos() as f64 / b.iters as f64
+    } else {
+        0.0
+    };
+    println!(
+        "bench {label:<40} {per:>12.1} ns/iter  (stub harness, {} iters)",
+        b.iters
+    );
+}
+
+/// Declares the benchmark entry list (compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module the
+//! simulator's scheduler uses, backed by `std::sync::mpsc`.
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// The sending half of a channel. Clonable, `Sync` (unlike
+    /// `std::sync::mpsc::SyncSender` before Rust 1.72 this wrapper is
+    /// always `Sync` because access is serialized through a mutex).
+    pub struct Sender<T> {
+        inner: Arc<Mutex<mpsc::SyncSender<T>>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if the receiving half was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let tx = self.inner.lock().unwrap_or_else(|p| p.into_inner()).clone();
+            tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a channel. Clonable like the real crate's;
+    /// clones share one queue through a mutex.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] if every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a pending value if one is ready.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error if the channel is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            let rx = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            rx.try_recv()
+        }
+    }
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Arc::new(Mutex::new(tx)),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        // Serviceable stand-in: a large bounded queue.
+        bounded(1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn disconnect_reported() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx2, rx2) = bounded::<u32>(1);
+        drop(tx2);
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+}

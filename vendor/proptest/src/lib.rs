@@ -1,0 +1,635 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crate registry, so the workspace patches
+//! `proptest` to this subset: the [`Strategy`] trait, the combinators
+//! this repository's tests use (`prop_map`, `prop_recursive`,
+//! `prop_oneof!`, collections, simple regex-class string strategies)
+//! and a [`proptest!`] macro that runs each property for
+//! [`ProptestConfig::cases`] deterministic pseudo-random cases.
+//!
+//! Differences from the real crate: no shrinking (a failing case
+//! reports its inputs via the panic message only), no persisted
+//! regressions, and string strategies support only the
+//! `CLASS{m,n}` patterns used in this workspace.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random source for test-case generation
+/// (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from an arbitrary label (test name).
+    pub fn deterministic(label: &str) -> TestRng {
+        // FNV-1a over the label, so each test gets its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.generate(rng)))
+    }
+
+    /// Generates via a strategy derived from each generated value.
+    fn prop_flat_map<O, S2, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = O>,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.generate(rng)).generate(rng))
+    }
+
+    /// Builds recursive values: `branch` receives the strategy for the
+    /// previous depth level. `depth` levels are stacked eagerly; the
+    /// node/item hints of the real crate are accepted and ignored.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = branch(strat);
+        }
+        strat
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(move |rng| self.generate(rng))
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen_fn: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            gen_fn: Arc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            gen_fn: Arc::new(f),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite floats over a wide range; NaN-free by construction.
+        (rng.unit_f64() - 0.5) * 2e18
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Produces arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + (rng.next_u64() % (span.wrapping_add(1).max(1))) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+/// String strategies from `CLASS{m,n}` regex-like patterns: the only
+/// regex forms this workspace's tests use. `CLASS` is `.` (printable
+/// ASCII) or a bracket class of literal chars and `a-z`-style ranges.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `CLASS{m,n}` into (alphabet, m, n).
+fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let brace = pat.find('{')?;
+    let (class, counts) = pat.split_at(brace);
+    let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = counts.split_once(',')?;
+    let (min, max) = (m.parse().ok()?, n.parse().ok()?);
+    let mut chars = Vec::new();
+    if class == "." {
+        chars.extend((0x20u8..0x7f).map(char::from));
+    } else {
+        let inner: Vec<char> = class
+            .strip_prefix('[')?
+            .strip_suffix(']')?
+            .chars()
+            .collect();
+        let mut i = 0;
+        while i < inner.len() {
+            if i + 2 < inner.len() && inner[i + 1] == '-' && inner[i + 2] != ']' {
+                let (lo, hi) = (inner[i] as u32, inner[i + 2] as u32);
+                chars.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(inner[i]);
+                i += 1;
+            }
+        }
+    }
+    if chars.is_empty() || min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Uniform choice between type-erased strategies (`prop_oneof!`).
+pub fn one_of<T>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!choices.is_empty(), "prop_oneof! of nothing");
+    BoxedStrategy::new(move |rng| {
+        let i = rng.below(choices.len() as u64) as usize;
+        choices[i].generate(rng)
+    })
+}
+
+/// Weighted choice between type-erased strategies
+/// (`prop_oneof![w => strategy, ...]`).
+pub fn one_of_weighted<T>(choices: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!choices.is_empty(), "prop_oneof! of nothing");
+    let total: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    BoxedStrategy::new(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, s) in &choices {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    })
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// Sizes acceptable to collection strategies.
+    pub trait IntoSizeRange {
+        /// Lower and upper bound (inclusive).
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    fn draw_len(rng: &mut TestRng, min: usize, max: usize) -> usize {
+        min + rng.below((max - min + 1) as u64) as usize
+    }
+
+    /// A strategy for `Vec`s whose length falls in `size`.
+    pub fn vec<S>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let (min, max) = size.bounds();
+        BoxedStrategy::new(move |rng| {
+            let len = draw_len(rng, min, max);
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+
+    /// A strategy for `BTreeMap`s with `size` entries (before key
+    /// deduplication, as in the real crate's minimum-size caveat).
+    pub fn btree_map<K, V>(
+        keys: K,
+        values: V,
+        size: impl IntoSizeRange,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy + 'static,
+        V: Strategy + 'static,
+        K::Value: Ord + 'static,
+        V::Value: 'static,
+    {
+        let (min, max) = size.bounds();
+        BoxedStrategy::new(move |rng| {
+            let len = draw_len(rng, min, max);
+            (0..len)
+                .map(|_| (keys.generate(rng), values.generate(rng)))
+                .collect()
+        })
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{BoxedStrategy, Strategy};
+
+    /// `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A failed (or rejected) property case. Test bodies may `return
+/// Err(TestCaseError::fail(..))` or use `?`; the harness reports the
+/// message and panics the test.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The generated input was unsuitable (counted as a skip by the real
+    /// crate; treated as a failure here to keep the stand-in strict).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            TestCaseError::Reject(reason) => write!(f, "input rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running the body for each generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $( $(#[$attr:meta])* fn $name:ident ( $($p:pat in $s:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let case_rng = &mut rng;
+                    let run = |rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $(let $p = $crate::Strategy::generate(&($s), rng);)*
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(err) = run(case_rng) {
+                        panic!("proptest case {case} failed: {err}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (no shrinking: plain assert_eq).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::{
+        any, one_of, one_of_weighted, Any, Arbitrary, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::one_of_weighted(vec![$(($w, $crate::Strategy::boxed($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+// Referenced to keep the import above obviously used.
+#[allow(unused)]
+type _Unused = BTreeMap<u8, u8>;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn string_patterns_parse() {
+        let mut rng = TestRng::deterministic("t");
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let d = Strategy::generate(&".{0,24}", &mut rng);
+            assert!(d.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn oneof_and_collections() {
+        let mut rng = TestRng::deterministic("t2");
+        let strat = prop_oneof![Just(1u8), Just(2u8)];
+        let v = collection::vec(strat, 3..10);
+        for _ in 0..20 {
+            let xs = v.generate(&mut rng);
+            assert!((3..10).contains(&xs.len()));
+            assert!(xs.iter().all(|x| *x == 1 || *x == 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_works(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_terminates(depth in 0u8..3) {
+            let leaf = Just(0u32);
+            let strat = leaf.prop_recursive(4, 16, 4, |inner| {
+                inner.prop_map(|n| n + 1)
+            });
+            let mut rng = TestRng::deterministic("rec");
+            let v = strat.generate(&mut rng);
+            prop_assert!(v <= 4);
+            let _ = depth;
+        }
+    }
+}

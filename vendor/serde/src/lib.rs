@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this repository has no crate registry, so the
+//! workspace patches `serde` to this stub: marker traits plus no-op
+//! derives. Nothing in the workspace calls serde's data model at
+//! runtime — JSON emission is hand-rolled in `obs` — but the derives
+//! keep every annotated type source-compatible with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for the `serde::de` module path.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits marker-trait impls for the stub `serde` crate: the stub's
+//! `Serialize`/`Deserialize` traits carry no methods, so the derives
+//! only need the type's name (and that it is non-generic, which holds
+//! for every derived type in this workspace).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive was applied to.
+/// Returns `None` when the item is generic (no impl emitted — no type
+/// in this workspace derives serde traits generically).
+fn item_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group (and `!` for inner attrs).
+                if let Some(TokenTree::Punct(b)) = tokens.peek() {
+                    if b.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return None,
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return None; // generic item: skip
+                    }
+                }
+                return Some(name);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
