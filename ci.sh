@@ -20,6 +20,15 @@ cargo test --workspace -q
 if [ "${1:-}" != "quick" ]; then
   step "cargo build --release (experiment harness)"
   cargo build --release -p bench
+
+  step "tracectl smoke (trace export + round-trip + critical-path self-check)"
+  # Exits nonzero on malformed Chrome output, a failed JSONL round-trip,
+  # no reconstructable critical path, component sums off by >1%, or any
+  # verify_causality() violation.
+  cargo run -q --release -p bench --bin tracectl -- smoke
+
+  step "chaos causality gate (verify_causality under loss/partitions/crashes)"
+  cargo test -q --test chaos
 fi
 
 printf '\nci.sh: all green\n'

@@ -192,5 +192,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table],
         checks,
         reports,
+        traces: vec![],
     }
 }

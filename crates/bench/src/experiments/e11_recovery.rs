@@ -247,5 +247,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table],
         checks,
         reports,
+        traces: vec![],
     }
 }

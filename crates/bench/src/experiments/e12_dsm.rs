@@ -202,5 +202,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![t1, t2],
         checks,
         reports: vec![dsm_obs, stub_obs, mig_obs],
+        traces: vec![],
     }
 }

@@ -232,5 +232,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![t],
         checks,
         reports: vec![direct_obs, stub_obs, caching_obs, migratory_obs],
+        traces: vec![],
     }
 }

@@ -204,5 +204,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table],
         checks,
         reports,
+        traces: vec![],
     }
 }

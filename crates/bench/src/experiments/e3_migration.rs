@@ -16,7 +16,9 @@ use services::counter::Counter;
 use simnet::{NetworkConfig, NodeId, Simulation};
 use wire::Value;
 
-use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
+use crate::{
+    capture_trace, check, obs_report, slot, take, ExperimentOutput, ObsReport, Table, TraceArtifact,
+};
 
 const THRESHOLD: u64 = 10;
 
@@ -26,8 +28,9 @@ struct Point {
     migrations: u64,
 }
 
-fn measure(migratory: bool, n: u64, seed: u64) -> (Point, ObsReport) {
+fn measure(migratory: bool, n: u64, seed: u64) -> (Point, ObsReport, TraceArtifact) {
     let mut sim = Simulation::new(NetworkConfig::lan(), seed);
+    sim.enable_trace(1 << 16);
     let ns = spawn_name_server(&sim, NodeId(0));
     let factories = services::all_factories();
     let mut builder = ServiceBuilder::new("ctr").object(|| Box::new(Counter::new()));
@@ -54,7 +57,11 @@ fn measure(migratory: bool, n: u64, seed: u64) -> (Point, ObsReport) {
     });
     sim.run();
     let label = if migratory { "migratory" } else { "stub" };
-    (take(r), obs_report(format!("{label}@N={n}"), &sim))
+    (
+        take(r),
+        obs_report(format!("{label}@N={n}"), &sim),
+        capture_trace(format!("{label}-n{n}"), &sim),
+    )
 }
 
 /// Runs E3 and returns its tables and shape checks.
@@ -69,14 +76,16 @@ pub fn run() -> ExperimentOutput {
     let mut stub_pts = Vec::new();
     let mut mig_pts = Vec::new();
     let mut reports = Vec::new();
+    let mut traces = Vec::new();
     let mut crossover: Option<u64> = None;
     for (i, &n) in sweep.iter().enumerate() {
         let seed = 30 + i as u64;
-        let (stub, stub_obs) = measure(false, n, seed);
-        let (mig, mig_obs) = measure(true, n, seed);
+        let (stub, stub_obs, _) = measure(false, n, seed);
+        let (mig, mig_obs, mig_trace) = measure(true, n, seed);
         if n == 200 {
             reports.push(stub_obs);
             reports.push(mig_obs);
+            traces.push(mig_trace);
         }
         let winner = if mig.total_us < stub.total_us * 0.95 {
             "migratory"
@@ -138,5 +147,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table],
         checks,
         reports,
+        traces,
     }
 }

@@ -235,5 +235,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table, wtable],
         checks,
         reports,
+        traces: vec![],
     }
 }

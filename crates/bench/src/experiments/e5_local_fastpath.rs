@@ -121,5 +121,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table],
         checks,
         reports: vec![local_obs, node_obs, remote_obs],
+        traces: vec![],
     }
 }

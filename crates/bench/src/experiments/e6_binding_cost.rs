@@ -133,5 +133,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table],
         checks,
         reports,
+        traces: vec![],
     }
 }

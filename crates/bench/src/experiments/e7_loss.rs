@@ -20,7 +20,9 @@ use rpc::{ErrorCode, RemoteError, RetryPolicy, RpcClient, RpcError, RpcServer};
 use simnet::{NetworkConfig, NodeId, PortId, Simulation};
 use wire::Value;
 
-use crate::{check, obs_report, slot, take, ExperimentOutput, ObsReport, Table};
+use crate::{
+    capture_trace, check, obs_report, slot, take, ExperimentOutput, ObsReport, Table, TraceArtifact,
+};
 
 const CALLS: u64 = 150;
 
@@ -35,11 +37,17 @@ struct Point {
     msgs: u64,
 }
 
-fn measure(loss: f64, duplicate: f64, policy: RetryPolicy, seed: u64) -> (Point, ObsReport) {
+fn measure(
+    loss: f64,
+    duplicate: f64,
+    policy: RetryPolicy,
+    seed: u64,
+) -> (Point, ObsReport, TraceArtifact) {
     let cfg = NetworkConfig::lan()
         .with_loss(loss)
         .with_duplicate(duplicate);
     let mut sim = Simulation::new(cfg, seed);
+    sim.enable_trace(1 << 16);
     let execs = Arc::new(AtomicU64::new(0));
     let e2 = Arc::clone(&execs);
     let server = sim.spawn_at("counter", NodeId(0), PortId(1), move |ctx| {
@@ -60,7 +68,21 @@ fn measure(loss: f64, duplicate: f64, policy: RetryPolicy, seed: u64) -> (Point,
         let mut latency_sum = 0.0;
         for _ in 0..CALLS {
             let t0 = ctx.now();
-            match c.call(ctx, "inc", Value::Null) {
+            // Each call gets a root invoke span so the causal trace has
+            // per-request groups for `tracectl` to analyze.
+            let span = ctx.obs().open_span(
+                obs::SpanKind::Invoke,
+                obs::SpanId::NONE,
+                "counter",
+                "inc",
+                ctx.now().as_nanos(),
+            );
+            let prev = ctx.set_current_span(span);
+            let res = c.call(ctx, "inc", Value::Null);
+            ctx.set_current_span(prev);
+            ctx.obs()
+                .close_span(span, ctx.now().as_nanos(), res.is_ok());
+            match res {
                 Ok(_) => {
                     ok += 1;
                     latency_sum += (ctx.now() - t0).as_secs_f64() * 1e6;
@@ -93,6 +115,7 @@ fn measure(loss: f64, duplicate: f64, policy: RetryPolicy, seed: u64) -> (Point,
             msgs: report.metrics.msgs_sent,
         },
         obs_report(format!("loss={loss:.2}"), &sim),
+        capture_trace(format!("loss-{:02.0}", loss * 100.0), &sim),
     )
 }
 
@@ -118,10 +141,12 @@ pub fn run() -> ExperimentOutput {
     );
     let mut pts = Vec::new();
     let mut reports = Vec::new();
+    let mut traces = Vec::new();
     for (i, &loss) in losses.iter().enumerate() {
-        let (p, obs) = measure(loss, 0.30, policy.clone(), 80 + i as u64);
+        let (p, obs, trace) = measure(loss, 0.30, policy.clone(), 80 + i as u64);
         if loss >= 0.29 {
             reports.push(obs);
+            traces.push(trace);
         }
         table.add_row(vec![
             format!("{:.0}", loss * 100.0),
@@ -137,13 +162,13 @@ pub fn run() -> ExperimentOutput {
     }
 
     // Retransmission ablation at 20% loss.
-    let (fixed, _) = measure(
+    let (fixed, _, _) = measure(
         0.20,
         0.0,
         RetryPolicy::fixed(Duration::from_millis(4), 10),
         90,
     );
-    let (expo, _) = measure(
+    let (expo, _, _) = measure(
         0.20,
         0.0,
         RetryPolicy::exponential(Duration::from_millis(4), 10),
@@ -215,5 +240,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table, ab],
         checks,
         reports,
+        traces,
     }
 }

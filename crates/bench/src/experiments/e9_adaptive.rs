@@ -193,5 +193,6 @@ pub fn run() -> ExperimentOutput {
         tables: vec![table],
         checks,
         reports: vec![stub_obs, caching_obs, adaptive_obs],
+        traces: vec![],
     }
 }

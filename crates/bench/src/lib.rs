@@ -95,6 +95,53 @@ pub fn obs_report(label: impl Into<String>, sim: &simnet::Simulation) -> ObsRepo
     }
 }
 
+/// A labelled causal trace captured from a representative run.
+///
+/// `ExperimentOutput::print` exports each artifact to the trace
+/// directory (`PROXIDE_TRACE_DIR`, default `target/traces`) in both the
+/// compact JSONL format and the Chrome Trace Format, and validates the
+/// Chrome output before writing it.
+#[derive(Debug, Clone)]
+pub struct TraceArtifact {
+    /// Which run/configuration the trace covers.
+    pub label: String,
+    /// The merged span + network-event timeline.
+    pub trace: obs::CausalTrace,
+}
+
+/// Captures the causal trace of a finished simulation. The simulation
+/// must have had tracing enabled ([`simnet::Simulation::enable_trace`])
+/// for network events to appear; spans are always present.
+pub fn capture_trace(label: impl Into<String>, sim: &simnet::Simulation) -> TraceArtifact {
+    TraceArtifact {
+        label: label.into(),
+        trace: sim.causal_trace(),
+    }
+}
+
+/// Where exported traces land: `$PROXIDE_TRACE_DIR` or `target/traces`.
+pub fn trace_dir() -> std::path::PathBuf {
+    std::env::var_os("PROXIDE_TRACE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/traces"))
+}
+
+/// Lower-cases a label and replaces anything outside `[a-z0-9._-]` with
+/// `-` so it is safe inside a file name.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            let c = c.to_ascii_lowercase();
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
 /// One asserted property of an experiment's shape.
 #[derive(Debug, Clone)]
 pub struct Check {
@@ -128,10 +175,14 @@ pub struct ExperimentOutput {
     pub checks: Vec<Check>,
     /// Unified observability reports from representative runs.
     pub reports: Vec<ObsReport>,
+    /// Causal traces from representative runs, exported on print.
+    pub traces: Vec<TraceArtifact>,
 }
 
 impl ExperimentOutput {
-    /// Prints tables and checks; returns whether every check passed.
+    /// Prints tables and checks, exports trace artifacts; returns
+    /// whether every check passed (a trace whose Chrome export fails
+    /// validation counts as a failed check).
     pub fn print(&self) -> bool {
         println!("\n================================================================");
         println!("{} — {}", self.id, self.title);
@@ -149,7 +200,60 @@ impl ExperimentOutput {
         for r in &self.reports {
             println!("  obs-report[{}] {}", r.label, r.json);
         }
+        all &= self.export_traces();
         all
+    }
+
+    /// Writes every trace artifact as `<id>-<label>.trace.jsonl` plus
+    /// `<id>-<label>.chrome.json` under [`trace_dir`]. Returns false if
+    /// any Chrome export fails validation (IO trouble only warns).
+    fn export_traces(&self) -> bool {
+        let mut ok = true;
+        if self.traces.is_empty() {
+            return ok;
+        }
+        let dir = trace_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            println!("  trace[*] cannot create {}: {e}", dir.display());
+            return ok;
+        }
+        for a in &self.traces {
+            let stem = format!(
+                "{}-{}",
+                self.id.to_ascii_lowercase(),
+                sanitize_label(&a.label)
+            );
+            let jsonl_path = dir.join(format!("{stem}.trace.jsonl"));
+            let chrome_path = dir.join(format!("{stem}.chrome.json"));
+            let chrome = obs::to_chrome_json(&a.trace);
+            match obs::validate_chrome(&chrome) {
+                Ok(summary) => {
+                    if let Err(e) = std::fs::write(&jsonl_path, obs::to_jsonl(&a.trace)) {
+                        println!("  trace[{}] write failed: {e}", a.label);
+                        continue;
+                    }
+                    if let Err(e) = std::fs::write(&chrome_path, &chrome) {
+                        println!("  trace[{}] write failed: {e}", a.label);
+                        continue;
+                    }
+                    println!(
+                        "  trace[{}] {} events ({} spans, {} net, {} evicted) -> {} (+ .chrome.json: {} tracks)",
+                        a.label,
+                        a.trace.events.len(),
+                        a.trace.spans().count(),
+                        a.trace.net_events().count(),
+                        a.trace.evicted,
+                        jsonl_path.display(),
+                        summary.tracks,
+                    );
+                }
+                Err(e) => {
+                    println!("  [FAIL] trace[{}] Chrome export invalid — {e}", a.label);
+                    ok = false;
+                }
+            }
+        }
+        ok
     }
 }
 

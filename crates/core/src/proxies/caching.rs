@@ -273,9 +273,19 @@ impl Proxy for CachingProxy {
                 let key = Self::cache_key(op, &args);
                 if let Some(v) = self.lookup(&tag, &key, ctx.now()) {
                     self.stats.local_hits += 1;
+                    ctx.trace(simnet::TraceEvent::ProxyCacheHit {
+                        service: self.service.clone(),
+                        op: op.to_owned(),
+                        span: ctx.current_span(),
+                    });
                     return Ok(v);
                 }
                 self.stats.remote_calls += 1;
+                ctx.trace(simnet::TraceEvent::ProxyCacheMiss {
+                    service: self.service.clone(),
+                    op: op.to_owned(),
+                    span: ctx.current_span(),
+                });
                 let v = robust_call(
                     &mut self.rpc,
                     &mut self.ns,

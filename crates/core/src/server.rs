@@ -137,6 +137,12 @@ impl Core {
                     Ok(state) => {
                         self.holder = Some(req.reply_to);
                         self.stats.checkouts += 1;
+                        ctx.trace(simnet::TraceEvent::Migrated {
+                            service: self.name.clone(),
+                            from: ctx.endpoint(),
+                            to: req.reply_to,
+                            span: ctx.current_span(),
+                        });
                         Ok(Value::record([("state", state)]))
                     }
                     Err(e) => {
@@ -170,6 +176,12 @@ impl Core {
                 self.object = Some(obj);
                 self.holder = None;
                 self.stats.checkins += 1;
+                ctx.trace(simnet::TraceEvent::Migrated {
+                    service: self.name.clone(),
+                    from: req.reply_to,
+                    to: ctx.endpoint(),
+                    span: ctx.current_span(),
+                });
                 Ok(Value::Null)
             }
             op if op.starts_with('_') => Err(RemoteError::new(ErrorCode::NoSuchOp, op.to_owned())),

@@ -249,6 +249,12 @@ fn execute_host(
                 let _ = nc.update(ctx, &config.service, new_ep, Value::Null);
             }
             *departed = Some(new_ep);
+            ctx.trace(simnet::TraceEvent::Migrated {
+                service: config.service.clone(),
+                from: ctx.endpoint(),
+                to: new_ep,
+                span: ctx.current_span(),
+            });
             Ok(Value::record([("ep", endpoint_to_value(new_ep))]))
         }
         op if op.starts_with('_') => Err(RemoteError::new(ErrorCode::NoSuchOp, op.to_owned())),
@@ -276,13 +282,20 @@ fn forwarder_body(ctx: &mut Ctx, mut rpc: RpcServer, next_hop: Endpoint, mode: F
                 }
             },
         };
-        rpc.handle(ctx, &msg, |_ctx, req| match req.op.as_str() {
+        rpc.handle(ctx, &msg, |fctx, req| match req.op.as_str() {
             OP_LOCATE => Ok(endpoint_to_value(target)),
-            _ => Err(RemoteError::with_data(
-                ErrorCode::Moved,
-                "object has migrated",
-                endpoint_to_value(target),
-            )),
+            _ => {
+                fctx.trace(simnet::TraceEvent::Forwarded {
+                    from: fctx.endpoint(),
+                    to: target,
+                    span: fctx.current_span(),
+                });
+                Err(RemoteError::with_data(
+                    ErrorCode::Moved,
+                    "object has migrated",
+                    endpoint_to_value(target),
+                ))
+            }
         });
     }
 }

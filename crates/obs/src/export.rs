@@ -1,0 +1,755 @@
+//! Trace exporters: Chrome Trace Format JSON and a compact JSONL log.
+//!
+//! * [`to_chrome_json`] emits the Trace Event Format understood by
+//!   Perfetto / `chrome://tracing`: one *process* track per context
+//!   (each service gets a track, each simulated node gets a track),
+//!   spans as complete (`"ph":"X"`) duration events laid out on
+//!   non-overlapping thread lanes, network events as instants, and
+//!   matched send→deliver pairs as flow arrows (`"s"`/`"f"`).
+//! * [`to_jsonl`] / [`from_jsonl`] round-trip the full causal trace
+//!   through a line-per-event log, so `tracectl analyze` can work on a
+//!   file long after the simulation is gone.
+//! * [`validate_chrome`] structurally checks an exported Chrome trace —
+//!   the CI smoke test fails on malformed output.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+use crate::trace::{CausalEvent, CausalTrace, Loc, NetEvent, NetEventKind};
+use crate::{SpanId, SpanKind, SpanRecord};
+
+// ---------------------------------------------------------------------------
+// Chrome Trace Format
+// ---------------------------------------------------------------------------
+
+/// Where a network event is drawn: the track of the node it happened on.
+fn net_event_site(e: &NetEvent) -> Option<(Loc, &'static str)> {
+    match &e.kind {
+        NetEventKind::Sent { src, .. } => Some((*src, "sent")),
+        NetEventKind::Delivered { dst, .. } => Some((*dst, "delivered")),
+        NetEventKind::Dropped { src, .. } => Some((*src, "dropped")),
+        NetEventKind::Blackholed { src, .. } => Some((*src, "blackholed")),
+        NetEventKind::Retransmit { src, .. } => Some((*src, "retransmit")),
+        NetEventKind::Forwarded { from, .. } => Some((*from, "forwarded")),
+        NetEventKind::ServerExecute { .. }
+        | NetEventKind::ProxyCacheHit { .. }
+        | NetEventKind::ProxyCacheMiss { .. }
+        | NetEventKind::Migrated { .. } => None,
+    }
+}
+
+/// The process-track name a net event belongs to when it has no
+/// node site (service-level events).
+fn net_event_service(e: &NetEvent) -> Option<&str> {
+    match &e.kind {
+        NetEventKind::ServerExecute { service, .. }
+        | NetEventKind::ProxyCacheHit { service, .. }
+        | NetEventKind::ProxyCacheMiss { service, .. }
+        | NetEventKind::Migrated { service, .. } => Some(service),
+        _ => None,
+    }
+}
+
+fn micros(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+struct ChromeWriter {
+    out: String,
+    first: bool,
+    /// process-track name → pid (1-based, dense).
+    pids: BTreeMap<String, u64>,
+}
+
+impl ChromeWriter {
+    fn new() -> ChromeWriter {
+        ChromeWriter {
+            out: String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"),
+            first: true,
+            pids: BTreeMap::new(),
+        }
+    }
+
+    fn pid(&mut self, track: &str) -> u64 {
+        if let Some(&p) = self.pids.get(track) {
+            return p;
+        }
+        let p = self.pids.len() as u64 + 1;
+        self.pids.insert(track.to_owned(), p);
+        p
+    }
+
+    fn event(&mut self, body: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push('{');
+        self.out.push_str(body);
+        self.out.push('}');
+    }
+
+    fn finish(mut self) -> String {
+        // Metadata events naming every track, emitted last (Chrome does
+        // not care about ordering of "M" events).
+        let pids: Vec<(String, u64)> = self
+            .pids
+            .iter()
+            .map(|(name, &pid)| (name.clone(), pid))
+            .collect();
+        for (name, pid) in pids {
+            self.event(&format!(
+                "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}",
+                json::quote(&name)
+            ));
+        }
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+/// Exports the trace as Chrome Trace Format JSON.
+///
+/// Load the result in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`. Spans whose service is `S` land on the `S`
+/// process track; network instants land on their node's `node N` track
+/// with the port as the thread id.
+pub fn to_chrome_json(trace: &CausalTrace) -> String {
+    let mut w = ChromeWriter::new();
+
+    // Spans → "X" complete events on greedy non-overlapping lanes.
+    let mut lanes: HashMap<u64, Vec<u64>> = HashMap::new(); // pid → lane end times
+    for ev in &trace.events {
+        let span = match ev {
+            CausalEvent::Span(s) => s,
+            CausalEvent::Net(_) => continue,
+        };
+        let pid = w.pid(&span.service);
+        let (ts, dur) = match span.end_ns {
+            Some(end) => (span.start_ns, end.saturating_sub(span.start_ns)),
+            // Open span: zero-length marker so it is still visible.
+            None => (span.start_ns, 0),
+        };
+        let lane_ends = lanes.entry(pid).or_default();
+        let lane = match lane_ends.iter().position(|&end| end <= ts) {
+            Some(i) => {
+                lane_ends[i] = ts + dur;
+                i
+            }
+            None => {
+                lane_ends.push(ts + dur);
+                lane_ends.len() - 1
+            }
+        };
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":{},\"tid\":{},\"args\":{{\"span\":{},\"parent\":{},\"kind\":\"{}\"",
+            json::quote(&format!("{}/{}", span.service, span.op)),
+            micros(ts),
+            micros(dur),
+            pid,
+            lane,
+            span.id.raw(),
+            span.parent.raw(),
+            span.kind.label(),
+        );
+        if let Some(ok) = span.ok {
+            let _ = write!(body, ",\"ok\":{ok}");
+        }
+        if span.retransmissions > 0 {
+            let _ = write!(body, ",\"retx\":{}", span.retransmissions);
+        }
+        body.push('}');
+        w.event(&body);
+    }
+
+    // Network events → instants, plus flow arrows for send→deliver.
+    let mut flow_id = 0u64;
+    let mut pending_sends: HashMap<(u64, Loc, Loc), VecDeque<(u64, u64)>> = HashMap::new();
+    for e in trace.net_events() {
+        let (pid, tid) = match net_event_site(e) {
+            Some((loc, _)) => (w.pid(&format!("node {}", loc.node)), loc.port as u64),
+            None => match net_event_service(e) {
+                Some(service) => (w.pid(service), 0),
+                None => continue,
+            },
+        };
+        let mut args = String::new();
+        let _ = write!(args, "\"span\":{}", e.span.raw());
+        match &e.kind {
+            NetEventKind::Sent { src, dst, bytes }
+            | NetEventKind::Delivered { src, dst, bytes } => {
+                let _ = write!(
+                    args,
+                    ",\"src\":\"{src}\",\"dst\":\"{dst}\",\"bytes\":{bytes}"
+                );
+            }
+            NetEventKind::Dropped { src, dst }
+            | NetEventKind::Blackholed { src, dst }
+            | NetEventKind::Retransmit { src, dst, .. } => {
+                let _ = write!(args, ",\"src\":\"{src}\",\"dst\":\"{dst}\"");
+            }
+            NetEventKind::ServerExecute { op, dur_ns, .. } => {
+                let _ = write!(args, ",\"op\":{},\"dur_ns\":{dur_ns}", json::quote(op));
+            }
+            NetEventKind::ProxyCacheHit { op, .. } | NetEventKind::ProxyCacheMiss { op, .. } => {
+                let _ = write!(args, ",\"op\":{}", json::quote(op));
+            }
+            NetEventKind::Forwarded { from, to } => {
+                let _ = write!(args, ",\"from\":\"{from}\",\"to\":\"{to}\"");
+            }
+            NetEventKind::Migrated { from, to, .. } => {
+                let _ = write!(args, ",\"from\":\"{from}\",\"to\":\"{to}\"");
+            }
+        }
+        w.event(&format!(
+            "\"name\":\"{}\",\"cat\":\"net\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\
+             \"pid\":{},\"tid\":{},\"args\":{{{}}}",
+            e.kind.tag(),
+            micros(e.at_ns),
+            pid,
+            tid,
+            args
+        ));
+
+        // Flow arrows: a Delivered matches the oldest unmatched Sent
+        // with the same (span, src, dst).
+        match &e.kind {
+            NetEventKind::Sent { src, dst, .. } => {
+                pending_sends
+                    .entry((e.span.raw(), *src, *dst))
+                    .or_default()
+                    .push_back((e.at_ns, pid));
+            }
+            NetEventKind::Delivered { src, dst, .. } => {
+                let sent = pending_sends
+                    .get_mut(&(e.span.raw(), *src, *dst))
+                    .and_then(|q| q.pop_front());
+                if let Some((sent_ns, _)) = sent {
+                    flow_id += 1;
+                    let src_pid = w.pid(&format!("node {}", src.node));
+                    let dst_pid = w.pid(&format!("node {}", dst.node));
+                    w.event(&format!(
+                        "\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\
+                         \"ts\":{:.3},\"pid\":{},\"tid\":{}",
+                        flow_id,
+                        micros(sent_ns),
+                        src_pid,
+                        src.port
+                    ));
+                    w.event(&format!(
+                        "\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                         \"id\":{},\"ts\":{:.3},\"pid\":{},\"tid\":{}",
+                        flow_id,
+                        micros(e.at_ns),
+                        dst_pid,
+                        dst.port
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    w.finish()
+}
+
+/// Summary returned by [`validate_chrome`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total events (excluding metadata).
+    pub events: usize,
+    /// Duration (`"X"`) events.
+    pub spans: usize,
+    /// Instant (`"i"`) events.
+    pub instants: usize,
+    /// Flow (`"s"`/`"f"`) events.
+    pub flows: usize,
+    /// Distinct process tracks.
+    pub tracks: usize,
+}
+
+/// Structurally validates a Chrome Trace Format document.
+///
+/// Checks the shape the Trace Event Format requires: a `traceEvents`
+/// array whose members carry a one-character `ph`, integer `pid`/`tid`,
+/// a numeric `ts` (except metadata), a non-negative `dur` on `X`
+/// events, `id` on flow events — and that every track in use is named
+/// by a `process_name` metadata event (one track per context).
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("empty traceEvents".into());
+    }
+    let mut summary = ChromeSummary::default();
+    let mut named_pids = Vec::new();
+    let mut used_pids = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let obj = ev.as_obj().ok_or_else(|| at("not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing ph"))?;
+        if ph.len() != 1 || !"XBEiIsfMbenS".contains(ph) {
+            return Err(at(&format!("bad ph {ph:?}")));
+        }
+        let pid = ev.u64_field("pid").ok_or_else(|| at("missing pid"))?;
+        ev.u64_field("tid").ok_or_else(|| at("missing tid"))?;
+        if ph == "M" {
+            if ev.str_field("name") == Some("process_name") {
+                let named = ev
+                    .get("args")
+                    .and_then(|a| a.str_field("name"))
+                    .ok_or_else(|| at("process_name without args.name"))?;
+                if named.is_empty() {
+                    return Err(at("empty process name"));
+                }
+                named_pids.push(pid);
+            }
+            continue;
+        }
+        ev.get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| at("missing ts"))?;
+        used_pids.push(pid);
+        summary.events += 1;
+        match ph {
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| at("X without dur"))?;
+                if dur < 0.0 {
+                    return Err(at("negative dur"));
+                }
+                ev.str_field("name").ok_or_else(|| at("X without name"))?;
+                summary.spans += 1;
+            }
+            "i" | "I" => summary.instants += 1,
+            "s" | "f" => {
+                ev.u64_field("id").ok_or_else(|| at("flow without id"))?;
+                summary.flows += 1;
+            }
+            _ => {}
+        }
+    }
+    named_pids.sort_unstable();
+    named_pids.dedup();
+    used_pids.sort_unstable();
+    used_pids.dedup();
+    for pid in &used_pids {
+        if named_pids.binary_search(pid).is_err() {
+            return Err(format!("pid {pid} has events but no process_name metadata"));
+        }
+    }
+    summary.tracks = used_pids.len();
+    Ok(summary)
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+fn jsonl_loc(out: &mut String, prefix: &str, loc: Loc) {
+    let _ = write!(
+        out,
+        ",\"{prefix}_n\":{},\"{prefix}_p\":{}",
+        loc.node, loc.port
+    );
+}
+
+/// Exports the trace as one JSON object per line.
+///
+/// The first line is a `{"k":"meta",...}` header carrying the
+/// eviction/sampling counters; every following line is either a
+/// `{"k":"span",...}` record or a network event keyed by
+/// [`NetEventKind::tag`]. [`from_jsonl`] reads the format back.
+pub fn to_jsonl(trace: &CausalTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"k\":\"meta\",\"evicted\":{},\"sampled_out_spans\":{},\"sampled_out_events\":{}}}",
+        trace.evicted, trace.sampled_out_spans, trace.sampled_out_events
+    );
+    for ev in &trace.events {
+        match ev {
+            CausalEvent::Span(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"k\":\"span\",\"t\":{},\"id\":{},\"parent\":{},\"kind\":\"{}\",\
+                     \"service\":{},\"op\":{},\"retx\":{},\"replies\":{}",
+                    s.start_ns,
+                    s.id.raw(),
+                    s.parent.raw(),
+                    s.kind.label(),
+                    json::quote(&s.service),
+                    json::quote(&s.op),
+                    s.retransmissions,
+                    s.replies
+                );
+                if let Some(end) = s.end_ns {
+                    let _ = write!(out, ",\"end_ns\":{end}");
+                }
+                if let Some(ok) = s.ok {
+                    let _ = write!(out, ",\"ok\":{ok}");
+                }
+                out.push_str("}\n");
+            }
+            CausalEvent::Net(e) => {
+                let _ = write!(
+                    out,
+                    "{{\"k\":\"{}\",\"t\":{},\"span\":{}",
+                    e.kind.tag(),
+                    e.at_ns,
+                    e.span.raw()
+                );
+                match &e.kind {
+                    NetEventKind::Sent { src, dst, bytes }
+                    | NetEventKind::Delivered { src, dst, bytes } => {
+                        jsonl_loc(&mut out, "src", *src);
+                        jsonl_loc(&mut out, "dst", *dst);
+                        let _ = write!(out, ",\"bytes\":{bytes}");
+                    }
+                    NetEventKind::Dropped { src, dst } | NetEventKind::Blackholed { src, dst } => {
+                        jsonl_loc(&mut out, "src", *src);
+                        jsonl_loc(&mut out, "dst", *dst);
+                    }
+                    NetEventKind::Retransmit { src, dst, attempt } => {
+                        jsonl_loc(&mut out, "src", *src);
+                        jsonl_loc(&mut out, "dst", *dst);
+                        let _ = write!(out, ",\"attempt\":{attempt}");
+                    }
+                    NetEventKind::ServerExecute {
+                        service,
+                        op,
+                        dur_ns,
+                    } => {
+                        let _ = write!(
+                            out,
+                            ",\"service\":{},\"op\":{},\"dur_ns\":{dur_ns}",
+                            json::quote(service),
+                            json::quote(op)
+                        );
+                    }
+                    NetEventKind::ProxyCacheHit { service, op }
+                    | NetEventKind::ProxyCacheMiss { service, op } => {
+                        let _ = write!(
+                            out,
+                            ",\"service\":{},\"op\":{}",
+                            json::quote(service),
+                            json::quote(op)
+                        );
+                    }
+                    NetEventKind::Forwarded { from, to } => {
+                        jsonl_loc(&mut out, "from", *from);
+                        jsonl_loc(&mut out, "to", *to);
+                    }
+                    NetEventKind::Migrated { service, from, to } => {
+                        let _ = write!(out, ",\"service\":{}", json::quote(service));
+                        jsonl_loc(&mut out, "from", *from);
+                        jsonl_loc(&mut out, "to", *to);
+                    }
+                }
+                out.push_str("}\n");
+            }
+        }
+    }
+    out
+}
+
+fn parse_loc(v: &Json, prefix: &str) -> Result<Loc, String> {
+    let node = v
+        .u64_field(&format!("{prefix}_n"))
+        .ok_or_else(|| format!("missing {prefix}_n"))?;
+    let port = v
+        .u64_field(&format!("{prefix}_p"))
+        .ok_or_else(|| format!("missing {prefix}_p"))?;
+    Ok(Loc::new(node as u32, port as u32))
+}
+
+fn parse_span_line(v: &Json) -> Result<SpanRecord, String> {
+    let kind = match v.str_field("kind") {
+        Some("invoke") => SpanKind::Invoke,
+        Some("dispatch") => SpanKind::Dispatch,
+        Some("oneway") => SpanKind::Oneway,
+        other => return Err(format!("bad span kind {other:?}")),
+    };
+    Ok(SpanRecord {
+        id: SpanId(v.u64_field("id").ok_or("span missing id")?),
+        parent: SpanId(v.u64_field("parent").unwrap_or(0)),
+        kind,
+        service: v.str_field("service").unwrap_or("").to_owned(),
+        op: v.str_field("op").unwrap_or("").to_owned(),
+        start_ns: v.u64_field("t").ok_or("span missing t")?,
+        end_ns: v.u64_field("end_ns"),
+        ok: v.get("ok").and_then(Json::as_bool),
+        retransmissions: v.u64_field("retx").unwrap_or(0),
+        replies: v.u64_field("replies").unwrap_or(0),
+    })
+}
+
+/// Reads a JSONL trace produced by [`to_jsonl`] back into a
+/// [`CausalTrace`].
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn from_jsonl(text: &str) -> Result<CausalTrace, String> {
+    let mut trace = CausalTrace::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let kind = v.str_field("k").ok_or_else(|| err("missing k".into()))?;
+        match kind {
+            "meta" => {
+                trace.evicted = v.u64_field("evicted").unwrap_or(0);
+                trace.sampled_out_spans = v.u64_field("sampled_out_spans").unwrap_or(0);
+                trace.sampled_out_events = v.u64_field("sampled_out_events").unwrap_or(0);
+                continue;
+            }
+            "span" => {
+                trace
+                    .events
+                    .push(CausalEvent::Span(parse_span_line(&v).map_err(err)?));
+                continue;
+            }
+            _ => {}
+        }
+        let at_ns = v.u64_field("t").ok_or_else(|| err("missing t".into()))?;
+        let span = SpanId(v.u64_field("span").unwrap_or(0));
+        let net_kind = match kind {
+            "sent" => NetEventKind::Sent {
+                src: parse_loc(&v, "src").map_err(&err)?,
+                dst: parse_loc(&v, "dst").map_err(&err)?,
+                bytes: v.u64_field("bytes").unwrap_or(0),
+            },
+            "delivered" => NetEventKind::Delivered {
+                src: parse_loc(&v, "src").map_err(&err)?,
+                dst: parse_loc(&v, "dst").map_err(&err)?,
+                bytes: v.u64_field("bytes").unwrap_or(0),
+            },
+            "dropped" => NetEventKind::Dropped {
+                src: parse_loc(&v, "src").map_err(&err)?,
+                dst: parse_loc(&v, "dst").map_err(&err)?,
+            },
+            "blackholed" => NetEventKind::Blackholed {
+                src: parse_loc(&v, "src").map_err(&err)?,
+                dst: parse_loc(&v, "dst").map_err(&err)?,
+            },
+            "retransmit" => NetEventKind::Retransmit {
+                src: parse_loc(&v, "src").map_err(&err)?,
+                dst: parse_loc(&v, "dst").map_err(&err)?,
+                attempt: v.u64_field("attempt").unwrap_or(0) as u32,
+            },
+            "server_execute" => NetEventKind::ServerExecute {
+                service: v.str_field("service").unwrap_or("").to_owned(),
+                op: v.str_field("op").unwrap_or("").to_owned(),
+                dur_ns: v.u64_field("dur_ns").unwrap_or(0),
+            },
+            "cache_hit" => NetEventKind::ProxyCacheHit {
+                service: v.str_field("service").unwrap_or("").to_owned(),
+                op: v.str_field("op").unwrap_or("").to_owned(),
+            },
+            "cache_miss" => NetEventKind::ProxyCacheMiss {
+                service: v.str_field("service").unwrap_or("").to_owned(),
+                op: v.str_field("op").unwrap_or("").to_owned(),
+            },
+            "forwarded" => NetEventKind::Forwarded {
+                from: parse_loc(&v, "from").map_err(&err)?,
+                to: parse_loc(&v, "to").map_err(&err)?,
+            },
+            "migrated" => NetEventKind::Migrated {
+                service: v.str_field("service").unwrap_or("").to_owned(),
+                from: parse_loc(&v, "from").map_err(&err)?,
+                to: parse_loc(&v, "to").map_err(&err)?,
+            },
+            other => return Err(err(format!("unknown event kind {other:?}"))),
+        };
+        trace.events.push(CausalEvent::Net(NetEvent {
+            at_ns,
+            span,
+            kind: net_kind,
+        }));
+    }
+    trace.events.sort_by_key(CausalEvent::at_ns);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSink;
+
+    fn sample_trace() -> CausalTrace {
+        let mut sink = TraceSink::new();
+        sink.push_span(SpanRecord {
+            id: SpanId(1),
+            parent: SpanId::NONE,
+            kind: SpanKind::Invoke,
+            service: "kv".into(),
+            op: "get".into(),
+            start_ns: 1_000,
+            end_ns: Some(9_000),
+            ok: Some(true),
+            retransmissions: 1,
+            replies: 1,
+        });
+        sink.push_span(SpanRecord {
+            id: SpanId(2),
+            parent: SpanId(1),
+            kind: SpanKind::Dispatch,
+            service: "kv-server".into(),
+            op: "get".into(),
+            start_ns: 4_000,
+            end_ns: Some(5_000),
+            ok: Some(true),
+            retransmissions: 0,
+            replies: 0,
+        });
+        let a = Loc::new(0, 70_000);
+        let b = Loc::new(1, 10);
+        for (at, kind) in [
+            (
+                1_100,
+                NetEventKind::Sent {
+                    src: a,
+                    dst: b,
+                    bytes: 64,
+                },
+            ),
+            (2_000, NetEventKind::Dropped { src: a, dst: b }),
+            (
+                3_000,
+                NetEventKind::Retransmit {
+                    src: a,
+                    dst: b,
+                    attempt: 1,
+                },
+            ),
+            (
+                3_100,
+                NetEventKind::Sent {
+                    src: a,
+                    dst: b,
+                    bytes: 64,
+                },
+            ),
+            (
+                4_000,
+                NetEventKind::Delivered {
+                    src: a,
+                    dst: b,
+                    bytes: 64,
+                },
+            ),
+            (
+                5_000,
+                NetEventKind::ServerExecute {
+                    service: "kv-server".into(),
+                    op: "get".into(),
+                    dur_ns: 1_000,
+                },
+            ),
+            (
+                5_500,
+                NetEventKind::ProxyCacheMiss {
+                    service: "kv".into(),
+                    op: "get".into(),
+                },
+            ),
+            (
+                6_000,
+                NetEventKind::Forwarded {
+                    from: b,
+                    to: Loc::new(2, 10),
+                },
+            ),
+            (
+                7_000,
+                NetEventKind::Migrated {
+                    service: "kv".into(),
+                    from: b,
+                    to: Loc::new(2, 10),
+                },
+            ),
+            (8_000, NetEventKind::Blackholed { src: b, dst: a }),
+        ] {
+            sink.push_net(NetEvent {
+                at_ns: at,
+                span: SpanId(1),
+                kind,
+            });
+        }
+        sink.build()
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let trace = sample_trace();
+        let text = to_chrome_json(&trace);
+        let summary = validate_chrome(&text).expect("well-formed chrome trace");
+        assert_eq!(summary.spans, 2, "both spans exported");
+        assert_eq!(summary.flows, 2, "one matched send->deliver pair");
+        assert!(summary.instants >= 9);
+        // Tracks: kv, kv-server, node 0, node 1.
+        assert_eq!(summary.tracks, 4);
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_chrome("not json").is_err());
+        assert!(validate_chrome("{\"traceEvents\":[]}").is_err());
+        // Event without a named track.
+        assert!(
+            validate_chrome("{\"traceEvents\":[{\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0}]}")
+                .is_err()
+        );
+        // Missing ts.
+        assert!(validate_chrome(
+            "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"dur\":1}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let trace = sample_trace();
+        let text = to_jsonl(&trace);
+        let back = from_jsonl(&text).expect("reimport");
+        assert_eq!(back.events.len(), trace.events.len());
+        assert_eq!(back.evicted, trace.evicted);
+        assert_eq!(back.spans().count(), 2);
+        let kinds: Vec<&str> = back.net_events().map(|e| e.kind.tag()).collect();
+        let orig: Vec<&str> = trace.net_events().map(|e| e.kind.tag()).collect();
+        assert_eq!(kinds, orig);
+        // Structural equality of the net events survives the round trip.
+        for (a, b) in back.net_events().zip(trace.net_events()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(from_jsonl("{\"k\":\"span\"}").is_err());
+        assert!(from_jsonl("{\"t\":1}").is_err());
+        assert!(from_jsonl("{\"k\":\"sent\",\"t\":1}").is_err());
+        assert!(from_jsonl("{\"k\":\"warp\",\"t\":1}").is_err());
+    }
+}

@@ -21,12 +21,28 @@
 //! The counter structs are *defined* here and re-exported by the crates
 //! that populate them (`simnet`, `rpc`, `proxy-core`), so a report is a
 //! plain aggregate with no cross-crate mirroring.
+//!
+//! On top of the registry sits the **causal trace pipeline**: the
+//! simulator feeds span records and network events (in the neutral
+//! [`NetEvent`] form) into a [`TraceSink`], which merges them into one
+//! time-ordered [`CausalTrace`]; [`export`] renders it as Chrome Trace
+//! Format JSON or a JSONL log, and [`analysis`] decomposes every
+//! request into queueing/wire/server/retransmit components.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
+
+pub mod analysis;
+pub mod export;
+pub mod json;
+pub mod trace;
+
+pub use analysis::{critical_paths, link_attribution, top_k_slowest, CriticalPath, LinkStats};
+pub use export::{from_jsonl, to_chrome_json, to_jsonl, validate_chrome, ChromeSummary};
+pub use trace::{CausalEvent, CausalTrace, Loc, NetEvent, NetEventKind, TraceSink};
 
 // ---------------------------------------------------------------------------
 // Span identifiers
@@ -838,6 +854,7 @@ impl MetricsRegistry {
                     untracked: inner.replies_untracked,
                 },
             },
+            trace_evicted: 0,
         }
     }
 }
@@ -905,6 +922,10 @@ pub struct RunReport {
     pub ops: BTreeMap<String, OpLatency>,
     /// Span table summary.
     pub spans: SpanReport,
+    /// Events the bounded simnet trace ring evicted (0 when tracing is
+    /// off or the ring never filled — i.e. the timeline is complete).
+    /// Filled in by the simulator when it builds the report.
+    pub trace_evicted: u64,
 }
 
 impl RunReport {
@@ -917,6 +938,7 @@ impl RunReport {
         let mut w = JsonWriter::new();
         w.obj(|w| {
             w.field_u64("end_time_ns", self.end_time_ns);
+            w.field_u64("trace_evicted", self.trace_evicted);
             w.field_obj("net", |w| {
                 let MetricsSnapshot {
                     msgs_sent,

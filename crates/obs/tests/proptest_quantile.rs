@@ -1,0 +1,123 @@
+//! Property-based tests of `Histogram::quantile` against exact
+//! sorted-sample quantiles.
+//!
+//! The histogram stores only log₂ bucket counts, so it cannot return
+//! the exact sample — but it must never leave the exact sample's
+//! bucket. For any sample set and any q, the estimate must fall within
+//! `[lo(bucket(exact)), hi(bucket(exact))]` where `exact` is the true
+//! quantile of the sorted samples (rank `max(1, ceil(q·n))`, 1-based),
+//! and always within the observed `[min, max]`.
+
+use obs::Histogram;
+use proptest::prelude::*;
+
+/// The exact quantile the histogram approximates: the sample at rank
+/// `max(1, ceil(q·n))` of the sorted data (matching the histogram's own
+/// rank rule).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Inclusive bounds of the log₂ bucket holding `value` (bucket 0 holds
+/// exactly 0; bucket i ≥ 1 holds values of bit-length i).
+fn bucket_bounds(value: u64) -> (u64, u64) {
+    if value == 0 {
+        return (0, 0);
+    }
+    let i = 64 - value.leading_zeros();
+    let lo = 1u64 << (i - 1);
+    (lo, lo.saturating_mul(2).saturating_sub(1))
+}
+
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// p50/p95/p99 (and arbitrary q) stay inside the exact quantile's
+    /// log₂ bucket and inside the observed range.
+    #[test]
+    fn quantile_stays_in_exact_samples_bucket(
+        mut samples in collection::vec(0u64..1_000_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = histogram_of(&samples);
+        samples.sort_unstable();
+        for q in [q, 0.50, 0.95, 0.99] {
+            let exact = exact_quantile(&samples, q);
+            let (lo, hi) = bucket_bounds(exact);
+            let est = h.quantile(q);
+            prop_assert!(
+                (lo..=hi).contains(&est),
+                "q={q}: estimate {est} outside bucket [{lo}, {hi}] of exact {exact}"
+            );
+            prop_assert!((h.min()..=h.max()).contains(&est));
+        }
+    }
+
+    /// With a single sample, min/max clamping makes every quantile
+    /// exact.
+    #[test]
+    fn single_sample_is_exact(v in 0u64..u64::MAX / 2, q in 0.0f64..=1.0) {
+        let h = histogram_of(&[v]);
+        prop_assert_eq!(h.quantile(q), v);
+    }
+
+    /// Bucket 0 is exact: all-zero samples give zero at every quantile.
+    #[test]
+    fn all_zeros_give_zero(n in 1usize..100, q in 0.0f64..=1.0) {
+        let h = histogram_of(&vec![0u64; n]);
+        prop_assert_eq!(h.quantile(q), 0);
+    }
+
+    /// Merging an empty histogram changes no quantile; merging two
+    /// empties stays empty (quantile 0 everywhere).
+    #[test]
+    fn merge_with_empty_is_identity(
+        samples in collection::vec(0u64..1_000_000_000, 0..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = histogram_of(&samples);
+        let before = (h.quantile(q), h.count(), h.min(), h.max());
+        h.merge(&Histogram::new());
+        prop_assert_eq!((h.quantile(q), h.count(), h.min(), h.max()), before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&Histogram::new());
+        prop_assert_eq!(empty.count(), 0);
+        prop_assert_eq!(empty.quantile(q), 0);
+    }
+
+    /// A merged histogram answers like one built from the concatenated
+    /// samples (bucket counts are additive).
+    #[test]
+    fn merge_equals_rebuild(
+        a in collection::vec(0u64..1_000_000_000, 0..80),
+        b in collection::vec(0u64..1_000_000_000, 0..80),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let rebuilt = histogram_of(&all);
+        prop_assert_eq!(merged.quantile(q), rebuilt.quantile(q));
+        prop_assert_eq!(merged.count(), rebuilt.count());
+    }
+}
+
+/// Empty histogram: every quantile is 0 (no samples to clamp to).
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Histogram::new();
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0);
+    }
+    assert_eq!(h.count(), 0);
+}

@@ -181,8 +181,14 @@ impl RpcClient {
                 self.stats.retries += 1;
                 ctx.obs().on_retry();
                 ctx.obs().span_retransmit(span);
+                ctx.trace(simnet::TraceEvent::Retransmit {
+                    src: ctx.endpoint(),
+                    dst: self.server,
+                    span,
+                    attempt,
+                });
             }
-            ctx.send(self.server, datagram.clone());
+            ctx.send_traced(self.server, datagram.clone(), span);
             let deadline = ctx.now() + self.policy.attempt_timeout(attempt);
             // Drain replies until the attempt deadline; a `None` recv
             // means the attempt timed out and we retransmit.
@@ -265,7 +271,7 @@ pub fn send_oneway(ctx: &Ctx, to: Endpoint, op: &str, args: Value) {
         args,
         span: span.raw(),
     };
-    ctx.send(to, msg.to_bytes());
+    ctx.send_traced(to, msg.to_bytes(), span);
 }
 
 /// Sends a one-way notification from a specific bound source endpoint.
@@ -278,7 +284,7 @@ pub fn send_oneway_from(ctx: &Ctx, from: Endpoint, to: Endpoint, op: &str, args:
         args,
         span: span.raw(),
     };
-    ctx.send_from(from, to, msg.to_bytes());
+    ctx.send_from_traced(from, to, msg.to_bytes(), span);
 }
 
 /// Records a one-way span for a notification. The service label comes

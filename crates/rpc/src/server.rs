@@ -127,7 +127,7 @@ impl RpcServer {
             let cached = cached.clone();
             self.stats.duplicates_suppressed += 1;
             ctx.obs().on_duplicate_suppressed();
-            ctx.send(req.reply_to, cached);
+            ctx.send_traced(req.reply_to, cached, obs::SpanId::from_raw(req.span));
             return Served::DuplicateSuppressed;
         }
         if req.call_id <= window.max_executed {
@@ -149,10 +149,17 @@ impl RpcServer {
             ctx.now().as_nanos(),
         );
         let previous = ctx.set_current_span(dispatch);
+        let started = ctx.now();
         let result = handler(ctx, &req);
         ctx.set_current_span(previous);
         ctx.obs()
             .close_span(dispatch, ctx.now().as_nanos(), result.is_ok());
+        ctx.trace(simnet::TraceEvent::ServerExecute {
+            service: ctx.name().to_owned(),
+            op: req.op.clone(),
+            span: dispatch,
+            dur_ns: ctx.now().saturating_since(started).as_nanos() as u64,
+        });
         let reply = Reply {
             call_id: req.call_id,
             result,
@@ -165,7 +172,9 @@ impl RpcServer {
             .insert(req.call_id, encoded.clone());
         self.stats.executed += 1;
         ctx.obs().on_executed();
-        ctx.send(req.reply_to, encoded);
+        // The reply belongs to the request's span (the handler restored
+        // the server's previous span above).
+        ctx.send_traced(req.reply_to, encoded, obs::SpanId::from_raw(req.span));
         Served::Executed(req)
     }
 

@@ -52,4 +52,4 @@ pub use msg::Message;
 pub use net::{Network, NetworkConfig};
 pub use sched::{Ctx, RunReport, Simulation, Stopped};
 pub use time::{duration_to_nanos, SimTime};
-pub use trace::{TraceEvent, TraceRecord};
+pub use trace::{TraceDump, TraceEvent, TraceRecord};

@@ -22,6 +22,10 @@ pub struct Message {
     pub sent_at: SimTime,
     /// Instant the network delivered it to the destination mailbox.
     pub delivered_at: SimTime,
+    /// The causal span the sender was working for when it sent this
+    /// ([`obs::SpanId::NONE`] for unattributed traffic). Carried so the
+    /// delivery-side trace event stays attributed to the request.
+    pub span: obs::SpanId,
 }
 
 impl Message {
@@ -59,6 +63,7 @@ mod tests {
             payload: Bytes::from_static(b"hi"),
             sent_at: SimTime::from_micros(10),
             delivered_at: SimTime::from_micros(150),
+            span: obs::SpanId::NONE,
         };
         assert_eq!(m.latency(), Duration::from_micros(140));
         assert_eq!(m.len(), 2);

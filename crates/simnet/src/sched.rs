@@ -32,7 +32,7 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::msg::Message;
 use crate::net::{Fate, Network, NetworkConfig};
 use crate::time::SimTime;
-use crate::trace::{Trace, TraceEvent, TraceRecord};
+use crate::trace::{Trace, TraceDump, TraceEvent};
 
 /// Error returned by blocking [`Ctx`] operations once the simulation is
 /// shutting down. A process receiving `Stopped` should return promptly.
@@ -187,13 +187,17 @@ impl Shared {
     }
 
     /// Plans delivery for a payload and enqueues the resulting events.
-    fn send(&self, src: Endpoint, dst: Endpoint, payload: Bytes) {
+    /// `span` is the causal span the send happens on behalf of; it
+    /// rides along in the [`Message`] so the delivery (or loss) trace
+    /// event stays attributed to the request.
+    fn send(&self, src: Endpoint, dst: Endpoint, payload: Bytes, span: obs::SpanId) {
         let now = self.now();
         self.metrics.on_send(payload.len());
         self.record(TraceEvent::Sent {
             src,
             dst,
             bytes: payload.len(),
+            span,
         });
         let fate = {
             let net = self.network.lock();
@@ -215,6 +219,7 @@ impl Shared {
                                 payload: payload.clone(),
                                 sent_at: now,
                                 delivered_at: t,
+                                span,
                             },
                         },
                     );
@@ -222,11 +227,11 @@ impl Shared {
             }
             Fate::Dropped => {
                 self.metrics.on_drop();
-                self.record(TraceEvent::Dropped { src, dst });
+                self.record(TraceEvent::Dropped { src, dst, span });
             }
             Fate::Blackholed => {
                 self.metrics.on_blackhole();
-                self.record(TraceEvent::Blackholed { src, dst });
+                self.record(TraceEvent::Blackholed { src, dst, span });
             }
         }
     }
@@ -451,9 +456,11 @@ impl Ctx {
     }
 
     /// Sends `payload` to `dst`. Non-blocking; delivery (or loss) is
-    /// decided by the network model at this instant.
+    /// decided by the network model at this instant. The send is
+    /// attributed to the process's current span.
     pub fn send(&self, dst: Endpoint, payload: Bytes) {
-        self.shared.send(self.endpoint, dst, payload);
+        self.shared
+            .send(self.endpoint, dst, payload, self.current_span.get());
     }
 
     /// Sends `payload` to `dst` with an explicit source endpoint, which
@@ -461,7 +468,37 @@ impl Ctx {
     /// bound with [`Ctx::bind_port`]).
     pub fn send_from(&self, src: Endpoint, dst: Endpoint, payload: Bytes) {
         debug_assert_eq!(src.node, self.endpoint.node, "send_from across nodes");
-        self.shared.send(src, dst, payload);
+        self.shared.send(src, dst, payload, self.current_span.get());
+    }
+
+    /// Like [`Ctx::send`], but attributes the send to an explicit span
+    /// instead of the process's current one. Protocol layers use this
+    /// when the packet belongs to a different causal context than the
+    /// code sending it — e.g. a server re-sending a cached reply for a
+    /// suppressed duplicate attributes the bytes to the *request's*
+    /// span, not to whatever the server is doing now.
+    pub fn send_traced(&self, dst: Endpoint, payload: Bytes, span: obs::SpanId) {
+        self.shared.send(self.endpoint, dst, payload, span);
+    }
+
+    /// [`Ctx::send_from`] with an explicit span, see [`Ctx::send_traced`].
+    pub fn send_from_traced(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: Bytes,
+        span: obs::SpanId,
+    ) {
+        debug_assert_eq!(src.node, self.endpoint.node, "send_from across nodes");
+        self.shared.send(src, dst, payload, span);
+    }
+
+    /// Appends a protocol-level event to the simulation timeline (no-op
+    /// unless tracing is enabled). Upper layers use this to record the
+    /// events the network itself cannot see: retransmission decisions,
+    /// server executions, proxy cache hits, forwarding and migration.
+    pub fn trace(&self, event: TraceEvent) {
+        self.shared.record(event);
     }
 
     /// Binds an additional well-known port routed to this process's
@@ -654,6 +691,10 @@ pub struct RunReport {
     pub finished: usize,
     /// Processes still alive (blocked or sleeping) when the run stopped.
     pub alive: usize,
+    /// Trace records evicted from the bounded trace ring so far (0 when
+    /// tracing is disabled). Nonzero means [`Simulation::take_trace`]
+    /// will return an incomplete timeline.
+    pub trace_evicted: u64,
 }
 
 /// A deterministic discrete-event simulation.
@@ -737,9 +778,12 @@ impl Simulation {
     /// counters, per-proxy/per-server stats, per-op latency percentiles
     /// and the span summary, as of the current simulated time.
     pub fn obs_report(&self) -> obs::RunReport {
-        self.shared
+        let mut report = self
+            .shared
             .obs
-            .report(self.shared.metrics.snapshot(), self.shared.now().as_nanos())
+            .report(self.shared.metrics.snapshot(), self.shared.now().as_nanos());
+        report.trace_evicted = self.trace_evicted();
+        report
     }
 
     /// Starts recording a timeline of up to `capacity` events (older
@@ -749,14 +793,54 @@ impl Simulation {
     }
 
     /// Drains and returns the recorded timeline (empty if tracing was
-    /// never enabled). Recording continues afterwards.
-    pub fn take_trace(&self) -> Vec<TraceRecord> {
+    /// never enabled). Recording continues afterwards. The returned
+    /// [`TraceDump`] carries the count of records the bounded ring
+    /// evicted, so a truncated timeline is never mistaken for a
+    /// complete one; draining resets the counter.
+    pub fn take_trace(&self) -> TraceDump {
         self.shared
             .trace
             .lock()
             .as_mut()
             .map(|t| t.drain())
             .unwrap_or_default()
+    }
+
+    /// Records evicted from the trace ring since tracing was enabled
+    /// (without draining). Also surfaced by [`RunReport::trace_evicted`]
+    /// and reset by [`Simulation::take_trace`].
+    pub fn trace_evicted(&self) -> u64 {
+        self.shared
+            .trace
+            .lock()
+            .as_ref()
+            .map(|t| t.truncated)
+            .unwrap_or(0)
+    }
+
+    /// Drains the trace ring and merges it with the span records in the
+    /// observability registry into one time-ordered causal trace
+    /// (see [`obs::TraceSink`]). Equivalent to
+    /// `causal_trace_with(obs::TraceSink::new())`.
+    pub fn causal_trace(&self) -> obs::CausalTrace {
+        self.causal_trace_with(obs::TraceSink::new())
+    }
+
+    /// Like [`Simulation::causal_trace`], but with a caller-configured
+    /// sink (capacity, every-Nth-span sampling). Ring evictions that
+    /// happened before the drain are carried into the sink's counter.
+    pub fn causal_trace_with(&self, mut sink: obs::TraceSink) -> obs::CausalTrace {
+        let dump = self.take_trace();
+        sink.note_upstream_evicted(dump.evicted);
+        for record in &dump {
+            if let Some(e) = record.to_net_event() {
+                sink.push_net(e);
+            }
+        }
+        for span in self.shared.obs.spans() {
+            sink.push_span(span);
+        }
+        sink.build()
     }
 
     /// Exclusive access to the network model (between runs or before one).
@@ -850,6 +934,7 @@ impl Simulation {
             metrics: self.shared.metrics.snapshot(),
             finished,
             alive,
+            trace_evicted: self.trace_evicted(),
         }
     }
 
@@ -886,8 +971,8 @@ impl Simulation {
                 }
             }
             EvKind::Deliver { msg } => {
-                let (delivered_src, delivered_dst, delivered_bytes) =
-                    (msg.src, msg.dst, msg.payload.len());
+                let (delivered_src, delivered_dst, delivered_bytes, delivered_span) =
+                    (msg.src, msg.dst, msg.payload.len(), msg.span);
                 let target = {
                     let mut reg = self.shared.registry.lock();
                     let pid = reg.endpoints.get(&msg.dst).copied();
@@ -911,6 +996,7 @@ impl Simulation {
                             src: delivered_src,
                             dst: delivered_dst,
                             bytes: delivered_bytes,
+                            span: delivered_span,
                         });
                         if state == ProcState::BlockedRecv {
                             self.resume_and_wait(pid, Resume::Delivered);
@@ -921,6 +1007,7 @@ impl Simulation {
                         self.shared.record(TraceEvent::Blackholed {
                             src: delivered_src,
                             dst: delivered_dst,
+                            span: delivered_span,
                         });
                     }
                 }
@@ -1374,6 +1461,7 @@ mod trace_tests {
                 TraceEvent::Dropped { .. } => "drop",
                 TraceEvent::Blackholed { .. } => "blackhole",
                 TraceEvent::Killed { .. } => "kill",
+                _ => "protocol",
             })
             .collect();
         assert_eq!(

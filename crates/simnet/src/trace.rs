@@ -3,11 +3,20 @@
 //! Disabled by default (zero overhead beyond a branch); enable with
 //! [`crate::Simulation::enable_trace`] and read the timeline back with
 //! [`crate::Simulation::take_trace`]. Intended for debugging protocol
-//! interleavings and for assertions in tests that care about *ordering*
-//! rather than aggregate counts.
+//! interleavings, for assertions in tests that care about *ordering*
+//! rather than aggregate counts, and — through
+//! [`TraceRecord::to_net_event`] — as the network-event feed of the
+//! `obs` causal trace pipeline.
+//!
+//! Network events carry the [`obs::SpanId`] of the request they were
+//! sent on behalf of ([`obs::SpanId::NONE`] for unattributed traffic
+//! such as name-service lookups), so a timeline entry can always be
+//! tied back to the client invocation that caused it.
 
 use std::collections::VecDeque;
 use std::fmt;
+
+use obs::SpanId;
 
 use crate::addr::{Endpoint, ProcId};
 use crate::time::SimTime;
@@ -32,6 +41,8 @@ pub enum TraceEvent {
         dst: Endpoint,
         /// Payload size in bytes.
         bytes: usize,
+        /// The span the sender was working for.
+        span: SpanId,
     },
     /// A message reached a destination mailbox.
     Delivered {
@@ -41,6 +52,8 @@ pub enum TraceEvent {
         dst: Endpoint,
         /// Payload size in bytes.
         bytes: usize,
+        /// The span the message was sent on behalf of.
+        span: SpanId,
     },
     /// The loss model dropped a message.
     Dropped {
@@ -48,6 +61,8 @@ pub enum TraceEvent {
         src: Endpoint,
         /// Destination endpoint.
         dst: Endpoint,
+        /// The span the message was sent on behalf of.
+        span: SpanId,
     },
     /// A partition/down-node/unbound endpoint swallowed a message.
     Blackholed {
@@ -55,6 +70,68 @@ pub enum TraceEvent {
         src: Endpoint,
         /// Destination endpoint.
         dst: Endpoint,
+        /// The span the message was sent on behalf of.
+        span: SpanId,
+    },
+    /// An RPC client timed out an attempt and re-sent its request.
+    Retransmit {
+        /// The retransmitting client endpoint.
+        src: Endpoint,
+        /// The unresponsive server endpoint.
+        dst: Endpoint,
+        /// The request's span.
+        span: SpanId,
+        /// Attempt number (1 = first retransmission).
+        attempt: u32,
+    },
+    /// A server finished executing a dispatched operation.
+    ServerExecute {
+        /// The executing server process's name.
+        service: String,
+        /// The operation.
+        op: String,
+        /// The dispatch span.
+        span: SpanId,
+        /// Handler execution time in virtual nanoseconds.
+        dur_ns: u64,
+    },
+    /// A caching proxy answered a read locally.
+    ProxyCacheHit {
+        /// The proxied service.
+        service: String,
+        /// The operation.
+        op: String,
+        /// The invoking span.
+        span: SpanId,
+    },
+    /// A caching proxy went remote for a read.
+    ProxyCacheMiss {
+        /// The proxied service.
+        service: String,
+        /// The operation.
+        op: String,
+        /// The invoking span.
+        span: SpanId,
+    },
+    /// A forwarder redirected a caller to an object's new home.
+    Forwarded {
+        /// The forwarder's endpoint.
+        from: Endpoint,
+        /// Where it pointed the caller.
+        to: Endpoint,
+        /// The redirected request's span.
+        span: SpanId,
+    },
+    /// An object relocated (migration, checkout or checkin).
+    Migrated {
+        /// The service that moved.
+        service: String,
+        /// Where it was.
+        from: Endpoint,
+        /// Where it now lives.
+        to: Endpoint,
+        /// The span of the request that triggered the move.
+        span: SpanId,
     },
     /// A process ran to completion.
     Finished {
@@ -77,6 +154,128 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
+fn loc(ep: Endpoint) -> obs::Loc {
+    obs::Loc::new(ep.node.0, ep.port.0)
+}
+
+impl TraceRecord {
+    /// Converts this record to the crate-neutral network-event form the
+    /// `obs` trace pipeline consumes. Process lifecycle entries
+    /// (`Spawned`/`Finished`/`Killed`) have no network meaning and map
+    /// to `None`.
+    pub fn to_net_event(&self) -> Option<obs::NetEvent> {
+        let at_ns = self.at.as_nanos();
+        let (span, kind) = match &self.event {
+            TraceEvent::Sent {
+                src,
+                dst,
+                bytes,
+                span,
+            } => (
+                *span,
+                obs::NetEventKind::Sent {
+                    src: loc(*src),
+                    dst: loc(*dst),
+                    bytes: *bytes as u64,
+                },
+            ),
+            TraceEvent::Delivered {
+                src,
+                dst,
+                bytes,
+                span,
+            } => (
+                *span,
+                obs::NetEventKind::Delivered {
+                    src: loc(*src),
+                    dst: loc(*dst),
+                    bytes: *bytes as u64,
+                },
+            ),
+            TraceEvent::Dropped { src, dst, span } => (
+                *span,
+                obs::NetEventKind::Dropped {
+                    src: loc(*src),
+                    dst: loc(*dst),
+                },
+            ),
+            TraceEvent::Blackholed { src, dst, span } => (
+                *span,
+                obs::NetEventKind::Blackholed {
+                    src: loc(*src),
+                    dst: loc(*dst),
+                },
+            ),
+            TraceEvent::Retransmit {
+                src,
+                dst,
+                span,
+                attempt,
+            } => (
+                *span,
+                obs::NetEventKind::Retransmit {
+                    src: loc(*src),
+                    dst: loc(*dst),
+                    attempt: *attempt,
+                },
+            ),
+            TraceEvent::ServerExecute {
+                service,
+                op,
+                span,
+                dur_ns,
+            } => (
+                *span,
+                obs::NetEventKind::ServerExecute {
+                    service: service.clone(),
+                    op: op.clone(),
+                    dur_ns: *dur_ns,
+                },
+            ),
+            TraceEvent::ProxyCacheHit { service, op, span } => (
+                *span,
+                obs::NetEventKind::ProxyCacheHit {
+                    service: service.clone(),
+                    op: op.clone(),
+                },
+            ),
+            TraceEvent::ProxyCacheMiss { service, op, span } => (
+                *span,
+                obs::NetEventKind::ProxyCacheMiss {
+                    service: service.clone(),
+                    op: op.clone(),
+                },
+            ),
+            TraceEvent::Forwarded { from, to, span } => (
+                *span,
+                obs::NetEventKind::Forwarded {
+                    from: loc(*from),
+                    to: loc(*to),
+                },
+            ),
+            TraceEvent::Migrated {
+                service,
+                from,
+                to,
+                span,
+            } => (
+                *span,
+                obs::NetEventKind::Migrated {
+                    service: service.clone(),
+                    from: loc(*from),
+                    to: loc(*to),
+                },
+            ),
+            TraceEvent::Spawned { .. }
+            | TraceEvent::Finished { .. }
+            | TraceEvent::Killed { .. } => {
+                return None;
+            }
+        };
+        Some(obs::NetEvent { at_ns, span, kind })
+    }
+}
+
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] ", self.at)?;
@@ -86,15 +285,103 @@ impl fmt::Display for TraceRecord {
                 name,
                 endpoint,
             } => write!(f, "spawn {pid} `{name}` at {endpoint}"),
-            TraceEvent::Sent { src, dst, bytes } => write!(f, "send {src} -> {dst} ({bytes}B)"),
-            TraceEvent::Delivered { src, dst, bytes } => {
-                write!(f, "deliver {src} -> {dst} ({bytes}B)")
+            TraceEvent::Sent {
+                src,
+                dst,
+                bytes,
+                span,
+            } => write!(f, "send {src} -> {dst} ({bytes}B, {span})"),
+            TraceEvent::Delivered {
+                src,
+                dst,
+                bytes,
+                span,
+            } => {
+                write!(f, "deliver {src} -> {dst} ({bytes}B, {span})")
             }
-            TraceEvent::Dropped { src, dst } => write!(f, "drop {src} -> {dst}"),
-            TraceEvent::Blackholed { src, dst } => write!(f, "blackhole {src} -> {dst}"),
+            TraceEvent::Dropped { src, dst, span } => write!(f, "drop {src} -> {dst} ({span})"),
+            TraceEvent::Blackholed { src, dst, span } => {
+                write!(f, "blackhole {src} -> {dst} ({span})")
+            }
+            TraceEvent::Retransmit {
+                src,
+                dst,
+                span,
+                attempt,
+            } => write!(f, "retransmit #{attempt} {src} -> {dst} ({span})"),
+            TraceEvent::ServerExecute {
+                service,
+                op,
+                span,
+                dur_ns,
+            } => write!(f, "execute {service}/{op} in {dur_ns}ns ({span})"),
+            TraceEvent::ProxyCacheHit { service, op, span } => {
+                write!(f, "cache-hit {service}/{op} ({span})")
+            }
+            TraceEvent::ProxyCacheMiss { service, op, span } => {
+                write!(f, "cache-miss {service}/{op} ({span})")
+            }
+            TraceEvent::Forwarded { from, to, span } => {
+                write!(f, "forward {from} -> {to} ({span})")
+            }
+            TraceEvent::Migrated {
+                service,
+                from,
+                to,
+                span,
+            } => write!(f, "migrate {service} {from} -> {to} ({span})"),
             TraceEvent::Finished { pid } => write!(f, "finish {pid}"),
             TraceEvent::Killed { pid } => write!(f, "kill {pid}"),
         }
+    }
+}
+
+/// The drained timeline plus its truncation counter.
+///
+/// The ring is bounded, so a busy run can shed its oldest entries;
+/// `evicted` says how many. A drained trace with `evicted != 0` must
+/// never be mistaken for a complete one — completeness-sensitive
+/// consumers (the causal trace pipeline, ordering assertions) check
+/// [`TraceDump::is_complete`]. Derefs to the record slice, so existing
+/// slice-style consumers keep working.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// The surviving records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Records discarded because the ring was full.
+    pub evicted: u64,
+}
+
+impl TraceDump {
+    /// True when no record was evicted.
+    pub fn is_complete(&self) -> bool {
+        self.evicted == 0
+    }
+}
+
+impl std::ops::Deref for TraceDump {
+    type Target = [TraceRecord];
+
+    fn deref(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+impl IntoIterator for TraceDump {
+    type Item = TraceRecord;
+    type IntoIter = std::vec::IntoIter<TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceDump {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
     }
 }
 
@@ -124,8 +411,14 @@ impl Trace {
         self.records.push_back(TraceRecord { at, event });
     }
 
-    pub(crate) fn drain(&mut self) -> Vec<TraceRecord> {
-        self.records.drain(..).collect()
+    /// Drains the buffered records and resets the truncation counter,
+    /// handing both to the caller.
+    pub(crate) fn drain(&mut self) -> TraceDump {
+        let evicted = std::mem::take(&mut self.truncated);
+        TraceDump {
+            records: self.records.drain(..).collect(),
+            evicted,
+        }
     }
 }
 
@@ -139,7 +432,7 @@ mod tests {
     }
 
     #[test]
-    fn bounded_buffer_truncates_oldest() {
+    fn bounded_buffer_truncates_oldest_and_reports_it() {
         let mut t = Trace::new(2);
         for i in 0..4u32 {
             t.push(
@@ -147,14 +440,20 @@ mod tests {
                 TraceEvent::Finished { pid: ProcId(i) },
             );
         }
-        let records = t.drain();
-        assert_eq!(records.len(), 2);
-        assert_eq!(t.truncated, 2);
+        let dump = t.drain();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump.evicted, 2);
+        assert!(!dump.is_complete());
         assert_eq!(
-            records[0].event,
+            dump[0].event,
             TraceEvent::Finished { pid: ProcId(2) },
             "oldest entries evicted first"
         );
+        // Draining resets the counter: the next dump starts clean.
+        t.push(SimTime::ZERO, TraceEvent::Finished { pid: ProcId(9) });
+        let dump = t.drain();
+        assert_eq!(dump.evicted, 0);
+        assert!(dump.is_complete());
     }
 
     #[test]
@@ -165,11 +464,40 @@ mod tests {
                 src: ep(0, 1),
                 dst: ep(1, 2),
                 bytes: 64,
+                span: SpanId(7),
             },
         };
         let s = r.to_string();
         assert!(s.contains("1.500ms") || s.contains("1500"), "{s}");
         assert!(s.contains("n0:p1 -> n1:p2"));
         assert!(s.contains("64B"));
+        assert!(s.contains("span#7") || s.contains('7'), "{s}");
+    }
+
+    #[test]
+    fn net_event_conversion_keeps_attribution() {
+        let r = TraceRecord {
+            at: SimTime::from_micros(3),
+            event: TraceEvent::Dropped {
+                src: ep(0, 1),
+                dst: ep(1, 2),
+                span: SpanId(5),
+            },
+        };
+        let e = r.to_net_event().expect("network event");
+        assert_eq!(e.at_ns, 3_000);
+        assert_eq!(e.span, SpanId(5));
+        assert_eq!(
+            e.kind,
+            obs::NetEventKind::Dropped {
+                src: obs::Loc::new(0, 1),
+                dst: obs::Loc::new(1, 2),
+            }
+        );
+        let lifecycle = TraceRecord {
+            at: SimTime::ZERO,
+            event: TraceEvent::Finished { pid: ProcId(1) },
+        };
+        assert!(lifecycle.to_net_event().is_none());
     }
 }

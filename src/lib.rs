@@ -59,8 +59,6 @@ pub use wire;
 pub mod prelude {
     pub use migration::{request_migration, spawn_migratable, ForwardMode, MigratableConfig};
     pub use naming::{spawn_name_server, NameClient};
-    #[allow(deprecated)]
-    pub use proxy_core::{spawn_service, spawn_service_with_factories};
     pub use proxy_core::{
         AdaptiveParams, Binder, CachingParams, ClientRuntime, Coherence, FactoryRegistry,
         InterfaceDesc, OpDesc, Proxy, ProxySpec, ReadTarget, ServiceBuilder, ServiceObject,
