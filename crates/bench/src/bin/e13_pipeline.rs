@@ -1,0 +1,5 @@
+//! Runs experiment e13 standalone.
+fn main() {
+    let ok = bench::experiments::e13_pipeline::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -26,7 +26,7 @@ use bench::Table;
 use naming::spawn_name_server;
 use proxy_core::{CachingParams, ClientRuntime, ProxySpec, ServiceBuilder, Session};
 use services::kv::{KvClient, KvStore};
-use simnet::{NetworkConfig, NodeId, Simulation};
+use simnet::{NetworkConfig, NodeId, PortId, Simulation};
 
 /// Components must sum to the measured span duration within this
 /// fraction (the acceptance bar for the reconstruction).
@@ -282,9 +282,87 @@ fn cmd_run(opts: &RunOpts, smoke: bool) -> ExitCode {
                 failures.push(format!("causality violation: {v}"));
             }
         }
+        smoke_pipelined(&mut failures);
     }
 
     finish(&failures)
+}
+
+/// Smoke phase 2: a pipelined [`rpc::Channel`] run (depth 8, unbatched
+/// so every datagram carries its call's span) over a lossy network.
+/// Eight calls in flight complete out of order, yet every per-call
+/// invoke span must still reconstruct a complete critical path whose
+/// components tile its duration, round-trip through JSONL, and leave
+/// the span graph causally well-formed.
+fn smoke_pipelined(failures: &mut Vec<String>) {
+    let cfg = NetworkConfig::lan().with_loss(0.15).with_duplicate(0.10);
+    let mut sim = Simulation::new(cfg, 23);
+    sim.enable_trace(1 << 16);
+    let server = sim.spawn_at("pipesvc", NodeId(1), PortId(5), |ctx| {
+        let mut srv = rpc::RpcServer::new();
+        srv.serve(ctx, |_ctx, req| Ok(req.args.clone()), |_, _| {});
+    });
+    sim.spawn("pipeliner", NodeId(2), move |ctx| {
+        let cfg = rpc::ChannelConfig::with_depth(8)
+            .with_policy(rpc::RetryPolicy::exponential(Duration::from_millis(4), 8));
+        let mut ch = rpc::Channel::new("pipesvc", server, cfg);
+        let handles: Vec<_> = (0..48u64)
+            .map(|i| ch.begin_call(ctx, "echo", wire::Value::U64(i)))
+            .collect();
+        for h in handles {
+            let _ = ch.wait(ctx, h);
+        }
+    });
+    sim.run();
+
+    let trace = sim.causal_trace();
+    let jsonl = obs::to_jsonl(&trace);
+    match obs::from_jsonl(&jsonl) {
+        Ok(re) if re.events.len() == trace.events.len() => {}
+        Ok(re) => failures.push(format!(
+            "pipelined: jsonl round-trip lost events: {} exported, {} re-imported",
+            trace.events.len(),
+            re.events.len()
+        )),
+        Err(e) => failures.push(format!("pipelined: jsonl re-import failed: {e}")),
+    }
+    if let Err(e) = obs::validate_chrome(&obs::to_chrome_json(&trace)) {
+        failures.push(format!("pipelined: chrome export invalid: {e}"));
+    }
+
+    let paths = obs::critical_paths(&trace);
+    let complete = paths.iter().filter(|p| p.ok.is_some()).count();
+    println!(
+        "pipelined smoke: {} requests reconstructed ({} complete) from depth-8 traffic",
+        paths.len(),
+        complete
+    );
+    if complete == 0 {
+        failures.push("pipelined: no complete critical path reconstructed".into());
+    }
+    for p in paths.iter().filter(|p| p.ok.is_some()) {
+        let total = p.total_ns as f64;
+        let err = (p.components_ns() as f64 - total).abs();
+        if total > 0.0 && err / total > SUM_TOLERANCE {
+            failures.push(format!(
+                "pipelined {} {}/{}: components {}us vs span {}us (off by {:.1}%)",
+                p.span,
+                p.service,
+                p.op,
+                us(p.components_ns()),
+                us(p.total_ns),
+                100.0 * err / total
+            ));
+        }
+    }
+    let violations = sim.obs().verify_causality();
+    if violations.is_empty() {
+        println!("pipelined causality: no violations");
+    } else {
+        for v in &violations {
+            failures.push(format!("pipelined causality violation: {v}"));
+        }
+    }
 }
 
 fn cmd_analyze(path: &str, top: usize) -> ExitCode {

@@ -13,10 +13,10 @@
 //! The proxy always invalidates its own tag on its own writes, so a
 //! client reads its own writes regardless of mode.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use naming::NameClient;
-use rpc::{endpoint_to_value, RpcClient, RpcError};
+use rpc::{endpoint_to_value, Channel, ChannelConfig, RpcClient, RpcError};
 use simnet::{Ctx, Endpoint, SimTime};
 use wire::Value;
 
@@ -42,9 +42,14 @@ pub struct CachingProxy {
     subscribed: bool,
     /// tag → (request key → entry).
     cache: HashMap<String, HashMap<Vec<u8>, CacheEntry>>,
-    /// Insertion order for capacity eviction (FIFO).
+    /// Insertion order for capacity eviction (FIFO). May hold stale
+    /// pairs for entries removed by invalidation or lease expiry;
+    /// [`CachingProxy::compact_order`] bounds the slack.
     order: VecDeque<(String, Vec<u8>)>,
     len: usize,
+    /// When `Some`, writes go through this pipelined channel instead of
+    /// blocking on a round trip (write-behind mode).
+    write_behind: Option<Channel>,
     stats: ProxyStats,
 }
 
@@ -73,6 +78,7 @@ impl CachingProxy {
             cache: HashMap::new(),
             order: VecDeque::new(),
             len: 0,
+            write_behind: None,
             stats: ProxyStats::default(),
         };
         if proxy.params.coherence.subscribes() {
@@ -118,6 +124,25 @@ impl CachingProxy {
         self.len
     }
 
+    /// Length of the internal eviction queue (test hook: must stay
+    /// O(capacity + live entries), see [`CachingProxy::compact_order`]).
+    #[doc(hidden)]
+    pub fn order_len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Switches writes to write-behind: instead of blocking on a round
+    /// trip, write ops are staged on a pipelined [`Channel`] and the
+    /// call returns `Value::Null` immediately. The proxy still
+    /// invalidates its own tags on write, and a read *miss* drains the
+    /// channel before going remote, so the client continues to read its
+    /// own writes. Durability is deferred: a write is only known to have
+    /// executed once the channel drains ([`Proxy::poll`] makes progress;
+    /// [`Proxy::detach`] drains fully).
+    pub fn enable_write_behind(&mut self, cfg: ChannelConfig) {
+        self.write_behind = Some(Channel::new(self.service.clone(), self.rpc.server(), cfg));
+    }
+
     /// Replaces the caching parameters (used by the adaptive proxy when
     /// it flips strategies). Existing entries keep their old expiry.
     pub(crate) fn set_params(&mut self, params: CachingParams) {
@@ -146,6 +171,33 @@ impl CachingProxy {
         if let Some(entries) = self.cache.remove("*") {
             self.len -= entries.len();
         }
+        self.compact_order();
+    }
+
+    /// Rebuilds the eviction queue once its stale slack (pairs whose
+    /// entry was removed by invalidation or lease expiry, plus
+    /// duplicates from expire-then-reinsert) exceeds the live entry
+    /// count plus capacity. Keeps the *last* occurrence of each live
+    /// pair so re-inserted entries age from their newest insert, and
+    /// guarantees `order.len() <= 2 * (capacity + len)` at all times.
+    fn compact_order(&mut self) {
+        if self.order.len() <= self.params.capacity + self.len {
+            return;
+        }
+        let mut seen: HashSet<(String, Vec<u8>)> = HashSet::with_capacity(self.len);
+        let mut kept: Vec<(String, Vec<u8>)> = Vec::with_capacity(self.len);
+        while let Some((t, k)) = self.order.pop_back() {
+            let live = self
+                .cache
+                .get(&t)
+                .is_some_and(|entries| entries.contains_key(&k));
+            if live && seen.insert((t.clone(), k.clone())) {
+                kept.push((t, k));
+            }
+        }
+        kept.reverse();
+        self.order = kept.into();
+        debug_assert_eq!(self.order.len(), self.len);
     }
 
     fn cache_key(op: &str, args: &Value) -> Vec<u8> {
@@ -162,7 +214,11 @@ impl CachingProxy {
         if let Some(expires) = entry.expires {
             if expires <= now {
                 entries.remove(key);
+                if entries.is_empty() {
+                    self.cache.remove(tag);
+                }
                 self.len -= 1;
+                self.compact_order();
                 return None;
             }
         }
@@ -197,6 +253,7 @@ impl CachingProxy {
         if fresh {
             self.len += 1;
             self.order.push_back((tag, key));
+            self.compact_order();
         }
     }
 
@@ -227,16 +284,71 @@ impl CachingProxy {
     /// read that follows a remote write observes it promptly.
     fn drain_mailbox(&mut self, ctx: &mut Ctx, strays: &mut dyn OnewaySink) {
         while let Ok(Some(msg)) = ctx.try_recv() {
-            // Anything that is not a one-way notification is stale here
-            // (late duplicate replies); drop it.
-            if let Ok(rpc::Packet::Oneway(o)) = rpc::Packet::from_bytes(&msg.payload) {
-                if o.args.get("svc").and_then(Value::as_str) == Some(self.service.as_str()) {
-                    self.handle_oneway(&o);
-                } else {
-                    strays.push(o);
+            match rpc::Packet::from_bytes(&msg.payload) {
+                Ok(rpc::Packet::Oneway(o)) => {
+                    if o.args.get("svc").and_then(Value::as_str) == Some(self.service.as_str()) {
+                        self.handle_oneway(&o);
+                    } else {
+                        strays.push(o);
+                    }
+                }
+                // Anything else — late duplicate replies, callback
+                // requests addressed to this endpoint, undecodable
+                // frames — cannot be serviced from here. They used to
+                // vanish silently; now the drop is at least visible.
+                Ok(_) | Err(_) => {
+                    self.stats.datagrams_discarded += 1;
+                    ctx.obs().on_stray_dropped();
                 }
             }
         }
+    }
+
+    /// Routes one-way notifications the write-behind channel absorbed
+    /// while pumping, then puts the channel back.
+    fn route_channel_strays(&mut self, ch: &mut Channel, strays: &mut dyn OnewaySink) {
+        for o in ch.take_strays() {
+            if o.args.get("svc").and_then(Value::as_str) == Some(self.service.as_str()) {
+                self.handle_oneway(&o);
+            } else {
+                strays.push(o);
+            }
+        }
+    }
+
+    /// Non-blocking write-behind progress: send staged writes, absorb
+    /// replies already in the mailbox, drop settled records.
+    fn pump_write_behind(
+        &mut self,
+        ctx: &mut Ctx,
+        strays: &mut dyn OnewaySink,
+    ) -> Result<(), RpcError> {
+        let Some(mut ch) = self.write_behind.take() else {
+            return Ok(());
+        };
+        let r = ch.poll(ctx);
+        ch.reap_settled();
+        self.route_channel_strays(&mut ch, strays);
+        self.write_behind = Some(ch);
+        r
+    }
+
+    /// Drains the write-behind pipeline completely. Read misses call
+    /// this before going remote so the server observes our writes first
+    /// (read-your-writes survives the asynchrony).
+    fn flush_write_behind(
+        &mut self,
+        ctx: &mut Ctx,
+        strays: &mut dyn OnewaySink,
+    ) -> Result<(), RpcError> {
+        let Some(mut ch) = self.write_behind.take() else {
+            return Ok(());
+        };
+        let r = ch.wait_all(ctx);
+        ch.reap_settled();
+        self.route_channel_strays(&mut ch, strays);
+        self.write_behind = Some(ch);
+        r
     }
 
     fn handle_oneway(&mut self, o: &rpc::Oneway) {
@@ -262,7 +374,12 @@ impl Proxy for CachingProxy {
         args: Value,
         strays: &mut dyn OnewaySink,
     ) -> Result<Value, RpcError> {
-        if self.subscribed {
+        if self.write_behind.is_some() {
+            // The channel drains the mailbox itself: replies feed its
+            // outstanding calls, one-ways come back via take_strays.
+            // A raw drain here would eat the channel's replies.
+            self.pump_write_behind(ctx, strays)?;
+        } else if self.subscribed {
             self.drain_mailbox(ctx, strays);
         }
         self.stats.invocations += 1;
@@ -286,6 +403,9 @@ impl Proxy for CachingProxy {
                     op: op.to_owned(),
                     span: ctx.current_span(),
                 });
+                // A miss goes remote: drain pending asynchronous writes
+                // first so the server answers after our writes applied.
+                self.flush_write_behind(ctx, strays)?;
                 let v = robust_call(
                     &mut self.rpc,
                     &mut self.ns,
@@ -304,6 +424,23 @@ impl Proxy for CachingProxy {
                 // tag so we read our own writes.
                 let tag = d.tag(&args);
                 self.stats.remote_calls += 1;
+                if self.write_behind.is_some() {
+                    // Write-behind: stage the call on the pipelined
+                    // channel and return immediately. The channel's
+                    // retransmission timers and the server's duplicate
+                    // window keep execution at-most-once; the local
+                    // invalidation below plus the flush-on-miss above
+                    // keep read-your-writes.
+                    let mut ch = self.write_behind.take().expect("checked is_some");
+                    ch.begin_call(ctx, op, args);
+                    let r = ch.poll(ctx);
+                    ch.reap_settled();
+                    self.route_channel_strays(&mut ch, strays);
+                    self.write_behind = Some(ch);
+                    r?;
+                    self.invalidate_tag(&tag);
+                    return Ok(Value::Null);
+                }
                 let v = robust_call(
                     &mut self.rpc,
                     &mut self.ns,
@@ -318,8 +455,11 @@ impl Proxy for CachingProxy {
                 Ok(v)
             }
             None => {
-                // Undeclared (system or unknown) op: pass through.
+                // Undeclared (system or unknown) op: pass through. It
+                // might write, so drain asynchronous writes first to
+                // preserve ordering.
                 self.stats.remote_calls += 1;
+                self.flush_write_behind(ctx, strays)?;
                 robust_call(
                     &mut self.rpc,
                     &mut self.ns,
@@ -339,8 +479,9 @@ impl Proxy for CachingProxy {
     }
 
     fn poll(&mut self, ctx: &mut Ctx) {
-        if self.subscribed {
-            let mut sink: Vec<rpc::Oneway> = Vec::new();
+        let mut sink: Vec<rpc::Oneway> = Vec::new();
+        let _ = self.pump_write_behind(ctx, &mut sink);
+        if self.write_behind.is_none() && self.subscribed {
             self.drain_mailbox(ctx, &mut sink);
             // Strays for other services found during a poll cannot be
             // routed from here; the runtime's pump drains the mailbox
@@ -349,11 +490,165 @@ impl Proxy for CachingProxy {
     }
 
     fn detach(&mut self, ctx: &mut Ctx) {
+        // Flush asynchronous writes before tearing down: detach is the
+        // durability point of write-behind mode.
+        let mut sink: Vec<rpc::Oneway> = Vec::new();
+        let _ = self.flush_write_behind(ctx, &mut sink);
         let _ = self.unsubscribe(ctx);
         self.clear();
     }
 
     fn stats(&self) -> ProxyStats {
         self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use proptest::prelude::*;
+    use simnet::{NodeId, PortId};
+
+    use super::*;
+    use crate::spec::Coherence;
+
+    /// Builds a proxy without a simulation: the cache bookkeeping
+    /// (insert / lookup / invalidate_tag) never touches the network.
+    fn bare_proxy(capacity: usize, coherence: Coherence) -> CachingProxy {
+        CachingProxy {
+            service: "svc".into(),
+            rpc: RpcClient::new(Endpoint::new(NodeId(0), PortId(1))),
+            ns: NameClient::new(Endpoint::new(NodeId(0), PortId(2))),
+            iface: InterfaceDesc::new("svc", []),
+            params: CachingParams {
+                coherence,
+                capacity,
+            },
+            subscribed: false,
+            cache: HashMap::new(),
+            order: VecDeque::new(),
+            len: 0,
+            write_behind: None,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    fn live_entries(p: &CachingProxy) -> usize {
+        p.cache.values().map(HashMap::len).sum()
+    }
+
+    /// Regression: before the fix, every expire-then-reinsert cycle and
+    /// every tag invalidation left stale pairs in the eviction queue, so
+    /// `order` grew without bound while the cache stayed tiny.
+    #[test]
+    fn order_queue_stays_bounded_under_expiry_and_invalidation() {
+        let lease = Duration::from_millis(1);
+        let mut p = bare_proxy(8, Coherence::Lease(lease));
+        let mut now = SimTime::ZERO;
+        for round in 0..1000u64 {
+            let key = CachingProxy::cache_key("get", &Value::U64(round % 4));
+            p.insert("t".into(), key.clone(), Value::U64(round), now);
+            // Jump past the lease so the next lookup expires the entry.
+            now = now + lease + Duration::from_millis(1);
+            assert_eq!(p.lookup("t", &key, now), None, "entry must have expired");
+            if round % 7 == 0 {
+                p.invalidate_tag("t");
+            }
+            assert!(
+                p.order_len() <= p.params.capacity + p.cache_len(),
+                "round {round}: order queue leaked to {} (capacity {} + live {})",
+                p.order_len(),
+                p.params.capacity,
+                p.cache_len()
+            );
+        }
+    }
+
+    /// Regression: removing the last expired entry of a tag used to
+    /// leave an empty per-tag HashMap behind forever.
+    #[test]
+    fn expiry_removes_empty_tag_maps() {
+        let lease = Duration::from_millis(1);
+        let mut p = bare_proxy(8, Coherence::Lease(lease));
+        for i in 0..50u64 {
+            let key = CachingProxy::cache_key("get", &Value::U64(i));
+            p.insert(format!("tag{i}"), key.clone(), Value::U64(i), SimTime::ZERO);
+            let later = SimTime::ZERO + lease + Duration::from_millis(1);
+            assert_eq!(p.lookup(&format!("tag{i}"), &key, later), None);
+        }
+        assert_eq!(p.cache_len(), 0);
+        assert!(
+            p.cache.is_empty(),
+            "{} empty tag maps leaked",
+            p.cache.len()
+        );
+    }
+
+    #[derive(Debug, Clone)]
+    enum CacheOp {
+        Insert(u8, u8),
+        Lookup(u8),
+        InvalidateTag(u8),
+        InvalidateAll,
+        Advance(u8),
+        Clear,
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (any::<u8>(), any::<u8>()).prop_map(|(t, k)| CacheOp::Insert(t % 5, k % 16)),
+                any::<u8>().prop_map(|k| CacheOp::Lookup(k % 16)),
+                any::<u8>().prop_map(|t| CacheOp::InvalidateTag(t % 5)),
+                Just(CacheOp::InvalidateAll),
+                any::<u8>().prop_map(CacheOp::Advance),
+                Just(CacheOp::Clear),
+            ],
+            1..200,
+        )
+    }
+
+    proptest! {
+        /// Under any interleaving of inserts, invalidations, expiries
+        /// and clears: `cache_len()` equals the number of live entries,
+        /// the capacity is respected, and the eviction queue stays
+        /// O(capacity + live entries).
+        #[test]
+        fn bookkeeping_invariants_hold(ops in arb_ops(), capacity in 1usize..12) {
+            let lease = Duration::from_millis(2);
+            let mut p = bare_proxy(capacity, Coherence::Lease(lease));
+            let mut now = SimTime::ZERO;
+            for op in ops {
+                match op {
+                    CacheOp::Insert(t, k) => {
+                        let key = CachingProxy::cache_key("get", &Value::U64(k as u64));
+                        p.insert(format!("t{t}"), key, Value::U64(k as u64), now);
+                    }
+                    CacheOp::Lookup(k) => {
+                        // Sweep every tag so expiry can fire anywhere.
+                        let key = CachingProxy::cache_key("get", &Value::U64(k as u64));
+                        for t in 0..5 {
+                            let _ = p.lookup(&format!("t{t}"), &key, now);
+                        }
+                    }
+                    CacheOp::InvalidateTag(t) => p.invalidate_tag(&format!("t{t}")),
+                    CacheOp::InvalidateAll => p.invalidate_tag("*"),
+                    CacheOp::Advance(ms) => now += Duration::from_millis(ms as u64 % 5),
+                    CacheOp::Clear => p.clear(),
+                }
+                prop_assert_eq!(
+                    p.cache_len(),
+                    live_entries(&p),
+                    "len counter diverged from live entries"
+                );
+                prop_assert!(p.cache_len() <= p.params.capacity);
+                prop_assert!(
+                    p.order_len() <= p.params.capacity + p.cache_len(),
+                    "order queue unbounded: {} > {} + {}",
+                    p.order_len(), p.params.capacity, p.cache_len()
+                );
+            }
+        }
     }
 }

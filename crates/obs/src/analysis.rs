@@ -107,6 +107,9 @@ fn describe(kind: &NetEventKind) -> String {
         }
         NetEventKind::Dropped { src, dst } => format!("dropped {src} -> {dst}"),
         NetEventKind::Blackholed { src, dst } => format!("blackholed {src} -> {dst}"),
+        NetEventKind::Batched { src, dst, count } => {
+            format!("batched x{count} {src} -> {dst}")
+        }
         NetEventKind::Retransmit { src, dst, attempt } => {
             format!("retransmit #{attempt} {src} -> {dst}")
         }
@@ -240,7 +243,9 @@ pub fn critical_paths(trace: &CausalTrace) -> Vec<CriticalPath> {
             }
             cursor = *at;
             phase = match kind {
-                NetEventKind::Sent { .. } | NetEventKind::Retransmit { .. } => Phase::Wire,
+                NetEventKind::Sent { .. }
+                | NetEventKind::Retransmit { .. }
+                | NetEventKind::Batched { .. } => Phase::Wire,
                 NetEventKind::Delivered { dst, .. } => {
                     if Some(*dst) == client {
                         Phase::Queue

@@ -31,6 +31,7 @@ fn net_event_site(e: &NetEvent) -> Option<(Loc, &'static str)> {
         NetEventKind::Dropped { src, .. } => Some((*src, "dropped")),
         NetEventKind::Blackholed { src, .. } => Some((*src, "blackholed")),
         NetEventKind::Retransmit { src, .. } => Some((*src, "retransmit")),
+        NetEventKind::Batched { src, .. } => Some((*src, "batched")),
         NetEventKind::Forwarded { from, .. } => Some((*from, "forwarded")),
         NetEventKind::ServerExecute { .. }
         | NetEventKind::ProxyCacheHit { .. }
@@ -192,6 +193,12 @@ pub fn to_chrome_json(trace: &CausalTrace) -> String {
             | NetEventKind::Blackholed { src, dst }
             | NetEventKind::Retransmit { src, dst, .. } => {
                 let _ = write!(args, ",\"src\":\"{src}\",\"dst\":\"{dst}\"");
+            }
+            NetEventKind::Batched { src, dst, count } => {
+                let _ = write!(
+                    args,
+                    ",\"src\":\"{src}\",\"dst\":\"{dst}\",\"count\":{count}"
+                );
             }
             NetEventKind::ServerExecute { op, dur_ns, .. } => {
                 let _ = write!(args, ",\"op\":{},\"dur_ns\":{dur_ns}", json::quote(op));
@@ -432,6 +439,11 @@ pub fn to_jsonl(trace: &CausalTrace) -> String {
                         jsonl_loc(&mut out, "dst", *dst);
                         let _ = write!(out, ",\"attempt\":{attempt}");
                     }
+                    NetEventKind::Batched { src, dst, count } => {
+                        jsonl_loc(&mut out, "src", *src);
+                        jsonl_loc(&mut out, "dst", *dst);
+                        let _ = write!(out, ",\"count\":{count}");
+                    }
                     NetEventKind::ServerExecute {
                         service,
                         op,
@@ -557,6 +569,11 @@ pub fn from_jsonl(text: &str) -> Result<CausalTrace, String> {
                 src: parse_loc(&v, "src").map_err(&err)?,
                 dst: parse_loc(&v, "dst").map_err(&err)?,
                 attempt: v.u64_field("attempt").unwrap_or(0) as u32,
+            },
+            "batched" => NetEventKind::Batched {
+                src: parse_loc(&v, "src").map_err(&err)?,
+                dst: parse_loc(&v, "dst").map_err(&err)?,
+                count: v.u64_field("count").unwrap_or(0),
             },
             "server_execute" => NetEventKind::ServerExecute {
                 service: v.str_field("service").unwrap_or("").to_owned(),

@@ -293,6 +293,10 @@ pub struct ProxyStats {
     pub rebinds: u64,
     /// Times an adaptive proxy switched strategy.
     pub strategy_switches: u64,
+    /// Datagrams the proxy received but could not service (callback
+    /// requests, late duplicate replies, undecodable frames). Non-zero
+    /// values flag traffic that used to vanish silently.
+    pub datagrams_discarded: u64,
 }
 
 /// Per-service counters maintained by the service server.
@@ -999,6 +1003,7 @@ impl RunReport {
                             checkins,
                             rebinds,
                             strategy_switches,
+                            datagrams_discarded,
                         } = *s;
                         w.field_u64("invocations", invocations);
                         w.field_u64("local_hits", local_hits);
@@ -1008,6 +1013,7 @@ impl RunReport {
                         w.field_u64("checkins", checkins);
                         w.field_u64("rebinds", rebinds);
                         w.field_u64("strategy_switches", strategy_switches);
+                        w.field_u64("datagrams_discarded", datagrams_discarded);
                     });
                 }
             });

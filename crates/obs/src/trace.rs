@@ -92,6 +92,15 @@ pub enum NetEventKind {
         /// Destination endpoint.
         dst: Loc,
     },
+    /// Several RPC envelopes were coalesced into one datagram.
+    Batched {
+        /// The batching endpoint.
+        src: Loc,
+        /// Where the batch went.
+        dst: Loc,
+        /// How many envelopes it carried.
+        count: u64,
+    },
     /// An RPC client gave up waiting and re-sent a request.
     Retransmit {
         /// The retransmitting client.
@@ -150,6 +159,7 @@ impl NetEventKind {
             NetEventKind::Delivered { .. } => "delivered",
             NetEventKind::Dropped { .. } => "dropped",
             NetEventKind::Blackholed { .. } => "blackholed",
+            NetEventKind::Batched { .. } => "batched",
             NetEventKind::Retransmit { .. } => "retransmit",
             NetEventKind::ServerExecute { .. } => "server_execute",
             NetEventKind::ProxyCacheHit { .. } => "cache_hit",

@@ -1,0 +1,503 @@
+//! The pipelined RPC channel: many outstanding calls, one endpoint.
+//!
+//! [`RpcClient`](crate::RpcClient) is strictly synchronous — one call,
+//! one reply, one RTT. A [`Channel`] keeps up to
+//! [`ChannelConfig::pipeline_depth`] calls in flight against one server
+//! endpoint: [`Channel::begin_call`] stages a call and returns a
+//! [`CallHandle`]; [`Channel::wait`] / [`Channel::wait_all`] drive the
+//! channel until replies arrive. Replies are matched by call id, each
+//! call keeps its own retransmission timer, and ids retransmit unchanged
+//! — so the server's per-client window gives the same at-most-once
+//! guarantee the synchronous client enjoys, even though calls now
+//! complete out of order.
+//!
+//! On top of pipelining the channel *batches*: staged requests bound for
+//! the same endpoint coalesce into one [`Batch`] datagram (up to
+//! [`ChannelConfig::max_batch`] per frame), and the server coalesces the
+//! replies on the way back — many calls, one network traversal each
+//! way. Retransmissions are always sent individually: by the time a
+//! timer fires, batch-mates have usually been acknowledged.
+//!
+//! Every call gets its own `Invoke` span (parented to the caller's
+//! active span), so causal traces show per-call latency even when the
+//! datagrams were shared.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use simnet::{Ctx, Endpoint, Message, SimTime};
+use wire::Value;
+
+use crate::client::RetryPolicy;
+use crate::error::{RemoteError, RpcError};
+use crate::proto::{Batch, Oneway, Packet, Reply, Request};
+
+/// Tuning knobs for a [`Channel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelConfig {
+    /// Maximum calls in flight at once (1 = synchronous behaviour).
+    pub pipeline_depth: usize,
+    /// Maximum staged requests coalesced into one datagram (1 = no
+    /// batching).
+    pub max_batch: usize,
+    /// Per-call retransmission policy.
+    pub policy: RetryPolicy,
+}
+
+impl Default for ChannelConfig {
+    /// Depth 8, no batching, the default [`RetryPolicy`].
+    fn default() -> ChannelConfig {
+        ChannelConfig {
+            pipeline_depth: 8,
+            max_batch: 1,
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// A config with the given depth, no batching, default retries.
+    pub fn with_depth(pipeline_depth: usize) -> ChannelConfig {
+        ChannelConfig {
+            pipeline_depth,
+            ..ChannelConfig::default()
+        }
+    }
+
+    /// Sets the batch size.
+    pub fn batched(mut self, max_batch: usize) -> ChannelConfig {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> ChannelConfig {
+        self.policy = policy;
+        self
+    }
+}
+
+/// A ticket for one in-flight call; redeem with [`Channel::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallHandle(u64);
+
+impl CallHandle {
+    /// The underlying call id (diagnostics only).
+    pub fn call_id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Counters accumulated by a channel (readable by harnesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Calls begun.
+    pub calls: u64,
+    /// Calls that completed with a reply (ok or remote error).
+    pub completed: u64,
+    /// Calls that exhausted their retry budget.
+    pub timeouts: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Batch datagrams sent (excluding single-request sends).
+    pub batches_sent: u64,
+    /// Requests that travelled inside a batch datagram.
+    pub batched_calls: u64,
+    /// Replies that matched no outstanding call.
+    pub stale_replies: u64,
+    /// Non-reply datagrams discarded while pumping.
+    pub discarded: u64,
+}
+
+#[derive(Debug)]
+enum CallState {
+    /// Staged, not yet sent (pipeline window was full).
+    Queued,
+    /// Sent; waiting for its reply or its retransmission timer.
+    Outstanding,
+    /// Reply arrived.
+    Done(Result<Value, RemoteError>),
+    /// Retry budget exhausted.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct CallRec {
+    request: Request,
+    /// Encoded once; retransmissions reuse the bytes (and thus the span).
+    bytes: Bytes,
+    span: obs::SpanId,
+    attempt: u32,
+    deadline: SimTime,
+    state: CallState,
+}
+
+/// A pipelined, batching RPC channel bound to one server endpoint.
+///
+/// Not a [`Proxy`](../index.html): the channel is the *transport object*
+/// proxies build on — the ODP "channel object" whose protocol (depth,
+/// batching, retries) the service side may choose freely behind an
+/// unchanged call interface.
+#[derive(Debug)]
+pub struct Channel {
+    service: String,
+    server: Endpoint,
+    cfg: ChannelConfig,
+    calls: HashMap<u64, CallRec>,
+    /// Queued call ids in begin order.
+    queue: VecDeque<u64>,
+    outstanding: usize,
+    strays: Vec<Oneway>,
+    /// Counters (readable by experiment harnesses).
+    pub stats: ChannelStats,
+}
+
+impl Channel {
+    /// Creates a channel for `service` at `server`.
+    pub fn new(service: impl Into<String>, server: Endpoint, cfg: ChannelConfig) -> Channel {
+        Channel {
+            service: service.into(),
+            server,
+            cfg: ChannelConfig {
+                pipeline_depth: cfg.pipeline_depth.max(1),
+                max_batch: cfg.max_batch.max(1),
+                policy: cfg.policy,
+            },
+            calls: HashMap::new(),
+            queue: VecDeque::new(),
+            outstanding: 0,
+            strays: Vec::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The server endpoint this channel is bound to.
+    pub fn server(&self) -> Endpoint {
+        self.server
+    }
+
+    /// Calls currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Calls staged but not yet sent.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether this handle has settled (reply arrived or timed out).
+    pub fn is_settled(&self, h: CallHandle) -> bool {
+        match self.calls.get(&h.0) {
+            Some(rec) => matches!(rec.state, CallState::Done(_) | CallState::TimedOut),
+            None => true,
+        }
+    }
+
+    /// Stages a call on the server's default object and returns its
+    /// handle. Nothing is sent until [`Channel::flush`] (which `wait`,
+    /// `wait_all` and `poll` call for you).
+    pub fn begin_call(&mut self, ctx: &mut Ctx, op: &str, args: Value) -> CallHandle {
+        self.begin_call_object(ctx, "", op, args)
+    }
+
+    /// Stages a call on a named object in the server context.
+    pub fn begin_call_object(
+        &mut self,
+        ctx: &mut Ctx,
+        object: &str,
+        op: &str,
+        args: Value,
+    ) -> CallHandle {
+        // Ids come from the per-process counter, shared with any
+        // RpcClient in the process, so the server's per-endpoint window
+        // sees one id space.
+        let call_id = ctx.next_seq();
+        self.stats.calls += 1;
+        ctx.obs().on_call();
+        // Each call gets its own invoke span parented to the caller's
+        // active span; the request is encoded once so retransmissions
+        // carry the same span by construction.
+        let span = ctx.obs().open_span(
+            obs::SpanKind::Invoke,
+            ctx.current_span(),
+            &self.service,
+            op,
+            ctx.now().as_nanos(),
+        );
+        let request = Request {
+            call_id,
+            reply_to: ctx.endpoint(),
+            object: object.to_owned(),
+            op: op.to_owned(),
+            args,
+            span: span.raw(),
+        };
+        let bytes = request.to_bytes();
+        self.calls.insert(
+            call_id,
+            CallRec {
+                request,
+                bytes,
+                span,
+                attempt: 0,
+                deadline: SimTime::ZERO,
+                state: CallState::Queued,
+            },
+        );
+        self.queue.push_back(call_id);
+        CallHandle(call_id)
+    }
+
+    /// Promotes queued calls into the pipeline window and sends them,
+    /// coalescing up to `max_batch` requests per datagram.
+    pub fn flush(&mut self, ctx: &mut Ctx) {
+        while self.outstanding < self.cfg.pipeline_depth && !self.queue.is_empty() {
+            let room = self.cfg.pipeline_depth - self.outstanding;
+            let n = self.cfg.max_batch.min(room).min(self.queue.len());
+            let ids: Vec<u64> = self.queue.drain(..n).collect();
+            let deadline = ctx.now() + self.cfg.policy.attempt_timeout(0);
+            for &id in &ids {
+                let rec = self.calls.get_mut(&id).expect("queued call exists");
+                rec.state = CallState::Outstanding;
+                rec.attempt = 0;
+                rec.deadline = deadline;
+            }
+            self.outstanding += ids.len();
+            if ids.len() == 1 {
+                let rec = &self.calls[&ids[0]];
+                ctx.send_traced(self.server, rec.bytes.clone(), rec.span);
+            } else {
+                let items = ids
+                    .iter()
+                    .map(|id| Packet::Request(self.calls[id].request.clone()))
+                    .collect();
+                let payload = Batch { items }.to_bytes();
+                self.stats.batches_sent += 1;
+                self.stats.batched_calls += ids.len() as u64;
+                // The datagram serves many spans at once, so it is
+                // attributed to none; each call's own span still opens
+                // and closes around its reply.
+                ctx.trace(simnet::TraceEvent::Batched {
+                    src: ctx.endpoint(),
+                    dst: self.server,
+                    count: ids.len(),
+                    span: obs::SpanId::NONE,
+                });
+                ctx.send_traced(self.server, payload, obs::SpanId::NONE);
+            }
+        }
+    }
+
+    /// Fires retransmission timers: calls past their deadline either
+    /// retransmit (individually — batch-mates are usually already
+    /// acknowledged) or, once the retry budget is gone, settle as timed
+    /// out.
+    fn expire(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let expired: Vec<u64> = self
+            .calls
+            .iter()
+            .filter(|(_, r)| matches!(r.state, CallState::Outstanding) && r.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let rec = self.calls.get_mut(&id).expect("expired call exists");
+            rec.attempt += 1;
+            if rec.attempt >= self.cfg.policy.max_attempts {
+                rec.state = CallState::TimedOut;
+                self.outstanding -= 1;
+                self.stats.timeouts += 1;
+                ctx.obs().on_timeout();
+                ctx.obs().close_span(rec.span, ctx.now().as_nanos(), false);
+                continue;
+            }
+            self.stats.retries += 1;
+            ctx.obs().on_retry();
+            ctx.obs().span_retransmit(rec.span);
+            ctx.trace(simnet::TraceEvent::Retransmit {
+                src: ctx.endpoint(),
+                dst: self.server,
+                span: rec.span,
+                attempt: rec.attempt,
+            });
+            ctx.send_traced(self.server, rec.bytes.clone(), rec.span);
+            rec.deadline = now + self.cfg.policy.attempt_timeout(rec.attempt);
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut Ctx, rep: Reply, src: Endpoint) {
+        ctx.obs().span_reply(rep.span, ctx.now().as_nanos());
+        if src != self.server {
+            self.stats.stale_replies += 1;
+            ctx.obs().on_stale_reply();
+            return;
+        }
+        match self.calls.get_mut(&rep.call_id) {
+            Some(rec) if matches!(rec.state, CallState::Outstanding) => {
+                self.outstanding -= 1;
+                self.stats.completed += 1;
+                ctx.obs()
+                    .close_span(rec.span, ctx.now().as_nanos(), rep.result.is_ok());
+                rec.state = CallState::Done(rep.result);
+            }
+            _ => {
+                // Duplicate of an already-settled call, or not ours.
+                self.stats.stale_replies += 1;
+                ctx.obs().on_stale_reply();
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, msg: &Message) {
+        match Packet::from_bytes(&msg.payload) {
+            Ok(Packet::Reply(rep)) => self.on_reply(ctx, rep, msg.src),
+            Ok(Packet::Batch(batch)) => {
+                for item in batch.items {
+                    match item {
+                        Packet::Reply(rep) => self.on_reply(ctx, rep, msg.src),
+                        _ => {
+                            self.stats.discarded += 1;
+                            ctx.obs().on_stray_dropped();
+                        }
+                    }
+                }
+            }
+            Ok(Packet::Oneway(o)) => self.strays.push(o),
+            Ok(Packet::Request(_)) | Err(_) => {
+                self.stats.discarded += 1;
+                ctx.obs().on_stray_dropped();
+            }
+        }
+    }
+
+    /// Drives the channel until `target` settles (or, with `None`, until
+    /// every staged call has settled).
+    fn pump(&mut self, ctx: &mut Ctx, target: Option<u64>) -> Result<(), RpcError> {
+        loop {
+            self.flush(ctx);
+            self.expire(ctx);
+            let settled = match target {
+                Some(id) => self.is_settled(CallHandle(id)),
+                None => self.outstanding == 0 && self.queue.is_empty(),
+            };
+            if settled {
+                return Ok(());
+            }
+            let deadline = self
+                .calls
+                .values()
+                .filter(|r| matches!(r.state, CallState::Outstanding))
+                .map(|r| r.deadline)
+                .min();
+            let Some(deadline) = deadline else {
+                // Nothing in flight but the target is unsettled: flush on
+                // the next iteration will send queued work.
+                continue;
+            };
+            if let Some(msg) = ctx.recv_deadline(deadline)? {
+                self.on_message(ctx, &msg);
+            }
+        }
+    }
+
+    /// Waits for one call to settle and returns its result. Consumes the
+    /// handle's slot: waiting twice on the same handle returns
+    /// [`RpcError::Timeout`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RpcError::Timeout`] — the call's retry budget ran out.
+    /// * [`RpcError::Remote`] — the server executed and reported failure.
+    /// * [`RpcError::Stopped`] — simulation shutdown.
+    pub fn wait(&mut self, ctx: &mut Ctx, h: CallHandle) -> Result<Value, RpcError> {
+        if !self.is_settled(h) {
+            self.pump(ctx, Some(h.0))?;
+        }
+        match self.calls.remove(&h.0) {
+            Some(CallRec {
+                state: CallState::Done(result),
+                ..
+            }) => result.map_err(RpcError::Remote),
+            _ => Err(RpcError::Timeout {
+                attempts: self.cfg.policy.max_attempts,
+            }),
+        }
+    }
+
+    /// Drives the channel until every staged call has settled. Results
+    /// stay claimable through [`Channel::wait`] (which then returns
+    /// immediately).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Stopped`] on simulation shutdown.
+    pub fn wait_all(&mut self, ctx: &mut Ctx) -> Result<(), RpcError> {
+        self.pump(ctx, None)
+    }
+
+    /// Non-blocking progress: sends staged calls, fires due timers, and
+    /// absorbs whatever already sits in the mailbox. The write-behind
+    /// path of the caching proxy calls this between invocations.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Stopped`] on simulation shutdown.
+    pub fn poll(&mut self, ctx: &mut Ctx) -> Result<(), RpcError> {
+        self.flush(ctx);
+        self.expire(ctx);
+        while let Some(msg) = ctx.try_recv()? {
+            self.on_message(ctx, &msg);
+        }
+        self.flush(ctx);
+        Ok(())
+    }
+
+    /// Takes the one-way notifications (invalidations, recalls) that
+    /// arrived while the channel was pumping. Callers route them to
+    /// their proxies.
+    pub fn take_strays(&mut self) -> Vec<Oneway> {
+        std::mem::take(&mut self.strays)
+    }
+
+    /// Discards every settled call record without claiming its result
+    /// and returns how many were dropped. Fire-and-forget users (the
+    /// caching proxy's write-behind path) call this so unclaimed
+    /// results do not accumulate; a later [`Channel::wait`] on a reaped
+    /// handle reports a timeout.
+    pub fn reap_settled(&mut self) -> usize {
+        let before = self.calls.len();
+        self.calls
+            .retain(|_, r| !matches!(r.state, CallState::Done(_) | CallState::TimedOut));
+        before - self.calls.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_and_builds() {
+        let c = ChannelConfig::with_depth(0);
+        let ch = Channel::new(
+            "svc",
+            Endpoint::new(simnet::NodeId(0), simnet::PortId(1)),
+            c.batched(0),
+        );
+        assert_eq!(ch.cfg.pipeline_depth, 1, "depth clamped to 1");
+        assert_eq!(ch.cfg.max_batch, 1, "batch clamped to 1");
+        assert_eq!(ch.outstanding(), 0);
+        assert_eq!(ch.queued(), 0);
+    }
+
+    #[test]
+    fn unknown_handle_is_settled() {
+        let ch = Channel::new(
+            "svc",
+            Endpoint::new(simnet::NodeId(0), simnet::PortId(1)),
+            ChannelConfig::default(),
+        );
+        assert!(ch.is_settled(CallHandle(99)));
+    }
+}

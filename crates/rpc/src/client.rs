@@ -53,7 +53,7 @@ impl RetryPolicy {
         }
     }
 
-    fn attempt_timeout(&self, attempt: u32) -> Duration {
+    pub(crate) fn attempt_timeout(&self, attempt: u32) -> Duration {
         let factor = self.backoff.powi(attempt as i32);
         Duration::from_nanos((self.timeout.as_nanos() as f64 * factor) as u64)
     }
@@ -216,6 +216,12 @@ impl RpcClient {
                             ctx.obs().on_stray_dropped();
                         }
                     },
+                    Ok(Packet::Batch(_)) => {
+                        // A synchronous client never batches, so batched
+                        // replies cannot be addressed to it.
+                        self.stats.strays_dropped += 1;
+                        ctx.obs().on_stray_dropped();
+                    }
                     Err(_) => {
                         self.stats.strays_dropped += 1;
                         ctx.obs().on_stray_dropped();

@@ -42,14 +42,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod channel;
 mod client;
 mod error;
 mod proto;
 mod server;
 
+pub use channel::{CallHandle, Channel, ChannelConfig, ChannelStats};
 pub use client::{
     send_oneway, send_oneway_from, CallStats, RetryPolicy, RpcClient, Stray, StrayVerdict,
 };
 pub use error::{ErrorCode, RemoteError, RpcError};
-pub use proto::{endpoint_from_value, endpoint_to_value, Oneway, Packet, Reply, Request};
+pub use proto::{endpoint_from_value, endpoint_to_value, Batch, Oneway, Packet, Reply, Request};
 pub use server::{RpcServer, ServeStats, Served};

@@ -1,7 +1,12 @@
-//! The RPC wire protocol: requests, replies and one-way notifications.
+//! The RPC wire protocol: requests, replies, one-way notifications and
+//! batches.
 //!
 //! Every datagram is a framed [`Value`] record whose `"t"` field
-//! discriminates the envelope kind: `"req"`, `"rep"` or `"msg"`.
+//! discriminates the envelope kind: `"req"`, `"rep"`, `"msg"` or
+//! `"bat"`. A batch coalesces several small envelopes (requests on the
+//! way out, replies on the way back) into one datagram so a pipelined
+//! channel pays one network traversal for many calls; batches never
+//! nest.
 
 use bytes::Bytes;
 use simnet::{Endpoint, NodeId, PortId};
@@ -50,8 +55,9 @@ pub struct Request {
 }
 
 impl Request {
-    /// Encodes this request into a framed datagram payload.
-    pub fn to_bytes(&self) -> Bytes {
+    /// Encodes this request as a wire value (the unframed form batches
+    /// embed).
+    pub fn to_value(&self) -> Value {
         let mut fields = vec![
             ("t", Value::str("req")),
             ("id", Value::U64(self.call_id)),
@@ -63,7 +69,12 @@ impl Request {
         if self.span != 0 {
             fields.push(("sp", Value::U64(self.span)));
         }
-        frame(&Value::record(fields))
+        Value::record(fields)
+    }
+
+    /// Encodes this request into a framed datagram payload.
+    pub fn to_bytes(&self) -> Bytes {
+        frame(&self.to_value())
     }
 
     fn from_value(v: &Value) -> Result<Request, WireError> {
@@ -91,8 +102,9 @@ pub struct Reply {
 }
 
 impl Reply {
-    /// Encodes this reply into a framed datagram payload.
-    pub fn to_bytes(&self) -> Bytes {
+    /// Encodes this reply as a wire value (the unframed form batches
+    /// embed).
+    pub fn to_value(&self) -> Value {
         let mut fields = match &self.result {
             Ok(v) => vec![
                 ("t", Value::str("rep")),
@@ -110,7 +122,12 @@ impl Reply {
         if self.span != 0 {
             fields.push(("sp", Value::U64(self.span)));
         }
-        frame(&Value::record(fields))
+        Value::record(fields)
+    }
+
+    /// Encodes this reply into a framed datagram payload.
+    pub fn to_bytes(&self) -> Bytes {
+        frame(&self.to_value())
     }
 
     fn from_value(v: &Value) -> Result<Reply, WireError> {
@@ -148,8 +165,9 @@ pub struct Oneway {
 }
 
 impl Oneway {
-    /// Encodes this notification into a framed datagram payload.
-    pub fn to_bytes(&self) -> Bytes {
+    /// Encodes this notification as a wire value (the unframed form
+    /// batches embed).
+    pub fn to_value(&self) -> Value {
         let mut fields = vec![
             ("t", Value::str("msg")),
             ("from", endpoint_to_value(self.from)),
@@ -159,7 +177,12 @@ impl Oneway {
         if self.span != 0 {
             fields.push(("sp", Value::U64(self.span)));
         }
-        frame(&Value::record(fields))
+        Value::record(fields)
+    }
+
+    /// Encodes this notification into a framed datagram payload.
+    pub fn to_bytes(&self) -> Bytes {
+        frame(&self.to_value())
     }
 
     fn from_value(v: &Value) -> Result<Oneway, WireError> {
@@ -172,6 +195,64 @@ impl Oneway {
     }
 }
 
+/// A batch of coalesced envelopes sent as one datagram.
+///
+/// A pipelined channel stages several small requests to the same server
+/// and ships them in one frame; the server answers with a batch of
+/// replies to the same client. Items are flat — a batch inside a batch
+/// is a wire error — and one-way notifications never batch (they are
+/// fire-and-forget and latency-insensitive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The coalesced envelopes, in send order.
+    pub items: Vec<Packet>,
+}
+
+impl Batch {
+    /// Encodes this batch into a framed datagram payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if an item is itself a batch.
+    pub fn to_bytes(&self) -> Bytes {
+        let items: Vec<Value> = self
+            .items
+            .iter()
+            .map(|p| match p {
+                Packet::Request(r) => r.to_value(),
+                Packet::Reply(r) => r.to_value(),
+                Packet::Oneway(o) => o.to_value(),
+                Packet::Batch(_) => {
+                    debug_assert!(false, "batches do not nest");
+                    Value::Null
+                }
+            })
+            .collect();
+        frame(&Value::record([
+            ("t", Value::str("bat")),
+            ("items", Value::List(items)),
+        ]))
+    }
+
+    fn from_value(v: &Value) -> Result<Batch, WireError> {
+        let mut items = Vec::new();
+        for item in v.get_list("items")? {
+            match item.get_str("t")? {
+                "req" => items.push(Packet::Request(Request::from_value(item)?)),
+                "rep" => items.push(Packet::Reply(Reply::from_value(item)?)),
+                "msg" => items.push(Packet::Oneway(Oneway::from_value(item)?)),
+                _ => {
+                    return Err(WireError::WrongKind {
+                        expected: "req|rep|msg",
+                        actual: "nested or unknown batch item",
+                    })
+                }
+            }
+        }
+        Ok(Batch { items })
+    }
+}
+
 /// Any decoded RPC datagram.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
@@ -181,6 +262,8 @@ pub enum Packet {
     Reply(Reply),
     /// A one-way notification.
     Oneway(Oneway),
+    /// A batch of coalesced requests or replies.
+    Batch(Batch),
 }
 
 impl Packet {
@@ -196,8 +279,9 @@ impl Packet {
             "req" => Ok(Packet::Request(Request::from_value(&v)?)),
             "rep" => Ok(Packet::Reply(Reply::from_value(&v)?)),
             "msg" => Ok(Packet::Oneway(Oneway::from_value(&v)?)),
+            "bat" => Ok(Packet::Batch(Batch::from_value(&v)?)),
             _ => Err(WireError::WrongKind {
-                expected: "req|rep|msg",
+                expected: "req|rep|msg|bat",
                 actual: "unknown envelope",
             }),
         }
@@ -299,6 +383,70 @@ mod tests {
     #[test]
     fn garbage_rejected() {
         assert!(Packet::from_bytes(b"not a frame").is_err());
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_order_and_spans() {
+        let batch = Batch {
+            items: (1..=4u64)
+                .map(|i| {
+                    Packet::Request(Request {
+                        call_id: i,
+                        reply_to: ep(1, 70000),
+                        object: String::new(),
+                        op: "inc".into(),
+                        args: Value::U64(i * 10),
+                        span: 100 + i,
+                    })
+                })
+                .collect(),
+        };
+        match Packet::from_bytes(&batch.to_bytes()).unwrap() {
+            Packet::Batch(b) => assert_eq!(b, batch),
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_of_replies_roundtrips() {
+        let batch = Batch {
+            items: vec![
+                Packet::Reply(Reply {
+                    call_id: 1,
+                    result: Ok(Value::str("a")),
+                    span: 7,
+                }),
+                Packet::Reply(Reply {
+                    call_id: 2,
+                    result: Err(RemoteError::new(ErrorCode::App, "nope")),
+                    span: 8,
+                }),
+            ],
+        };
+        match Packet::from_bytes(&batch.to_bytes()).unwrap() {
+            Packet::Batch(b) => assert_eq!(b.items.len(), 2),
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        // Hand-build a batch whose item claims to be a batch.
+        let inner = Value::record([("t", Value::str("bat")), ("items", Value::List(vec![]))]);
+        let outer = frame(&Value::record([
+            ("t", Value::str("bat")),
+            ("items", Value::List(vec![inner])),
+        ]));
+        assert!(Packet::from_bytes(&outer).is_err());
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let batch = Batch { items: vec![] };
+        match Packet::from_bytes(&batch.to_bytes()).unwrap() {
+            Packet::Batch(b) => assert!(b.items.is_empty()),
+            other => panic!("wrong packet {other:?}"),
+        }
     }
 
     #[test]

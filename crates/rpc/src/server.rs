@@ -5,19 +5,33 @@
 //! encoded replies for recent ones. A retransmitted request is answered
 //! from the reply cache without re-executing the handler — the property
 //! experiment E7 verifies under loss and duplication.
+//!
+//! A pipelined client keeps many calls outstanding, so ids may *execute
+//! out of order* (call 7's datagram can arrive before call 5's). The
+//! executed-id window therefore tracks a contiguous floor plus an exact
+//! set of executed ids above it, instead of a single high-water mark: a
+//! fresh id below the highest executed one still runs, while replayed
+//! ids are suppressed exactly.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use bytes::Bytes;
 use simnet::{Ctx, Endpoint, Message};
 use wire::Value;
 
 use crate::error::RemoteError;
-use crate::proto::{Oneway, Packet, Reply, Request};
+use crate::proto::{Batch, Oneway, Packet, Reply, Request};
 
-/// How many encoded replies to retain per client endpoint. A synchronous
-/// client has one outstanding call, so a small window is ample.
+/// How many encoded replies to retain per client endpoint. Sized for a
+/// pipelined channel's outstanding window with slack for late
+/// duplicates.
 const REPLY_CACHE_PER_CLIENT: usize = 32;
+
+/// Cap on the exact executed-id set above the contiguous floor. A
+/// pipelined client keeps at most `pipeline_depth` ids in flight, so
+/// gaps close quickly; this bound only matters for pathological clients
+/// and keeps per-client state O(1).
+const EXECUTED_SET_LIMIT: usize = 1024;
 
 /// Counters accumulated by a server.
 ///
@@ -40,14 +54,32 @@ pub enum Served {
     /// A reply datagram (this process is also a client; the caller
     /// should not normally see these here).
     Reply(Reply),
+    /// A batch of requests was unbatched and dispatched; replies were
+    /// coalesced per destination. Counts what happened inside.
+    Batch {
+        /// Fresh requests executed.
+        executed: u64,
+        /// Duplicates answered from the reply cache.
+        suppressed: u64,
+        /// Duplicates too old to answer, dropped.
+        dropped: u64,
+    },
     /// The datagram failed to decode and was dropped.
     Undecodable,
 }
 
+/// Per-client executed-id window plus reply cache.
+///
+/// `floor` is the contiguous high-water mark: every id `<= floor` has
+/// been executed (or permanently abandoned). `executed` holds the exact
+/// ids above the floor that have run — out-of-order completions leave
+/// gaps, and the floor only advances when its successor is present.
 #[derive(Debug, Default)]
 struct ClientWindow {
-    /// Highest call id executed for this client.
-    max_executed: u64,
+    /// Ids `<= floor` are all executed/handled.
+    floor: u64,
+    /// Executed ids above the floor (gaps = still-pending ids).
+    executed: BTreeSet<u64>,
     /// Recent (call_id, encoded reply) pairs, oldest first.
     cached: VecDeque<(u64, Bytes)>,
 }
@@ -57,13 +89,44 @@ impl ClientWindow {
         self.cached.iter().find(|(i, _)| *i == id).map(|(_, b)| b)
     }
 
+    /// Has this id already been executed (run the handler)?
+    fn is_executed(&self, id: u64) -> bool {
+        id <= self.floor || self.executed.contains(&id)
+    }
+
     fn insert(&mut self, id: u64, reply: Bytes) {
         if self.cached.len() >= REPLY_CACHE_PER_CLIENT {
             self.cached.pop_front();
         }
         self.cached.push_back((id, reply));
-        self.max_executed = self.max_executed.max(id);
+        if id > self.floor {
+            self.executed.insert(id);
+        }
+        // Compact: absorb the contiguous run just above the floor.
+        while self.executed.first() == Some(&(self.floor + 1)) {
+            self.executed.pop_first();
+            self.floor += 1;
+        }
+        // Bound the set: absorbing the smallest id into the floor also
+        // writes off any never-seen ids below it — safe (at-most-once is
+        // preserved; a >LIMIT-deep straggler would be dropped), and
+        // unreachable for any sane pipeline depth.
+        while self.executed.len() > EXECUTED_SET_LIMIT {
+            if let Some(min) = self.executed.pop_first() {
+                self.floor = self.floor.max(min);
+            }
+        }
     }
+}
+
+/// What `answer_request` produced for one request.
+enum Answer {
+    /// Fresh execution; the encoded reply to send.
+    Executed(Bytes),
+    /// Duplicate answered from the cache; the recorded reply to resend.
+    Cached(Bytes),
+    /// Duplicate too old to answer; nothing to send.
+    Dropped,
 }
 
 /// Server-side call dispatch with per-client duplicate suppression.
@@ -86,12 +149,14 @@ impl RpcServer {
 
     /// Processes one incoming datagram. Fresh requests run `handler`;
     /// its result is encoded, cached for duplicate suppression, and sent
-    /// to the request's `reply_to`.
+    /// to the request's `reply_to`. A batch of requests is unbatched,
+    /// each item dispatched with the same duplicate suppression, and the
+    /// replies coalesced into one batch datagram per destination.
     pub fn handle(
         &mut self,
         ctx: &mut Ctx,
         msg: &Message,
-        handler: impl FnOnce(&mut Ctx, &Request) -> Result<Value, RemoteError>,
+        handler: impl FnMut(&mut Ctx, &Request) -> Result<Value, RemoteError>,
     ) -> Served {
         let packet = match Packet::from_bytes(&msg.payload) {
             Ok(p) => p,
@@ -101,14 +166,16 @@ impl RpcServer {
                 return Served::Undecodable;
             }
         };
+        let mut handler = handler;
         match packet {
-            Packet::Request(req) => self.handle_request(ctx, req, handler),
+            Packet::Request(req) => self.handle_request(ctx, req, &mut handler),
             Packet::Oneway(o) => {
                 self.stats.oneways += 1;
                 ctx.obs().on_oneway_rx();
                 Served::Oneway(o)
             }
             Packet::Reply(r) => Served::Reply(r),
+            Packet::Batch(batch) => self.handle_batch(ctx, batch, &mut handler),
         }
     }
 
@@ -116,8 +183,108 @@ impl RpcServer {
         &mut self,
         ctx: &mut Ctx,
         req: Request,
-        handler: impl FnOnce(&mut Ctx, &Request) -> Result<Value, RemoteError>,
+        handler: &mut impl FnMut(&mut Ctx, &Request) -> Result<Value, RemoteError>,
     ) -> Served {
+        let span = obs::SpanId::from_raw(req.span);
+        match self.answer_request(ctx, &req, handler) {
+            Answer::Cached(bytes) => {
+                ctx.send_traced(req.reply_to, bytes, span);
+                Served::DuplicateSuppressed
+            }
+            Answer::Dropped => Served::DuplicateDropped,
+            Answer::Executed(bytes) => {
+                // The reply belongs to the request's span (the handler
+                // restored the server's previous span inside
+                // `answer_request`).
+                ctx.send_traced(req.reply_to, bytes, span);
+                Served::Executed(req)
+            }
+        }
+    }
+
+    /// Unbatches a batch of requests, dispatches each with duplicate
+    /// suppression, and sends the replies back coalesced: one batch
+    /// datagram per `reply_to` (a single reply goes out plain).
+    /// Non-request items inside a batch are a protocol violation and are
+    /// counted as undecodable.
+    fn handle_batch(
+        &mut self,
+        ctx: &mut Ctx,
+        batch: Batch,
+        handler: &mut impl FnMut(&mut Ctx, &Request) -> Result<Value, RemoteError>,
+    ) -> Served {
+        let (mut executed, mut suppressed, mut dropped) = (0u64, 0u64, 0u64);
+        // Replies grouped by destination, preserving request order.
+        let mut by_dest: Vec<(Endpoint, Vec<Bytes>)> = Vec::new();
+        for item in batch.items {
+            let req = match item {
+                Packet::Request(r) => r,
+                _ => {
+                    self.stats.undecodable += 1;
+                    ctx.obs().on_undecodable();
+                    continue;
+                }
+            };
+            let reply_to = req.reply_to;
+            let bytes = match self.answer_request(ctx, &req, handler) {
+                Answer::Executed(b) => {
+                    executed += 1;
+                    b
+                }
+                Answer::Cached(b) => {
+                    suppressed += 1;
+                    b
+                }
+                Answer::Dropped => {
+                    dropped += 1;
+                    continue;
+                }
+            };
+            match by_dest.iter_mut().find(|(ep, _)| *ep == reply_to) {
+                Some((_, replies)) => replies.push(bytes),
+                None => by_dest.push((reply_to, vec![bytes])),
+            }
+        }
+        for (dest, mut replies) in by_dest {
+            if replies.len() == 1 {
+                // A lone reply needs no envelope; send the cached bytes
+                // as-is so single retransmissions stay byte-identical.
+                ctx.send_traced(dest, replies.pop().unwrap(), obs::SpanId::NONE);
+            } else {
+                let count = replies.len();
+                let items = replies
+                    .iter()
+                    .map(|b| match Packet::from_bytes(b) {
+                        Ok(p) => p,
+                        Err(_) => unreachable!("server-encoded reply must decode"),
+                    })
+                    .collect();
+                let payload = Batch { items }.to_bytes();
+                ctx.trace(simnet::TraceEvent::Batched {
+                    src: ctx.endpoint(),
+                    dst: dest,
+                    count,
+                    span: obs::SpanId::NONE,
+                });
+                ctx.send_traced(dest, payload, obs::SpanId::NONE);
+            }
+        }
+        Served::Batch {
+            executed,
+            suppressed,
+            dropped,
+        }
+    }
+
+    /// Duplicate-suppressed execution of one request: runs the handler
+    /// only for fresh ids, records the encoded reply, and returns what
+    /// to send — without sending it, so batch dispatch can coalesce.
+    fn answer_request(
+        &mut self,
+        ctx: &mut Ctx,
+        req: &Request,
+        handler: &mut impl FnMut(&mut Ctx, &Request) -> Result<Value, RemoteError>,
+    ) -> Answer {
         let window = self.windows.entry(req.reply_to).or_default();
         if let Some(cached) = window.lookup(req.call_id) {
             // Retransmission of a call we already executed: resend the
@@ -127,15 +294,14 @@ impl RpcServer {
             let cached = cached.clone();
             self.stats.duplicates_suppressed += 1;
             ctx.obs().on_duplicate_suppressed();
-            ctx.send_traced(req.reply_to, cached, obs::SpanId::from_raw(req.span));
-            return Served::DuplicateSuppressed;
+            return Answer::Cached(cached);
         }
-        if req.call_id <= window.max_executed {
-            // Executed long ago and evicted: the client cannot still be
-            // waiting (ids are monotonic and calls synchronous) — drop.
+        if window.is_executed(req.call_id) {
+            // Executed long ago and evicted from the reply cache: the
+            // client has long since given up on it — drop.
             self.stats.duplicates_dropped += 1;
             ctx.obs().on_duplicate_dropped();
-            return Served::DuplicateDropped;
+            return Answer::Dropped;
         }
         // Open a dispatch span as a child of the request's invoke span
         // and make it the process's active span while the handler runs,
@@ -150,7 +316,7 @@ impl RpcServer {
         );
         let previous = ctx.set_current_span(dispatch);
         let started = ctx.now();
-        let result = handler(ctx, &req);
+        let result = handler(ctx, req);
         ctx.set_current_span(previous);
         ctx.obs()
             .close_span(dispatch, ctx.now().as_nanos(), result.is_ok());
@@ -172,10 +338,7 @@ impl RpcServer {
             .insert(req.call_id, encoded.clone());
         self.stats.executed += 1;
         ctx.obs().on_executed();
-        // The reply belongs to the request's span (the handler restored
-        // the server's previous span above).
-        ctx.send_traced(req.reply_to, encoded, obs::SpanId::from_raw(req.span));
-        Served::Executed(req)
+        Answer::Executed(encoded)
     }
 
     /// Runs a request loop until the simulation stops. One-way traffic is
@@ -210,7 +373,7 @@ mod tests {
         for id in 1..=(REPLY_CACHE_PER_CLIENT as u64 + 5) {
             w.insert(id, Bytes::from_static(b"r"));
         }
-        assert_eq!(w.max_executed, REPLY_CACHE_PER_CLIENT as u64 + 5);
+        assert_eq!(w.floor, REPLY_CACHE_PER_CLIENT as u64 + 5);
         assert!(w.lookup(1).is_none(), "oldest evicted");
         assert!(w.lookup(REPLY_CACHE_PER_CLIENT as u64 + 5).is_some());
         assert!(w.lookup(6).is_some(), "recent retained");
@@ -224,5 +387,35 @@ mod tests {
             .or_default()
             .insert(5, Bytes::new());
         assert!(s.windows.entry(ep(0, 2)).or_default().lookup(5).is_none());
+    }
+
+    #[test]
+    fn out_of_order_ids_are_not_mistaken_for_duplicates() {
+        // A pipelined client's ids can execute out of order: executing 3
+        // must not mark 1 and 2 as duplicates.
+        let mut w = ClientWindow::default();
+        w.insert(3, Bytes::from_static(b"c"));
+        assert!(w.is_executed(3));
+        assert!(!w.is_executed(1), "gap id 1 wrongly suppressed");
+        assert!(!w.is_executed(2), "gap id 2 wrongly suppressed");
+        w.insert(1, Bytes::from_static(b"a"));
+        assert_eq!(w.floor, 1, "floor advances over contiguous prefix");
+        w.insert(2, Bytes::from_static(b"b"));
+        assert_eq!(w.floor, 3, "floor absorbs the closed gap");
+        assert!(w.executed.is_empty(), "set drained into the floor");
+        assert!(w.is_executed(1) && w.is_executed(2) && w.is_executed(3));
+        assert!(!w.is_executed(4));
+    }
+
+    #[test]
+    fn executed_set_stays_bounded() {
+        let mut w = ClientWindow::default();
+        // Insert only odd ids: every one leaves a gap, so nothing
+        // compacts into the floor until the bound kicks in.
+        for i in 0..(EXECUTED_SET_LIMIT as u64 + 100) {
+            w.insert(2 * i + 1, Bytes::from_static(b"r"));
+        }
+        assert!(w.executed.len() <= EXECUTED_SET_LIMIT);
+        assert!(w.floor > 0, "bound absorbed the oldest ids");
     }
 }

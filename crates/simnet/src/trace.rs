@@ -73,6 +73,18 @@ pub enum TraceEvent {
         /// The span the message was sent on behalf of.
         span: SpanId,
     },
+    /// Several RPC envelopes were coalesced into one datagram.
+    Batched {
+        /// The batching endpoint.
+        src: Endpoint,
+        /// Where the batch is headed.
+        dst: Endpoint,
+        /// How many envelopes the datagram carries.
+        count: usize,
+        /// The span the batch serves ([`obs::SpanId::NONE`] when the
+        /// items belong to many spans).
+        span: SpanId,
+    },
     /// An RPC client timed out an attempt and re-sent its request.
     Retransmit {
         /// The retransmitting client endpoint.
@@ -206,6 +218,19 @@ impl TraceRecord {
                     dst: loc(*dst),
                 },
             ),
+            TraceEvent::Batched {
+                src,
+                dst,
+                count,
+                span,
+            } => (
+                *span,
+                obs::NetEventKind::Batched {
+                    src: loc(*src),
+                    dst: loc(*dst),
+                    count: *count as u64,
+                },
+            ),
             TraceEvent::Retransmit {
                 src,
                 dst,
@@ -303,6 +328,12 @@ impl fmt::Display for TraceRecord {
             TraceEvent::Blackholed { src, dst, span } => {
                 write!(f, "blackhole {src} -> {dst} ({span})")
             }
+            TraceEvent::Batched {
+                src,
+                dst,
+                count,
+                span,
+            } => write!(f, "batch x{count} {src} -> {dst} ({span})"),
             TraceEvent::Retransmit {
                 src,
                 dst,

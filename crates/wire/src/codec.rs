@@ -360,6 +360,37 @@ mod tests {
     }
 
     #[test]
+    fn batch_shaped_wide_nesting_roundtrips() {
+        // The RPC layer coalesces pipelined requests into one datagram:
+        // a record holding a *wide* list of per-call request records.
+        // Width must cost no depth — only the envelope's three levels
+        // (record → list → record) plus whatever the deepest args use.
+        let call = |id: u64, deep_args: Value| {
+            Value::record([
+                ("op", Value::str("work")),
+                ("id", Value::U64(id)),
+                ("args", deep_args),
+            ])
+        };
+        let mut deep = Value::U64(7);
+        // Envelope: batch record (depth 0) + call list (1) + call
+        // record (2) puts the args value at depth 3, so the args may
+        // nest MAX_DEPTH - 3 levels before the limit bites.
+        for _ in 0..(MAX_DEPTH - 3) {
+            deep = Value::List(vec![deep]);
+        }
+        let calls: Vec<Value> = (0..64)
+            .map(|i| call(i, if i == 63 { deep.clone() } else { Value::Null }))
+            .collect();
+        let batch = Value::record([("batch", Value::List(calls))]);
+        roundtrip(batch.clone());
+
+        // One level deeper in the args and the whole batch is rejected.
+        let over = Value::record([("batch", Value::List(vec![call(0, Value::List(vec![deep]))]))]);
+        assert_eq!(decode(&encode(&over)), Err(WireError::TooDeep));
+    }
+
+    #[test]
     fn decode_prefix_reports_consumed() {
         let a = encode(&Value::U64(300));
         let b = encode(&Value::str("tail"));

@@ -328,6 +328,87 @@ fn proxy_stats_meter_adversity() {
     );
 }
 
+/// Pipelined traffic under chaos: a [`rpc::Channel`] keeps 8
+/// non-idempotent calls in flight (sharing batch datagrams) through 30%
+/// loss, 30% duplication and a partition window that opens and heals
+/// mid-run. Out-of-order completion plus whole-batch duplication is the
+/// worst case for the server's duplicate window — and the counter must
+/// still never over-execute: executions ≤ acknowledged + timed-out.
+#[test]
+fn pipelined_chaos_never_over_executes() {
+    use proxide::rpc::{Channel, ChannelConfig, RetryPolicy};
+
+    let cfg = NetworkConfig::lan()
+        .with_loss(0.30)
+        .with_duplicate(0.30)
+        .with_jitter(0.25);
+    let mut sim = Simulation::new(cfg, 31337);
+    let execs = Arc::new(AtomicU64::new(0));
+    let e2 = Arc::clone(&execs);
+    let server = sim.spawn_at("counter", NodeId(0), PortId(1), move |ctx| {
+        let mut srv = RpcServer::new();
+        srv.serve(
+            ctx,
+            |_ctx, req| match req.op.as_str() {
+                "inc" => Ok(Value::U64(e2.fetch_add(1, Ordering::SeqCst) + 1)),
+                other => Err(RemoteError::new(ErrorCode::NoSuchOp, other.to_owned())),
+            },
+            |_, _| {},
+        );
+    });
+
+    let acked = Arc::new(AtomicU64::new(0));
+    let timed_out = Arc::new(AtomicU64::new(0));
+    let (a2, t2) = (Arc::clone(&acked), Arc::clone(&timed_out));
+    sim.spawn("pipeliner", NodeId(1), move |ctx| {
+        let cfg = ChannelConfig::with_depth(8)
+            .batched(4)
+            .with_policy(RetryPolicy::exponential(Duration::from_millis(4), 8));
+        let mut ch = Channel::new("counter", server, cfg);
+        let handles: Vec<_> = (0..160u64)
+            .map(|_| ch.begin_call(ctx, "inc", Value::Null))
+            .collect();
+        for h in handles {
+            match ch.wait(ctx, h) {
+                Ok(_) => {
+                    a2.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(RpcError::Timeout { .. }) => {
+                    t2.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(RpcError::Stopped) => return,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    });
+    sim.spawn("saboteur", NodeId(99), move |ctx| {
+        if ctx.sleep(Duration::from_millis(15)).is_err() {
+            return;
+        }
+        ctx.net().partition(NodeId(0), NodeId(1));
+        if ctx.sleep(Duration::from_millis(10)).is_err() {
+            return;
+        }
+        ctx.net().heal(NodeId(0), NodeId(1));
+    });
+    sim.run();
+
+    let (ok, timeouts) = (
+        acked.load(Ordering::SeqCst),
+        timed_out.load(Ordering::SeqCst),
+    );
+    let e = execs.load(Ordering::SeqCst);
+    assert_eq!(ok + timeouts, 160, "every pipelined call settled");
+    assert!(
+        e >= ok,
+        "every acknowledged call executed: {e} execs, {ok} acked"
+    );
+    assert!(
+        e <= ok + timeouts,
+        "over-execution under pipelined chaos: {e} execs for {ok} acked + {timeouts} timeouts"
+    );
+}
+
 /// Minimal register object for the replicated group.
 struct RegisterObj(u64);
 
