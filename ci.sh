@@ -21,6 +21,16 @@ if [ "${1:-}" != "quick" ]; then
   step "cargo build --release (experiment harness)"
   cargo build --release -p bench
 
+  step "cargo bench --no-run (Criterion benches must compile)"
+  cargo bench -p bench --no-run
+
+  step "E14 macro-benchmark smoke (closed-loop hot path + BENCH_e14.json)"
+  # Shrunken workload; asserts the closed loop completes, the run is
+  # deterministic, batching beats 2 msgs/call, and the artifact writes.
+  # PROXIDE_BENCH_DIR keeps the committed full-mode BENCH_e14.json intact.
+  PROXIDE_E14_SMOKE=1 PROXIDE_BENCH_DIR=target \
+    cargo run -q --release -p bench --bin e14_hotpath
+
   step "tracectl smoke (trace export + round-trip + critical-path self-check)"
   # Exits nonzero on malformed Chrome output, a failed JSONL round-trip,
   # no reconstructable critical path, component sums off by >1%, or any

@@ -1,0 +1,5 @@
+//! Runs experiment e14 standalone.
+fn main() {
+    let ok = bench::experiments::e14_hotpath::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

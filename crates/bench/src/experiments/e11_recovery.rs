@@ -37,7 +37,7 @@ impl Ledger {
         if let Some(fields) = v.as_record() {
             for (k, val) in fields {
                 if let Some(s) = val.as_str() {
-                    l.0.insert(k.clone(), s.to_owned());
+                    l.0.insert(k.to_string_owned(), s.to_owned());
                 }
             }
         }
@@ -73,11 +73,10 @@ impl ServiceObject for Ledger {
         }
     }
     fn snapshot(&self) -> Result<Value, RemoteError> {
-        Ok(Value::Record(
+        Ok(Value::record(
             self.0
                 .iter()
-                .map(|(k, v)| (k.clone(), Value::str(v.clone())))
-                .collect(),
+                .map(|(k, v)| (k.clone(), Value::str(v.clone()))),
         ))
     }
 }

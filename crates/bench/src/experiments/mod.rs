@@ -4,6 +4,7 @@ pub mod e10_forwarding;
 pub mod e11_recovery;
 pub mod e12_dsm;
 pub mod e13_pipeline;
+pub mod e14_hotpath;
 pub mod e1_access_methods;
 pub mod e2_cache_sweep;
 pub mod e3_migration;
@@ -31,6 +32,7 @@ pub fn run_all() -> bool {
         e11_recovery::run(),
         e12_dsm::run(),
         e13_pipeline::run(),
+        e14_hotpath::run(),
     ];
     let mut all = true;
     for o in &outputs {

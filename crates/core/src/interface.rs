@@ -100,7 +100,7 @@ impl OpDesc {
     pub fn tag(&self, args: &Value) -> String {
         match &self.key_field {
             Some(field) => match args.get(field) {
-                Some(Value::Str(s)) => s.clone(),
+                Some(Value::Str(s)) => s.to_string_owned(),
                 Some(Value::U64(n)) => n.to_string(),
                 Some(Value::I64(n)) => n.to_string(),
                 _ => "*".to_owned(),
@@ -111,12 +111,12 @@ impl OpDesc {
 
     fn to_value(&self) -> Value {
         let mut fields = vec![
-            ("name".to_owned(), Value::str(self.name.clone())),
-            ("kind".to_owned(), Value::str(self.kind.as_str())),
-            ("idem".to_owned(), Value::Bool(self.idempotent)),
+            ("name".into(), Value::str(self.name.clone())),
+            ("kind".into(), Value::str(self.kind.as_str())),
+            ("idem".into(), Value::Bool(self.idempotent)),
         ];
         if let Some(k) = &self.key_field {
-            fields.push(("key".to_owned(), Value::str(k.clone())));
+            fields.push(("key".into(), Value::str(k.clone())));
         }
         Value::Record(fields)
     }

@@ -153,7 +153,7 @@ pub(crate) mod testutil {
             if let Some(items) = v.as_record() {
                 for (k, val) in items {
                     if let Some(s) = val.as_str() {
-                        kv.map.insert(k.clone(), s.to_owned());
+                        kv.map.insert(k.to_string_owned(), s.to_owned());
                     }
                 }
             }
@@ -199,11 +199,10 @@ pub(crate) mod testutil {
         }
 
         fn snapshot(&self) -> Result<Value, RemoteError> {
-            Ok(Value::Record(
+            Ok(Value::record(
                 self.map
                     .iter()
-                    .map(|(k, v)| (k.clone(), Value::str(v.clone())))
-                    .collect(),
+                    .map(|(k, v)| (k.clone(), Value::str(v.clone()))),
             ))
         }
     }

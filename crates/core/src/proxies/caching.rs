@@ -284,7 +284,7 @@ impl CachingProxy {
     /// read that follows a remote write observes it promptly.
     fn drain_mailbox(&mut self, ctx: &mut Ctx, strays: &mut dyn OnewaySink) {
         while let Ok(Some(msg)) = ctx.try_recv() {
-            match rpc::Packet::from_bytes(&msg.payload) {
+            match rpc::Packet::from_frame(&msg.payload) {
                 Ok(rpc::Packet::Oneway(o)) => {
                     if o.args.get("svc").and_then(Value::as_str) == Some(self.service.as_str()) {
                         self.handle_oneway(&o);

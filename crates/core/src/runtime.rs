@@ -331,7 +331,7 @@ impl ClientRuntime {
     pub fn pump(&mut self, ctx: &mut Ctx) {
         let mut pending: Vec<Oneway> = Vec::new();
         while let Ok(Some(msg)) = ctx.try_recv() {
-            if let Ok(rpc::Packet::Oneway(o)) = rpc::Packet::from_bytes(&msg.payload) {
+            if let Ok(rpc::Packet::Oneway(o)) = rpc::Packet::from_frame(&msg.payload) {
                 pending.push(o);
             }
             // Replies outside any call are late duplicates: dropped.

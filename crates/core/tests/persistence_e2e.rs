@@ -25,7 +25,7 @@ impl Kv {
         if let Some(fields) = v.as_record() {
             for (k, val) in fields {
                 if let Some(s) = val.as_str() {
-                    kv.0.insert(k.clone(), s.to_owned());
+                    kv.0.insert(k.to_string_owned(), s.to_owned());
                 }
             }
         }
@@ -61,11 +61,10 @@ impl ServiceObject for Kv {
         }
     }
     fn snapshot(&self) -> Result<Value, RemoteError> {
-        Ok(Value::Record(
+        Ok(Value::record(
             self.0
                 .iter()
-                .map(|(k, v)| (k.clone(), Value::str(v.clone())))
-                .collect(),
+                .map(|(k, v)| (k.clone(), Value::str(v.clone()))),
         ))
     }
 }

@@ -47,7 +47,7 @@ impl Kv {
         if let Some(fields) = v.as_record() {
             for (k, val) in fields {
                 if let Some(s) = val.as_str() {
-                    kv.map.insert(k.clone(), s.to_owned());
+                    kv.map.insert(k.to_string_owned(), s.to_owned());
                 }
             }
         }
@@ -91,11 +91,10 @@ impl ServiceObject for Kv {
     }
 
     fn snapshot(&self) -> Result<Value, RemoteError> {
-        Ok(Value::Record(
+        Ok(Value::record(
             self.map
                 .iter()
-                .map(|(k, v)| (k.clone(), Value::str(v.clone())))
-                .collect(),
+                .map(|(k, v)| (k.clone(), Value::str(v.clone()))),
         ))
     }
 }

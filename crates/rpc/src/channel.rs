@@ -30,7 +30,7 @@ use wire::Value;
 
 use crate::client::RetryPolicy;
 use crate::error::{RemoteError, RpcError};
-use crate::proto::{Batch, Oneway, Packet, Reply, Request};
+use crate::proto::{Oneway, Packet, Reply, Request};
 
 /// Tuning knobs for a [`Channel`].
 #[derive(Debug, Clone, PartialEq)]
@@ -268,11 +268,11 @@ impl Channel {
                 let rec = &self.calls[&ids[0]];
                 ctx.send_traced(self.server, rec.bytes.clone(), rec.span);
             } else {
-                let items = ids
-                    .iter()
-                    .map(|id| Packet::Request(self.calls[id].request.clone()))
-                    .collect();
-                let payload = Batch { items }.to_bytes();
+                // Borrow-based batch encode: the staged requests are
+                // written straight into the frame, never cloned.
+                let payload = crate::proto::encode_request_batch(
+                    ids.iter().map(|id| &self.calls[id].request),
+                );
                 self.stats.batches_sent += 1;
                 self.stats.batched_calls += ids.len() as u64;
                 // The datagram serves many spans at once, so it is
@@ -350,7 +350,7 @@ impl Channel {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, msg: &Message) {
-        match Packet::from_bytes(&msg.payload) {
+        match Packet::from_frame(&msg.payload) {
             Ok(Packet::Reply(rep)) => self.on_reply(ctx, rep, msg.src),
             Ok(Packet::Batch(batch)) => {
                 for item in batch.items {

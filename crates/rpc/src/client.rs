@@ -193,7 +193,7 @@ impl RpcClient {
             // Drain replies until the attempt deadline; a `None` recv
             // means the attempt timed out and we retransmit.
             while let Some(msg) = ctx.recv_deadline(deadline)? {
-                match Packet::from_bytes(&msg.payload) {
+                match Packet::from_frame(&msg.payload) {
                     Ok(Packet::Reply(rep)) => {
                         ctx.obs().span_reply(rep.span, ctx.now().as_nanos());
                         if rep.call_id == call_id && msg.src == self.server {

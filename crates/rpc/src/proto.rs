@@ -8,11 +8,26 @@
 //! channel pays one network traversal for many calls; batches never
 //! nest.
 
+use std::cell::RefCell;
+
 use bytes::Bytes;
 use simnet::{Endpoint, NodeId, PortId};
-use wire::{frame, unframe, Value, WireError};
+use wire::{unframe, unframe_bytes, Encoder, Value, ValueWriter, WireError};
 
 use crate::error::{ErrorCode, RemoteError};
+
+thread_local! {
+    /// Per-thread pooled encoder: every `to_bytes` in this module reuses
+    /// one scratch buffer instead of allocating a fresh one per message.
+    /// (Each simulated process is an OS thread, so there is no
+    /// contention and no sharing of buffers across processes.)
+    static ENCODER: RefCell<Encoder> = RefCell::new(Encoder::with_capacity(256));
+}
+
+/// Runs `f` with this thread's pooled [`Encoder`].
+pub fn with_encoder<R>(f: impl FnOnce(&mut Encoder) -> R) -> R {
+    ENCODER.with(|e| f(&mut e.borrow_mut()))
+}
 
 /// Encodes an endpoint as a wire value.
 pub fn endpoint_to_value(ep: Endpoint) -> Value {
@@ -20,6 +35,16 @@ pub fn endpoint_to_value(ep: Endpoint) -> Value {
         ("n", Value::U64(ep.node.0.into())),
         ("p", Value::U64(ep.port.0.into())),
     ])
+}
+
+/// Writes an endpoint through a [`ValueWriter`] (the no-clone twin of
+/// [`endpoint_to_value`]).
+fn write_endpoint(w: &mut ValueWriter<'_>, ep: Endpoint) {
+    w.begin_record(2);
+    w.key("n");
+    w.u64(ep.node.0.into());
+    w.key("p");
+    w.u64(ep.port.0.into());
 }
 
 /// Decodes an endpoint from a wire value.
@@ -72,9 +97,33 @@ impl Request {
         Value::record(fields)
     }
 
-    /// Encodes this request into a framed datagram payload.
+    /// Writes this request's record through a [`ValueWriter`] without
+    /// cloning the object name, op name or args.
+    pub(crate) fn write_into(&self, w: &mut ValueWriter<'_>) {
+        let count = if self.span != 0 { 7 } else { 6 };
+        w.begin_record(count);
+        w.key("t");
+        w.str("req");
+        w.key("id");
+        w.u64(self.call_id);
+        w.key("rt");
+        write_endpoint(w, self.reply_to);
+        w.key("obj");
+        w.str(&self.object);
+        w.key("op");
+        w.str(&self.op);
+        w.key("args");
+        w.value(&self.args);
+        if self.span != 0 {
+            w.key("sp");
+            w.u64(self.span);
+        }
+    }
+
+    /// Encodes this request into a framed datagram payload (pooled,
+    /// borrow-based: no intermediate `Value` tree).
     pub fn to_bytes(&self) -> Bytes {
-        frame(&self.to_value())
+        with_encoder(|e| e.frame_with(|w| self.write_into(w)))
     }
 
     fn from_value(v: &Value) -> Result<Request, WireError> {
@@ -125,9 +174,44 @@ impl Reply {
         Value::record(fields)
     }
 
-    /// Encodes this reply into a framed datagram payload.
+    /// Writes this reply's record through a [`ValueWriter`] without
+    /// cloning the result payload or error strings.
+    fn write_into(&self, w: &mut ValueWriter<'_>) {
+        let span_extra = usize::from(self.span != 0);
+        match &self.result {
+            Ok(v) => {
+                w.begin_record(3 + span_extra);
+                w.key("t");
+                w.str("rep");
+                w.key("id");
+                w.u64(self.call_id);
+                w.key("ok");
+                w.value(v);
+            }
+            Err(e) => {
+                w.begin_record(5 + span_extra);
+                w.key("t");
+                w.str("rep");
+                w.key("id");
+                w.u64(self.call_id);
+                w.key("err");
+                w.str(e.code.as_str());
+                w.key("msg");
+                w.str(&e.message);
+                w.key("data");
+                w.value(&e.data);
+            }
+        }
+        if self.span != 0 {
+            w.key("sp");
+            w.u64(self.span);
+        }
+    }
+
+    /// Encodes this reply into a framed datagram payload (pooled,
+    /// borrow-based: no intermediate `Value` tree).
     pub fn to_bytes(&self) -> Bytes {
-        frame(&self.to_value())
+        with_encoder(|e| e.frame_with(|w| self.write_into(w)))
     }
 
     fn from_value(v: &Value) -> Result<Reply, WireError> {
@@ -180,9 +264,29 @@ impl Oneway {
         Value::record(fields)
     }
 
-    /// Encodes this notification into a framed datagram payload.
+    /// Writes this notification's record through a [`ValueWriter`]
+    /// without cloning the op name or args.
+    fn write_into(&self, w: &mut ValueWriter<'_>) {
+        let count = if self.span != 0 { 5 } else { 4 };
+        w.begin_record(count);
+        w.key("t");
+        w.str("msg");
+        w.key("from");
+        write_endpoint(w, self.from);
+        w.key("op");
+        w.str(&self.op);
+        w.key("args");
+        w.value(&self.args);
+        if self.span != 0 {
+            w.key("sp");
+            w.u64(self.span);
+        }
+    }
+
+    /// Encodes this notification into a framed datagram payload (pooled,
+    /// borrow-based: no intermediate `Value` tree).
     pub fn to_bytes(&self) -> Bytes {
-        frame(&self.to_value())
+        with_encoder(|e| e.frame_with(|w| self.write_into(w)))
     }
 
     fn from_value(v: &Value) -> Result<Oneway, WireError> {
@@ -209,29 +313,34 @@ pub struct Batch {
 }
 
 impl Batch {
-    /// Encodes this batch into a framed datagram payload.
+    /// Encodes this batch into a framed datagram payload. Each item is
+    /// written straight into the shared scratch buffer — one frame, one
+    /// checksum, no per-item intermediate trees or clones.
     ///
     /// # Panics
     ///
     /// Panics (debug builds) if an item is itself a batch.
     pub fn to_bytes(&self) -> Bytes {
-        let items: Vec<Value> = self
-            .items
-            .iter()
-            .map(|p| match p {
-                Packet::Request(r) => r.to_value(),
-                Packet::Reply(r) => r.to_value(),
-                Packet::Oneway(o) => o.to_value(),
-                Packet::Batch(_) => {
-                    debug_assert!(false, "batches do not nest");
-                    Value::Null
+        with_encoder(|e| {
+            e.frame_with(|w| {
+                w.begin_record(2);
+                w.key("t");
+                w.str("bat");
+                w.key("items");
+                w.begin_list(self.items.len());
+                for p in &self.items {
+                    match p {
+                        Packet::Request(r) => r.write_into(w),
+                        Packet::Reply(r) => r.write_into(w),
+                        Packet::Oneway(o) => o.write_into(w),
+                        Packet::Batch(_) => {
+                            debug_assert!(false, "batches do not nest");
+                            w.null();
+                        }
+                    }
                 }
             })
-            .collect();
-        frame(&Value::record([
-            ("t", Value::str("bat")),
-            ("items", Value::List(items)),
-        ]))
+        })
     }
 
     fn from_value(v: &Value) -> Result<Batch, WireError> {
@@ -251,6 +360,28 @@ impl Batch {
         }
         Ok(Batch { items })
     }
+}
+
+/// Encodes a batch of *borrowed* requests into one framed datagram —
+/// the zero-clone path a pipelined channel uses to coalesce its staged
+/// calls (building a [`Batch`] would clone every request first).
+/// Byte-identical to `Batch { items }.to_bytes()` over the same
+/// requests.
+pub(crate) fn encode_request_batch<'a>(
+    requests: impl ExactSizeIterator<Item = &'a Request>,
+) -> Bytes {
+    with_encoder(|e| {
+        e.frame_with(|w| {
+            w.begin_record(2);
+            w.key("t");
+            w.str("bat");
+            w.key("items");
+            w.begin_list(requests.len());
+            for r in requests {
+                r.write_into(w);
+            }
+        })
+    })
 }
 
 /// Any decoded RPC datagram.
@@ -274,7 +405,23 @@ impl Packet {
     /// Returns a [`WireError`] for malformed frames or unknown envelope
     /// kinds.
     pub fn from_bytes(bytes: &[u8]) -> Result<Packet, WireError> {
-        let v = unframe(bytes)?;
+        Packet::from_unframed(unframe(bytes)?)
+    }
+
+    /// Decodes a framed datagram payload zero-copy: blob arguments and
+    /// reply payloads inside the resulting packet alias the datagram's
+    /// refcounted buffer instead of being copied out of it. Preferred
+    /// over [`Packet::from_bytes`] whenever the payload is an owned
+    /// [`Bytes`] (as simulated datagrams are).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Packet::from_bytes`].
+    pub fn from_frame(bytes: &Bytes) -> Result<Packet, WireError> {
+        Packet::from_unframed(unframe_bytes(bytes)?)
+    }
+
+    fn from_unframed(v: Value) -> Result<Packet, WireError> {
         match v.get_str("t")? {
             "req" => Ok(Packet::Request(Request::from_value(&v)?)),
             "rep" => Ok(Packet::Reply(Reply::from_value(&v)?)),
@@ -291,6 +438,7 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wire::frame;
 
     fn ep(n: u32, p: u32) -> Endpoint {
         Endpoint::new(NodeId(n), PortId(p))
@@ -453,5 +601,85 @@ mod tests {
     fn endpoint_value_roundtrip() {
         let e = ep(9, 65537);
         assert_eq!(endpoint_from_value(&endpoint_to_value(e)).unwrap(), e);
+    }
+
+    #[test]
+    fn writer_encoding_is_byte_identical_to_tree_encoding() {
+        // The borrow-based write_into paths must emit exactly the bytes
+        // frame(&to_value()) used to: retransmission dedup and checksums
+        // rely on stable encodings.
+        let req = Request {
+            call_id: 42,
+            reply_to: ep(1, 70000),
+            object: "kv0".into(),
+            op: "get".into(),
+            args: Value::record([("key", Value::str("color"))]),
+            span: 9,
+        };
+        assert_eq!(req.to_bytes(), frame(&req.to_value()));
+        let spanless = Request {
+            span: 0,
+            ..req.clone()
+        };
+        assert_eq!(spanless.to_bytes(), frame(&spanless.to_value()));
+
+        let ok = Reply {
+            call_id: 7,
+            result: Ok(Value::str("blue")),
+            span: 9,
+        };
+        assert_eq!(ok.to_bytes(), frame(&ok.to_value()));
+        let err = Reply {
+            call_id: 8,
+            result: Err(RemoteError::with_data(
+                ErrorCode::Moved,
+                "object moved",
+                endpoint_to_value(ep(3, 12)),
+            )),
+            span: 0,
+        };
+        assert_eq!(err.to_bytes(), frame(&err.to_value()));
+
+        let msg = Oneway {
+            from: ep(2, 5),
+            op: "invalidate".into(),
+            args: Value::str("key1"),
+            span: 3,
+        };
+        assert_eq!(msg.to_bytes(), frame(&msg.to_value()));
+
+        let batch = Batch {
+            items: vec![Packet::Request(req.clone()), Packet::Reply(ok.clone())],
+        };
+        let tree = frame(&Value::record([
+            ("t", Value::str("bat")),
+            ("items", Value::List(vec![req.to_value(), ok.to_value()])),
+        ]));
+        assert_eq!(batch.to_bytes(), tree);
+    }
+
+    #[test]
+    fn from_frame_matches_from_bytes() {
+        let req = Request {
+            call_id: 5,
+            reply_to: ep(4, 2),
+            object: String::new(),
+            op: "put".into(),
+            args: Value::record([("blob", Value::blob(vec![7u8; 256]))]),
+            span: 0,
+        };
+        let bytes = req.to_bytes();
+        let a = Packet::from_bytes(&bytes).unwrap();
+        let b = Packet::from_frame(&bytes).unwrap();
+        assert_eq!(a, b);
+        // And the zero-copy path aliases the datagram.
+        if let Packet::Request(r) = b {
+            let blob = r.args.get_blob("blob").unwrap().clone();
+            let f_ptr = bytes.as_ref().as_ptr() as usize;
+            let b_ptr = blob.as_ref().as_ptr() as usize;
+            assert!(b_ptr >= f_ptr && b_ptr + blob.len() <= f_ptr + bytes.len());
+        } else {
+            panic!("wrong packet kind");
+        }
     }
 }

@@ -152,13 +152,21 @@ impl RpcServer {
     /// to the request's `reply_to`. A batch of requests is unbatched,
     /// each item dispatched with the same duplicate suppression, and the
     /// replies coalesced into one batch datagram per destination.
+    ///
+    /// Duplicate requests take a fast path: the routing header (`"t"`,
+    /// `"id"`, `"rt"`) is *peeked* from the validated frame without
+    /// materializing the value tree, and a cache hit resends the recorded
+    /// reply with the op name and arguments never decoded at all.
     pub fn handle(
         &mut self,
         ctx: &mut Ctx,
         msg: &Message,
         handler: impl FnMut(&mut Ctx, &Request) -> Result<Value, RemoteError>,
     ) -> Served {
-        let packet = match Packet::from_bytes(&msg.payload) {
+        if let Some(served) = self.try_peek_duplicate(ctx, msg) {
+            return served;
+        }
+        let packet = match Packet::from_frame(&msg.payload) {
             Ok(p) => p,
             Err(_) => {
                 self.stats.undecodable += 1;
@@ -177,6 +185,44 @@ impl RpcServer {
             Packet::Reply(r) => Served::Reply(r),
             Packet::Batch(batch) => self.handle_batch(ctx, batch, &mut handler),
         }
+    }
+
+    /// The duplicate-suppression fast path: peeks at a single request's
+    /// routing fields through [`wire::peek_frame`] (frame checked,
+    /// structure validated, nothing materialized) and answers known call
+    /// ids straight from the per-client state. Returns `None` for
+    /// anything that needs the full decode — fresh requests, replies,
+    /// one-ways, batches, or malformed frames (the slow path re-derives
+    /// the precise error accounting).
+    fn try_peek_duplicate(&mut self, ctx: &mut Ctx, msg: &Message) -> Option<Served> {
+        let raw = wire::peek_frame(&msg.payload).ok()?;
+        if raw.get_str("t").ok()? != "req" {
+            return None;
+        }
+        let id = raw.get_u64("id").ok()?;
+        let rt = raw.get_record("rt").ok()?;
+        let node = u32::try_from(rt.get_u64("n").ok()?).ok()?;
+        let port = u32::try_from(rt.get_u64("p").ok()?).ok()?;
+        let reply_to = Endpoint::new(simnet::NodeId(node), simnet::PortId(port));
+        let window = self.windows.get(&reply_to)?;
+        if let Some(cached) = window.lookup(id) {
+            // Retransmission with a recorded reply: resend it. The op
+            // name and args of the retransmitted request are never
+            // decoded (or even UTF-8 validated) on this path.
+            let cached = cached.clone();
+            let span = obs::SpanId::from_raw(raw.get_u64("sp").unwrap_or(0));
+            self.stats.duplicates_suppressed += 1;
+            ctx.obs().on_duplicate_suppressed();
+            ctx.send_traced(reply_to, cached, span);
+            return Some(Served::DuplicateSuppressed);
+        }
+        if window.is_executed(id) {
+            // Executed long ago, reply since evicted: drop.
+            self.stats.duplicates_dropped += 1;
+            ctx.obs().on_duplicate_dropped();
+            return Some(Served::DuplicateDropped);
+        }
+        None
     }
 
     fn handle_request(
@@ -254,7 +300,7 @@ impl RpcServer {
                 let count = replies.len();
                 let items = replies
                     .iter()
-                    .map(|b| match Packet::from_bytes(b) {
+                    .map(|b| match Packet::from_frame(b) {
                         Ok(p) => p,
                         Err(_) => unreachable!("server-encoded reply must decode"),
                     })

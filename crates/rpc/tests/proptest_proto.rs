@@ -21,7 +21,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 24, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
-            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(Value::Record),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|fields: Vec<(String, Value)>| Value::record(fields)),
         ]
     })
 }

@@ -71,7 +71,7 @@ impl Directory {
             for (path, entry) in fields {
                 if let (Ok(value), Ok(revision)) = (entry.get_str("v"), entry.get_u64("r")) {
                     d.entries.insert(
-                        path.clone(),
+                        path.to_string_owned(),
                         DirEntry {
                             value: value.to_owned(),
                             revision,
@@ -139,20 +139,15 @@ impl ServiceObject for Directory {
     }
 
     fn snapshot(&self) -> Result<Value, RemoteError> {
-        Ok(Value::Record(
-            self.entries
-                .iter()
-                .map(|(path, e)| {
-                    (
-                        path.clone(),
-                        Value::record([
-                            ("v", Value::str(e.value.clone())),
-                            ("r", Value::U64(e.revision)),
-                        ]),
-                    )
-                })
-                .collect(),
-        ))
+        Ok(Value::record(self.entries.iter().map(|(path, e)| {
+            (
+                path.clone(),
+                Value::record([
+                    ("v", Value::str(e.value.clone())),
+                    ("r", Value::U64(e.revision)),
+                ]),
+            )
+        })))
     }
 }
 

@@ -135,12 +135,9 @@ impl ServiceObject for BlockFile {
     }
 
     fn snapshot(&self) -> Result<Value, RemoteError> {
-        Ok(Value::Record(
-            self.blocks
-                .iter()
-                .map(|((name, idx), b)| (block_addr(name, *idx), Value::Blob(b.clone())))
-                .collect(),
-        ))
+        Ok(Value::record(self.blocks.iter().map(|((name, idx), b)| {
+            (block_addr(name, *idx), Value::Blob(b.clone()))
+        })))
     }
 }
 

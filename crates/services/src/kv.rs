@@ -51,7 +51,7 @@ impl KvStore {
         if let Some(fields) = v.as_record() {
             for (k, val) in fields {
                 if let Some(s) = val.as_str() {
-                    store.map.insert(k.clone(), s.to_owned());
+                    store.map.insert(k.to_string_owned(), s.to_owned());
                 }
             }
         }
@@ -82,7 +82,7 @@ impl ServiceObject for KvStore {
                 let key = args.get_str("key").map_err(bad_args)?;
                 let value = args.get_str("value").map_err(bad_args)?;
                 let prev = self.map.insert(key.to_owned(), value.to_owned());
-                Ok(prev.map(Value::Str).unwrap_or(Value::Null))
+                Ok(prev.map(Value::from).unwrap_or(Value::Null))
             }
             "del" => {
                 let key = args.get_str("key").map_err(bad_args)?;
@@ -99,11 +99,10 @@ impl ServiceObject for KvStore {
     }
 
     fn snapshot(&self) -> Result<Value, RemoteError> {
-        Ok(Value::Record(
+        Ok(Value::record(
             self.map
                 .iter()
-                .map(|(k, v)| (k.clone(), Value::str(v.clone())))
-                .collect(),
+                .map(|(k, v)| (k.clone(), Value::str(v.clone()))),
         ))
     }
 }

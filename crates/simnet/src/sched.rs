@@ -155,10 +155,21 @@ impl Registry {
     }
 }
 
+/// The scheduler's hot state: the virtual clock, the pending-event
+/// heap, and the tie-breaking sequence counter. All three live under
+/// ONE mutex so the run loop pops the next event and advances time in
+/// a single acquisition, and `push_event` allocates a seq and enqueues
+/// without a lock handoff in between. Keeping them together also
+/// removes a subtle race surface: no thread can ever observe a clock
+/// that is out of step with the heap it was derived from.
+struct SchedState {
+    now: SimTime,
+    events: BinaryHeap<Ev>,
+    seq: u64,
+}
+
 struct Shared {
-    clock: Mutex<SimTime>,
-    events: Mutex<BinaryHeap<Ev>>,
-    seq: Mutex<u64>,
+    sched: Mutex<SchedState>,
     registry: Mutex<Registry>,
     network: Mutex<Network>,
     metrics: Arc<Metrics>,
@@ -169,7 +180,7 @@ struct Shared {
 
 impl Shared {
     fn now(&self) -> SimTime {
-        *self.clock.lock()
+        self.sched.lock().now
     }
 
     fn record(&self, event: TraceEvent) {
@@ -180,10 +191,13 @@ impl Shared {
     }
 
     fn push_event(&self, time: SimTime, kind: EvKind) {
-        let mut seq = self.seq.lock();
-        *seq += 1;
-        let key = EvKey { time, seq: *seq };
-        self.events.lock().push(Ev { key, kind });
+        let mut sched = self.sched.lock();
+        sched.seq += 1;
+        let key = EvKey {
+            time,
+            seq: sched.seq,
+        };
+        sched.events.push(Ev { key, kind });
     }
 
     /// Plans delivery for a payload and enqueues the resulting events.
@@ -739,9 +753,11 @@ impl Simulation {
     pub fn new(config: NetworkConfig, seed: u64) -> Simulation {
         Simulation {
             shared: Arc::new(Shared {
-                clock: Mutex::new(SimTime::ZERO),
-                events: Mutex::new(BinaryHeap::new()),
-                seq: Mutex::new(0),
+                sched: Mutex::new(SchedState {
+                    now: SimTime::ZERO,
+                    events: BinaryHeap::new(),
+                    seq: 0,
+                }),
                 registry: Mutex::new(Registry {
                     procs: HashMap::new(),
                     endpoints: HashMap::new(),
@@ -899,10 +915,17 @@ impl Simulation {
     /// Panics if any simulated process panicked.
     pub fn run_until(&mut self, limit: SimTime) -> RunReport {
         loop {
+            // One lock acquisition pops the next runnable event AND
+            // advances the clock to it, so no observer can see the old
+            // time paired with the drained heap (or vice versa).
             let ev = {
-                let mut events = self.shared.events.lock();
-                match events.peek() {
-                    Some(ev) if ev.key.time <= limit => events.pop(),
+                let mut sched = self.shared.sched.lock();
+                match sched.events.peek() {
+                    Some(ev) if ev.key.time <= limit => {
+                        let ev = sched.events.pop().expect("peeked event vanished");
+                        sched.now = ev.key.time;
+                        Some(ev)
+                    }
                     Some(_) => {
                         self.limit_reached = true;
                         None
@@ -911,12 +934,11 @@ impl Simulation {
                 }
             };
             let Some(ev) = ev else { break };
-            *self.shared.clock.lock() = ev.key.time;
             self.shared.metrics.on_event();
             self.dispatch(ev.kind);
         }
         if self.limit_reached {
-            *self.shared.clock.lock() = limit;
+            self.shared.sched.lock().now = limit;
             self.limit_reached = false;
         }
         self.check_panics();

@@ -17,11 +17,30 @@
 //!
 //! Encoding is canonical: a given `Value` always produces the same bytes,
 //! so checksums and duplicate-suppression can operate on the encoding.
+//! Canonicality cuts both ways: the decoder rejects overlong varints
+//! (continuation bytes followed by a redundant `0x00` terminator), so no
+//! two distinct byte strings decode to the same value.
+//!
+//! Two decoders share one grammar:
+//!
+//! * [`decode`] — the *tree* decoder: works on any `&[u8]` and copies
+//!   string/blob payloads into fresh buffers.
+//! * [`decode_bytes`] — the *zero-copy* decoder: works on a refcounted
+//!   [`Bytes`] frame and returns `Value`s whose `Str`/`Blob` payloads
+//!   (and record keys) are cheap slices of the input, sharing its
+//!   allocation.
+//!
+//! Encoding offers a matching pair: the [`encode`] convenience and the
+//! pooled [`Encoder`], which reuses one scratch buffer across messages
+//! and exposes a borrow-based [`ValueWriter`] so protocol layers can
+//! marshal straight from their own fields without building an
+//! intermediate `Value` tree.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 use crate::error::WireError;
 use crate::value::Value;
+use crate::wstr::WStr;
 
 /// Maximum nesting depth accepted by the decoder (guards against stack
 /// exhaustion from hostile input).
@@ -31,7 +50,7 @@ pub const MAX_DEPTH: usize = 32;
 /// allocation bombs from hostile input).
 pub const MAX_LEN: u64 = 1 << 28;
 
-mod tag {
+pub(crate) mod tag {
     pub const NULL: u8 = 0;
     pub const FALSE: u8 = 1;
     pub const TRUE: u8 = 2;
@@ -44,15 +63,15 @@ mod tag {
     pub const RECORD: u8 = 9;
 }
 
-fn put_varint(buf: &mut BytesMut, mut n: u64) {
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut n: u64) {
     loop {
         let byte = (n & 0x7F) as u8;
         n >>= 7;
         if n == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
@@ -64,46 +83,46 @@ fn unzigzag(n: u64) -> i64 {
     ((n >> 1) as i64) ^ -((n & 1) as i64)
 }
 
-fn encode_into(v: &Value, buf: &mut BytesMut) {
+pub(crate) fn encode_into(v: &Value, buf: &mut Vec<u8>) {
     match v {
-        Value::Null => buf.put_u8(tag::NULL),
-        Value::Bool(false) => buf.put_u8(tag::FALSE),
-        Value::Bool(true) => buf.put_u8(tag::TRUE),
+        Value::Null => buf.push(tag::NULL),
+        Value::Bool(false) => buf.push(tag::FALSE),
+        Value::Bool(true) => buf.push(tag::TRUE),
         Value::U64(n) => {
-            buf.put_u8(tag::U64);
+            buf.push(tag::U64);
             put_varint(buf, *n);
         }
         Value::I64(n) => {
-            buf.put_u8(tag::I64);
+            buf.push(tag::I64);
             put_varint(buf, zigzag(*n));
         }
         Value::F64(x) => {
-            buf.put_u8(tag::F64);
-            buf.put_f64_le(*x);
+            buf.push(tag::F64);
+            buf.extend_from_slice(&x.to_le_bytes());
         }
         Value::Str(s) => {
-            buf.put_u8(tag::STR);
+            buf.push(tag::STR);
             put_varint(buf, s.len() as u64);
-            buf.put_slice(s.as_bytes());
+            buf.extend_from_slice(s.as_bytes());
         }
         Value::Blob(b) => {
-            buf.put_u8(tag::BLOB);
+            buf.push(tag::BLOB);
             put_varint(buf, b.len() as u64);
-            buf.put_slice(b);
+            buf.extend_from_slice(b);
         }
         Value::List(items) => {
-            buf.put_u8(tag::LIST);
+            buf.push(tag::LIST);
             put_varint(buf, items.len() as u64);
             for item in items {
                 encode_into(item, buf);
             }
         }
         Value::Record(fields) => {
-            buf.put_u8(tag::RECORD);
+            buf.push(tag::RECORD);
             put_varint(buf, fields.len() as u64);
             for (k, v) in fields {
                 put_varint(buf, k.len() as u64);
-                buf.put_slice(k.as_bytes());
+                buf.extend_from_slice(k.as_bytes());
                 encode_into(v, buf);
             }
         }
@@ -112,31 +131,216 @@ fn encode_into(v: &Value, buf: &mut BytesMut) {
 
 /// Encodes a value to its canonical byte representation.
 ///
+/// One-shot convenience; hot paths that encode many messages should hold
+/// an [`Encoder`] and reuse its buffer.
+///
 /// ```
 /// use wire::{encode, decode, Value};
 /// let v = Value::record([("n", Value::U64(300))]);
 /// assert_eq!(decode(&encode(&v)).unwrap(), v);
 /// ```
 pub fn encode(v: &Value) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    let mut buf = Vec::with_capacity(64);
     encode_into(v, &mut buf);
-    buf.freeze()
+    Bytes::from(buf)
 }
 
-struct Reader<'a> {
-    input: &'a [u8],
-    pos: usize,
+/// A streaming value writer over a borrowed buffer.
+///
+/// Protocol layers use this to marshal straight from their own fields —
+/// no intermediate `Value` tree, no cloning of operation names or
+/// arguments. Obtain one from [`Encoder::encode_with`] or
+/// [`Encoder::frame_with`][crate::Encoder::frame_with].
+///
+/// The writer is *trusted*: the element counts passed to
+/// [`ValueWriter::begin_list`] / [`ValueWriter::begin_record`] must match
+/// the number of items actually written, and every record entry must be a
+/// key followed by exactly one value. A miscounted message is not unsafe
+/// — it simply produces bytes the decoder will reject.
+#[derive(Debug)]
+pub struct ValueWriter<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> ValueWriter<'a> {
+    pub(crate) fn new(buf: &'a mut Vec<u8>) -> ValueWriter<'a> {
+        ValueWriter { buf }
+    }
+
+    /// Writes a null.
+    pub fn null(&mut self) {
+        self.buf.push(tag::NULL);
+    }
+
+    /// Writes a bool.
+    pub fn bool(&mut self, b: bool) {
+        self.buf.push(if b { tag::TRUE } else { tag::FALSE });
+    }
+
+    /// Writes a u64.
+    pub fn u64(&mut self, n: u64) {
+        self.buf.push(tag::U64);
+        put_varint(self.buf, n);
+    }
+
+    /// Writes an i64.
+    pub fn i64(&mut self, n: i64) {
+        self.buf.push(tag::I64);
+        put_varint(self.buf, zigzag(n));
+    }
+
+    /// Writes an f64.
+    pub fn f64(&mut self, x: f64) {
+        self.buf.push(tag::F64);
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Writes a string by reference.
+    pub fn str(&mut self, s: &str) {
+        self.buf.push(tag::STR);
+        put_varint(self.buf, s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a blob by reference.
+    pub fn blob(&mut self, b: &[u8]) {
+        self.buf.push(tag::BLOB);
+        put_varint(self.buf, b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Opens a list of exactly `count` items; write each one next.
+    pub fn begin_list(&mut self, count: usize) {
+        self.buf.push(tag::LIST);
+        put_varint(self.buf, count as u64);
+    }
+
+    /// Opens a record of exactly `count` fields; write each as a
+    /// [`ValueWriter::key`] followed by one value.
+    pub fn begin_record(&mut self, count: usize) {
+        self.buf.push(tag::RECORD);
+        put_varint(self.buf, count as u64);
+    }
+
+    /// Writes a record field key (inside [`ValueWriter::begin_record`]).
+    pub fn key(&mut self, k: &str) {
+        put_varint(self.buf, k.len() as u64);
+        self.buf.extend_from_slice(k.as_bytes());
+    }
+
+    /// Writes a whole [`Value`] tree by reference.
+    pub fn value(&mut self, v: &Value) {
+        encode_into(v, self.buf);
+    }
+}
+
+/// A reusable encoder with a pooled scratch buffer.
+///
+/// The one-shot [`encode`] / [`frame`][crate::frame] helpers allocate a
+/// fresh buffer (and grow it) per message; an `Encoder` amortizes that by
+/// encoding into one retained scratch buffer and copying out a
+/// right-sized [`Bytes`] at the end — steady-state, one exact-size
+/// allocation per message and zero growth reallocations.
+///
+/// ```
+/// use wire::{decode, Encoder, Value};
+/// let mut enc = Encoder::new();
+/// let v = Value::record([("n", Value::U64(300))]);
+/// let a = enc.encode(&v);
+/// let b = enc.encode(&v); // reuses the same scratch buffer
+/// assert_eq!(a, b);
+/// assert_eq!(decode(&a).unwrap(), v);
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    scratch: Vec<u8>,
+}
+
+impl Encoder {
+    /// An encoder with an empty scratch buffer (it warms up after the
+    /// first message).
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// An encoder pre-sized for messages of about `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder {
+            scratch: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Encodes one value, reusing the scratch buffer.
+    pub fn encode(&mut self, v: &Value) -> Bytes {
+        self.scratch.clear();
+        encode_into(v, &mut self.scratch);
+        Bytes::copy_from_slice(&self.scratch)
+    }
+
+    /// Encodes one value written through a [`ValueWriter`] (borrow-based:
+    /// no intermediate tree).
+    pub fn encode_with(&mut self, f: impl FnOnce(&mut ValueWriter<'_>)) -> Bytes {
+        self.scratch.clear();
+        f(&mut ValueWriter::new(&mut self.scratch));
+        Bytes::copy_from_slice(&self.scratch)
+    }
+
+    /// Frames one value (checksummed envelope), reusing the scratch
+    /// buffer. Equivalent to [`frame`][crate::frame] but pooled.
+    pub fn frame(&mut self, v: &Value) -> Bytes {
+        self.frame_with(|w| w.value(v))
+    }
+
+    /// Frames one value written through a [`ValueWriter`]. The closure
+    /// must write exactly one value; the encoder prepends the
+    /// magic/version/CRC-32/length header over whatever was written.
+    pub fn frame_with(&mut self, f: impl FnOnce(&mut ValueWriter<'_>)) -> Bytes {
+        self.scratch.clear();
+        self.scratch.resize(crate::frame::HEADER_LEN, 0);
+        f(&mut ValueWriter::new(&mut self.scratch));
+        crate::frame::finish_frame(&mut self.scratch);
+        Bytes::copy_from_slice(&self.scratch)
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    pub(crate) input: &'a [u8],
+    pub(crate) pos: usize,
+    /// When decoding from a refcounted frame, the buffer `input` borrows
+    /// from (`input == &shared[base..]`): str/blob payloads become
+    /// zero-copy slices of it instead of fresh allocations.
+    shared: Option<(&'a Bytes, usize)>,
 }
 
 impl<'a> Reader<'a> {
+    pub(crate) fn new(input: &'a [u8]) -> Reader<'a> {
+        Reader {
+            input,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    fn new_shared(input: &'a Bytes) -> Reader<'a> {
+        Reader {
+            input,
+            pos: 0,
+            shared: Some((input, 0)),
+        }
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.input.len() {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(WireError::UnexpectedEof { needed: n })?;
+        if end > self.input.len() {
             return Err(WireError::UnexpectedEof {
-                needed: self.pos + n - self.input.len(),
+                needed: end - self.input.len(),
             });
         }
-        let s = &self.input[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.input[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -150,6 +354,15 @@ impl<'a> Reader<'a> {
             let b = self.byte()?;
             n |= u64::from(b & 0x7F) << shift;
             if b & 0x80 == 0 {
+                // Canonicality: a continuation byte followed by a 0x00
+                // terminator encodes the same value in more bytes — e.g.
+                // [0x80, 0x00] is an overlong encoding of 0. Reject it so
+                // a value has exactly one encoding (checksums and
+                // duplicate-suppression rely on that). A lone 0x00 first
+                // byte is the canonical zero and stays legal.
+                if shift > 0 && b == 0 {
+                    return Err(WireError::BadVarint);
+                }
                 // Reject non-canonical over-wide encodings of small values
                 // in the final (10th) byte position.
                 if shift == 63 && b > 1 {
@@ -169,13 +382,33 @@ impl<'a> Reader<'a> {
         Ok(n as usize)
     }
 
-    fn string(&mut self) -> Result<String, WireError> {
+    /// Reads a length-prefixed UTF-8 string: a zero-copy slice of the
+    /// shared buffer when one is attached, a fresh copy otherwise.
+    fn string(&mut self) -> Result<WStr, WireError> {
         let len = self.length()?;
+        let start = self.pos;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+        match self.shared {
+            // SAFETY: just validated as UTF-8 above.
+            Some((buf, base)) => {
+                Ok(unsafe { WStr::from_utf8_unchecked(buf.slice(base + start..base + self.pos)) })
+            }
+            None => Ok(unsafe { WStr::from_utf8_unchecked(Bytes::copy_from_slice(bytes)) }),
+        }
     }
 
-    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+    fn blob(&mut self) -> Result<Bytes, WireError> {
+        let len = self.length()?;
+        let start = self.pos;
+        let bytes = self.take(len)?;
+        match self.shared {
+            Some((buf, base)) => Ok(buf.slice(base + start..base + self.pos)),
+            None => Ok(Bytes::copy_from_slice(bytes)),
+        }
+    }
+
+    pub(crate) fn value(&mut self, depth: usize) -> Result<Value, WireError> {
         if depth > MAX_DEPTH {
             return Err(WireError::TooDeep);
         }
@@ -191,10 +424,7 @@ impl<'a> Reader<'a> {
                 Ok(Value::F64(f64::from_le_bytes(raw.try_into().unwrap())))
             }
             tag::STR => Ok(Value::Str(self.string()?)),
-            tag::BLOB => {
-                let len = self.length()?;
-                Ok(Value::Blob(Bytes::copy_from_slice(self.take(len)?)))
-            }
+            tag::BLOB => Ok(Value::Blob(self.blob()?)),
             tag::LIST => {
                 let count = self.length()?;
                 let mut items = Vec::with_capacity(count.min(1024));
@@ -216,16 +446,113 @@ impl<'a> Reader<'a> {
             other => Err(WireError::BadTag(other)),
         }
     }
+
+    /// Walks over exactly one encoded value without materializing it:
+    /// every tag, varint and length is still validated, but nothing is
+    /// allocated and UTF-8 is not checked. The raw-view API uses this to
+    /// find field extents.
+    pub(crate) fn skip_value(&mut self, depth: usize) -> Result<(), WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        let t = self.byte()?;
+        match t {
+            tag::NULL | tag::FALSE | tag::TRUE => Ok(()),
+            tag::U64 | tag::I64 => self.varint().map(drop),
+            tag::F64 => self.take(8).map(drop),
+            tag::STR | tag::BLOB => {
+                let len = self.length()?;
+                self.take(len).map(drop)
+            }
+            tag::LIST => {
+                let count = self.length()?;
+                for _ in 0..count {
+                    self.skip_value(depth + 1)?;
+                }
+                Ok(())
+            }
+            tag::RECORD => {
+                let count = self.length()?;
+                for _ in 0..count {
+                    let klen = self.length()?;
+                    self.take(klen)?;
+                    self.skip_value(depth + 1)?;
+                }
+                Ok(())
+            }
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+
+    /// Skips `n` raw bytes (raw-view API).
+    pub(crate) fn skip_bytes(&mut self, n: usize) -> Result<(), WireError> {
+        self.take(n).map(drop)
+    }
+
+    /// Reads a length-prefixed string, borrowing from the input (used by
+    /// the raw-view API; does validate UTF-8).
+    pub(crate) fn str_borrowed(&mut self) -> Result<&'a str, WireError> {
+        let len = self.length()?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads one varint (raw-view API).
+    pub(crate) fn read_varint(&mut self) -> Result<u64, WireError> {
+        self.varint()
+    }
+
+    /// Reads one tag byte (raw-view API).
+    pub(crate) fn read_byte(&mut self) -> Result<u8, WireError> {
+        self.byte()
+    }
+
+    /// Un-zigzags (raw-view API).
+    pub(crate) fn unzigzag64(n: u64) -> i64 {
+        unzigzag(n)
+    }
 }
 
 /// Decodes a value, requiring the input to be exactly one encoded value.
+///
+/// This is the *tree* decoder: string and blob payloads are copied into
+/// fresh buffers. When the input is an owned [`Bytes`] frame, prefer
+/// [`decode_bytes`], which slices instead of copying.
 ///
 /// # Errors
 ///
 /// Any [`WireError`] describing the malformation, including
 /// [`WireError::TrailingBytes`] if input remains after the value.
 pub fn decode(input: &[u8]) -> Result<Value, WireError> {
-    let mut r = Reader { input, pos: 0 };
+    let mut r = Reader::new(input);
+    let v = r.value(0)?;
+    if r.pos != input.len() {
+        return Err(WireError::TrailingBytes(input.len() - r.pos));
+    }
+    Ok(v)
+}
+
+/// Decodes a value zero-copy: `Str`/`Blob` payloads (and record keys) in
+/// the result are cheap slices of `input`, sharing its refcounted
+/// allocation instead of copying.
+///
+/// Accepts exactly the same byte strings as [`decode`] and produces equal
+/// `Value`s — only the backing of the leaves differs. The input buffer
+/// stays alive as long as any decoded leaf does.
+///
+/// ```
+/// use wire::{decode, decode_bytes, encode, Value};
+/// let v = Value::record([("s", Value::str("zero-copy"))]);
+/// let enc = encode(&v);
+/// assert_eq!(decode_bytes(&enc).unwrap(), decode(&enc).unwrap());
+/// ```
+///
+/// # Errors
+///
+/// Any [`WireError`] describing the malformation, including
+/// [`WireError::TrailingBytes`] if input remains after the value.
+pub fn decode_bytes(input: &Bytes) -> Result<Value, WireError> {
+    let mut r = Reader::new_shared(input);
     let v = r.value(0)?;
     if r.pos != input.len() {
         return Err(WireError::TrailingBytes(input.len() - r.pos));
@@ -240,7 +567,7 @@ pub fn decode(input: &[u8]) -> Result<Value, WireError> {
 ///
 /// Any [`WireError`] describing the malformation.
 pub fn decode_prefix(input: &[u8]) -> Result<(Value, usize), WireError> {
-    let mut r = Reader { input, pos: 0 };
+    let mut r = Reader::new(input);
     let v = r.value(0)?;
     Ok((v, r.pos))
 }
@@ -253,6 +580,8 @@ mod tests {
         let enc = encode(&v);
         let dec = decode(&enc).unwrap();
         assert_eq!(dec, v);
+        // The zero-copy decoder must agree exactly.
+        assert_eq!(decode_bytes(&enc).unwrap(), v);
     }
 
     #[test]
@@ -318,6 +647,8 @@ mod tests {
         let mut enc = encode(&Value::U64(5)).to_vec();
         enc.push(0);
         assert_eq!(decode(&enc), Err(WireError::TrailingBytes(1)));
+        let enc = Bytes::from(enc);
+        assert_eq!(decode_bytes(&enc), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]
@@ -330,12 +661,15 @@ mod tests {
         // STR tag, length 2, invalid UTF-8 bytes.
         let raw = [super::tag::STR, 2, 0xFF, 0xFE];
         assert_eq!(decode(&raw), Err(WireError::BadUtf8));
+        assert_eq!(
+            decode_bytes(&Bytes::copy_from_slice(&raw)),
+            Err(WireError::BadUtf8)
+        );
     }
 
     #[test]
     fn oversized_length_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(super::tag::BLOB);
+        let mut buf = vec![super::tag::BLOB];
         put_varint(&mut buf, MAX_LEN + 1);
         assert_eq!(decode(&buf), Err(WireError::TooLong(MAX_LEN + 1)));
     }
@@ -348,6 +682,7 @@ mod tests {
         }
         let enc = encode(&v);
         assert_eq!(decode(&enc), Err(WireError::TooDeep));
+        assert_eq!(decode_bytes(&enc), Err(WireError::TooDeep));
     }
 
     #[test]
@@ -421,6 +756,150 @@ mod tests {
             0x01,
         ];
         assert_eq!(decode(&raw), Err(WireError::BadVarint));
+    }
+
+    #[test]
+    fn noncanonical_varint_rejected() {
+        // [0x80, 0x00] is an overlong encoding of 0: the continuation
+        // bit promises more significant bits, then delivers none.
+        assert_eq!(
+            decode(&[super::tag::U64, 0x80, 0x00]),
+            Err(WireError::BadVarint)
+        );
+        // [0xFF, 0x00] is an overlong encoding of 127.
+        assert_eq!(
+            decode(&[super::tag::U64, 0xFF, 0x00]),
+            Err(WireError::BadVarint)
+        );
+        // Redundant zero terminator deeper in: overlong encoding of
+        // 0x3FFF (two meaningful bytes + 0x00).
+        assert_eq!(
+            decode(&[super::tag::U64, 0xFF, 0xFF, 0x00]),
+            Err(WireError::BadVarint)
+        );
+        // The canonical encodings of the same values still decode.
+        assert_eq!(decode(&[super::tag::U64, 0x00]), Ok(Value::U64(0)));
+        assert_eq!(decode(&[super::tag::U64, 0x7F]), Ok(Value::U64(127)));
+        // The zero-copy decoder applies the same rule (shared grammar).
+        assert_eq!(
+            decode_bytes(&Bytes::copy_from_slice(&[super::tag::U64, 0x80, 0x00])),
+            Err(WireError::BadVarint)
+        );
+        // Lengths are varints too: an overlong string length is rejected
+        // even though the canonical form would be in range.
+        assert_eq!(
+            decode(&[super::tag::STR, 0x80, 0x00]),
+            Err(WireError::BadVarint)
+        );
+    }
+
+    #[test]
+    fn ten_byte_varint_boundary() {
+        // u64::MAX: nine 0xFF continuation bytes + final 0x01 — exactly
+        // ten bytes, canonical, accepted.
+        let mut raw = vec![super::tag::U64];
+        raw.extend_from_slice(&[0xFF; 9]);
+        raw.push(0x01);
+        assert_eq!(decode(&raw), Ok(Value::U64(u64::MAX)));
+        // Final byte 0x00 in the 10th position is the overlong form.
+        let mut raw = vec![super::tag::U64];
+        raw.extend_from_slice(&[0xFF; 9]);
+        raw.push(0x00);
+        assert_eq!(decode(&raw), Err(WireError::BadVarint));
+        // Final byte > 1 in the 10th position overflows 64 bits.
+        let mut raw = vec![super::tag::U64];
+        raw.extend_from_slice(&[0xFF; 9]);
+        raw.push(0x02);
+        assert_eq!(decode(&raw), Err(WireError::BadVarint));
+    }
+
+    #[test]
+    fn hostile_length_near_usize_max_is_eof_not_overflow() {
+        // A declared string length that would overflow `pos + n` must
+        // error as UnexpectedEof (checked_add), not wrap around. Use a
+        // length just under MAX_LEN so the TooLong guard doesn't mask
+        // the take() path, then one near u64::MAX to exercise length().
+        let mut raw = vec![super::tag::STR];
+        put_varint(&mut raw, MAX_LEN);
+        assert!(matches!(decode(&raw), Err(WireError::UnexpectedEof { .. })));
+        let mut raw = vec![super::tag::STR];
+        put_varint(&mut raw, u64::MAX - 1);
+        assert_eq!(decode(&raw), Err(WireError::TooLong(u64::MAX - 1)));
+    }
+
+    #[test]
+    fn zero_copy_decode_shares_the_input_allocation() {
+        let v = Value::record([
+            ("key", Value::str("some/key")),
+            ("blob", Value::blob(vec![0xA5u8; 64])),
+        ]);
+        let enc = encode(&v);
+        let dec = decode_bytes(&enc).unwrap();
+        // The decoded blob is a sub-slice of the encoding, not a copy.
+        let blob = dec.get_blob("blob").unwrap();
+        let enc_ptr = enc.as_ref().as_ptr() as usize;
+        let blob_ptr = blob.as_ref().as_ptr() as usize;
+        assert!(
+            blob_ptr >= enc_ptr && blob_ptr + blob.len() <= enc_ptr + enc.len(),
+            "blob should alias the input frame"
+        );
+        let s = dec.get("key").unwrap().as_wstr().unwrap();
+        let s_ptr = s.as_bytes().as_ptr() as usize;
+        assert!(
+            s_ptr >= enc_ptr && s_ptr + s.len() <= enc_ptr + enc.len(),
+            "str should alias the input frame"
+        );
+    }
+
+    #[test]
+    fn pooled_encoder_matches_oneshot() {
+        let mut enc = Encoder::new();
+        let values = [
+            Value::Null,
+            Value::str("pooled"),
+            Value::record([("k", Value::blob(vec![1u8; 200]))]),
+            Value::U64(42),
+        ];
+        for v in &values {
+            assert_eq!(enc.encode(v), encode(v), "pooled != one-shot for {v}");
+        }
+    }
+
+    #[test]
+    fn writer_matches_tree_encoding() {
+        let v = Value::record([
+            ("op", Value::str("put")),
+            ("id", Value::U64(300)),
+            ("neg", Value::I64(-5)),
+            ("pi", Value::F64(3.5)),
+            ("ok", Value::Bool(true)),
+            ("none", Value::Null),
+            ("raw", Value::blob(vec![1u8, 2, 3])),
+            ("tags", Value::list([Value::str("a"), Value::str("b")])),
+        ]);
+        let mut enc = Encoder::new();
+        let streamed = enc.encode_with(|w| {
+            w.begin_record(8);
+            w.key("op");
+            w.str("put");
+            w.key("id");
+            w.u64(300);
+            w.key("neg");
+            w.i64(-5);
+            w.key("pi");
+            w.f64(3.5);
+            w.key("ok");
+            w.bool(true);
+            w.key("none");
+            w.null();
+            w.key("raw");
+            w.blob(&[1, 2, 3]);
+            w.key("tags");
+            w.begin_list(2);
+            w.str("a");
+            w.str("b");
+        });
+        assert_eq!(streamed, encode(&v), "writer must be byte-identical");
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //! The checksum covers the payload only; the fixed-size header makes
 //! truncation detectable before the checksum is even consulted. Protocol
 //! layers (RPC) put exactly one frame in each simulated datagram.
+//!
+//! On the receive side, [`unframe_bytes`] pairs the envelope check with
+//! the zero-copy decoder so the resulting `Value`'s string/blob leaves
+//! alias the datagram instead of copying out of it; [`unframe`] is the
+//! copying equivalent for plain slices.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
-use crate::codec::{decode, encode};
+use crate::codec::{decode, decode_bytes, encode_into};
 use crate::crc::crc32;
 use crate::error::WireError;
 use crate::value::Value;
@@ -29,7 +34,27 @@ pub const FRAME_VERSION: u8 = 1;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 2 + 1 + 4 + 4;
 
+/// Fills in the frame header over a buffer whose first [`HEADER_LEN`]
+/// bytes are reserved and whose remainder is the encoded payload. This
+/// is the single-buffer framing path shared by [`frame`] and the pooled
+/// [`crate::Encoder::frame_with`] — encode once, patch the header, no
+/// second buffer.
+pub(crate) fn finish_frame(buf: &mut [u8]) {
+    debug_assert!(buf.len() >= HEADER_LEN);
+    let crc = crc32(&buf[HEADER_LEN..]);
+    let len = (buf.len() - HEADER_LEN) as u32;
+    buf[0..2].copy_from_slice(&MAGIC);
+    buf[2] = FRAME_VERSION;
+    buf[3..7].copy_from_slice(&crc.to_le_bytes());
+    buf[7..11].copy_from_slice(&len.to_le_bytes());
+}
+
 /// Wraps an encoded value in a checksummed frame.
+///
+/// Single allocation: the payload is encoded directly after a reserved
+/// header which is then patched in place. Hot paths framing many
+/// messages should prefer [`crate::Encoder::frame`], which also reuses
+/// the scratch buffer across messages.
 ///
 /// ```
 /// use wire::{frame, unframe, Value};
@@ -37,27 +62,17 @@ pub const HEADER_LEN: usize = 2 + 1 + 4 + 4;
 /// assert_eq!(unframe(&frame(&v)).unwrap(), v);
 /// ```
 pub fn frame(v: &Value) -> Bytes {
-    let payload = encode(v);
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
-    buf.put_slice(&MAGIC);
-    buf.put_u8(FRAME_VERSION);
-    buf.put_u32_le(crc32(&payload));
-    buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(&payload);
-    buf.freeze()
+    let mut buf = Vec::with_capacity(HEADER_LEN + 64);
+    buf.resize(HEADER_LEN, 0);
+    encode_into(v, &mut buf);
+    finish_frame(&mut buf);
+    Bytes::from(buf)
 }
 
-/// Validates a frame and decodes its payload.
-///
-/// # Errors
-///
-/// * [`WireError::UnexpectedEof`] — shorter than the header or the
-///   declared payload.
-/// * [`WireError::BadMagic`] / [`WireError::BadVersion`] — wrong envelope.
-/// * [`WireError::BadChecksum`] — payload corruption.
-/// * [`WireError::TrailingBytes`] — bytes beyond the declared payload.
-/// * any decode error from the payload itself.
-pub fn unframe(input: &[u8]) -> Result<Value, WireError> {
+/// Validates the envelope (magic, version, length, checksum) and returns
+/// the payload slice without decoding it. Shared by [`unframe`],
+/// [`unframe_bytes`] and the raw peek API.
+pub(crate) fn check_frame(input: &[u8]) -> Result<&[u8], WireError> {
     if input.len() < HEADER_LEN {
         return Err(WireError::UnexpectedEof {
             needed: HEADER_LEN - input.len(),
@@ -84,17 +99,53 @@ pub fn unframe(input: &[u8]) -> Result<Value, WireError> {
     if actual != expected {
         return Err(WireError::BadChecksum { expected, actual });
     }
-    decode(body)
+    Ok(body)
+}
+
+/// Validates a frame and decodes its payload (copying decoder).
+///
+/// # Errors
+///
+/// * [`WireError::UnexpectedEof`] — shorter than the header or the
+///   declared payload.
+/// * [`WireError::BadMagic`] / [`WireError::BadVersion`] — wrong envelope.
+/// * [`WireError::BadChecksum`] — payload corruption.
+/// * [`WireError::TrailingBytes`] — bytes beyond the declared payload.
+/// * any decode error from the payload itself.
+pub fn unframe(input: &[u8]) -> Result<Value, WireError> {
+    decode(check_frame(input)?)
+}
+
+/// Validates a frame and decodes its payload zero-copy: string and blob
+/// leaves of the result alias the frame's refcounted buffer.
+///
+/// Accepts exactly the frames [`unframe`] accepts and produces equal
+/// `Value`s; only the backing of the leaves differs.
+///
+/// ```
+/// use wire::{frame, unframe_bytes, Value};
+/// let v = Value::record([("key", Value::str("abc"))]);
+/// assert_eq!(unframe_bytes(&frame(&v)).unwrap(), v);
+/// ```
+///
+/// # Errors
+///
+/// As for [`unframe`].
+pub fn unframe_bytes(input: &Bytes) -> Result<Value, WireError> {
+    check_frame(input)?;
+    decode_bytes(&input.slice(HEADER_LEN..input.len()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::encode;
 
     #[test]
     fn roundtrip() {
         let v = Value::record([("op", Value::str("get")), ("id", Value::U64(42))]);
         assert_eq!(unframe(&frame(&v)).unwrap(), v);
+        assert_eq!(unframe_bytes(&frame(&v)).unwrap(), v);
     }
 
     #[test]
@@ -125,6 +176,11 @@ mod tests {
         let last = f.len() - 1;
         f[last] ^= 0x01;
         assert!(matches!(unframe(&f), Err(WireError::BadChecksum { .. })));
+        let f = Bytes::from(f);
+        assert!(matches!(
+            unframe_bytes(&f),
+            Err(WireError::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -148,5 +204,35 @@ mod tests {
         let small = frame(&Value::Null);
         let payload = encode(&Value::Null);
         assert_eq!(small.len(), HEADER_LEN + payload.len());
+    }
+
+    #[test]
+    fn pooled_frame_matches_oneshot() {
+        let v = Value::record([("op", Value::str("get")), ("id", Value::U64(42))]);
+        let mut enc = crate::Encoder::new();
+        assert_eq!(enc.frame(&v), frame(&v));
+        // And the writer-based path produces an identical frame.
+        let streamed = enc.frame_with(|w| {
+            w.begin_record(2);
+            w.key("op");
+            w.str("get");
+            w.key("id");
+            w.u64(42);
+        });
+        assert_eq!(streamed, frame(&v));
+    }
+
+    #[test]
+    fn zero_copy_unframe_aliases_the_datagram() {
+        let v = Value::record([("payload", Value::blob(vec![0x5Au8; 128]))]);
+        let f = frame(&v);
+        let dec = unframe_bytes(&f).unwrap();
+        let blob = dec.get_blob("payload").unwrap();
+        let f_ptr = f.as_ref().as_ptr() as usize;
+        let b_ptr = blob.as_ref().as_ptr() as usize;
+        assert!(
+            b_ptr >= f_ptr && b_ptr + blob.len() <= f_ptr + f.len(),
+            "decoded blob should alias the frame"
+        );
     }
 }

@@ -6,13 +6,20 @@
 //! [`encode`]/[`decode`] and shipped inside a checksummed [`frame`].
 //!
 //! * [`Value`] — the dynamic data model (null/bool/ints/float/str/blob/
-//!   list/record).
+//!   list/record). Strings are [`WStr`]: refcounted, cheaply clonable.
 //! * [`encode`] / [`decode`] — canonical tag-length-value binary codec,
 //!   hardened against hostile input (depth & length limits, canonical
 //!   varints).
+//! * [`decode_bytes`] / [`unframe_bytes`] — the zero-copy receive path:
+//!   decoded `Str`/`Blob` leaves are slices of the incoming frame.
+//! * [`Encoder`] / [`ValueWriter`] — pooled, borrow-based send path:
+//!   one reusable scratch buffer, no intermediate `Value` trees.
+//! * [`RawRecord`] / [`peek_frame`] — lazily-decoded views for reading a
+//!   couple of header fields without materializing the message.
 //! * [`frame`] / [`unframe`] — versioned envelope with a CRC-32 checksum.
 //! * [`crc32`] / [`Crc32`] — the checksum itself (implemented here to keep
-//!   the workspace dependency-minimal).
+//!   the workspace dependency-minimal); slice-by-16 fast path with
+//!   [`crc32_bytewise`] kept as the differential oracle.
 //!
 //! ## Example
 //!
@@ -36,10 +43,16 @@ mod codec;
 mod crc;
 mod error;
 mod frame;
+mod raw;
 mod value;
+mod wstr;
 
-pub use codec::{decode, decode_prefix, encode, MAX_DEPTH, MAX_LEN};
-pub use crc::{crc32, Crc32};
+pub use codec::{
+    decode, decode_bytes, decode_prefix, encode, Encoder, ValueWriter, MAX_DEPTH, MAX_LEN,
+};
+pub use crc::{crc32, crc32_bytewise, Crc32};
 pub use error::WireError;
-pub use frame::{frame, unframe, FRAME_VERSION, HEADER_LEN};
+pub use frame::{frame, unframe, unframe_bytes, FRAME_VERSION, HEADER_LEN};
+pub use raw::{peek_frame, RawRecord};
 pub use value::Value;
+pub use wstr::WStr;

@@ -9,6 +9,7 @@
 use bytes::Bytes;
 
 use crate::error::WireError;
+use crate::wstr::WStr;
 
 /// A dynamically-typed, self-describing wire value.
 ///
@@ -35,21 +36,24 @@ pub enum Value {
     I64(i64),
     /// A 64-bit float.
     F64(f64),
-    /// A UTF-8 string.
-    Str(String),
+    /// A UTF-8 string. Backed by a refcounted buffer ([`WStr`]), so the
+    /// zero-copy decoder can alias the incoming frame and clones are
+    /// cheap.
+    Str(WStr),
     /// Raw bytes.
     Blob(Bytes),
     /// An ordered list of values.
     List(Vec<Value>),
     /// An ordered list of named fields (a record). Field order is
     /// preserved and significant for encoding, but lookup by name via
-    /// [`Value::get`] ignores order.
-    Record(Vec<(String, Value)>),
+    /// [`Value::get`] ignores order. Keys are [`WStr`] so the zero-copy
+    /// decoder can alias them into the incoming frame as well.
+    Record(Vec<(WStr, Value)>),
 }
 
 impl Value {
     /// Convenience constructor for [`Value::Str`].
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<WStr>) -> Value {
         Value::Str(s.into())
     }
 
@@ -64,7 +68,7 @@ impl Value {
     }
 
     /// Convenience constructor for [`Value::Record`].
-    pub fn record<K: Into<String>>(fields: impl IntoIterator<Item = (K, Value)>) -> Value {
+    pub fn record<K: Into<WStr>>(fields: impl IntoIterator<Item = (K, Value)>) -> Value {
         Value::Record(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
@@ -85,6 +89,16 @@ impl Value {
 
     /// Borrows the string if this is a [`Value::Str`].
     pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Borrows the refcounted string if this is a [`Value::Str`]. Use
+    /// this instead of [`Value::as_str`] when the caller wants to keep
+    /// the string without copying it.
+    pub fn as_wstr(&self) -> Option<&WStr> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
@@ -140,7 +154,7 @@ impl Value {
     }
 
     /// Borrows the fields if this is a [`Value::Record`].
-    pub fn as_record(&self) -> Option<&[(String, Value)]> {
+    pub fn as_record(&self) -> Option<&[(WStr, Value)]> {
         match self {
             Value::Record(fields) => Some(fields),
             _ => None,
@@ -334,11 +348,16 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(s: &str) -> Value {
-        Value::Str(s.to_owned())
+        Value::Str(WStr::from(s))
     }
 }
 impl From<String> for Value {
     fn from(s: String) -> Value {
+        Value::Str(WStr::from(s))
+    }
+}
+impl From<WStr> for Value {
+    fn from(s: WStr) -> Value {
         Value::Str(s)
     }
 }

@@ -18,7 +18,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
-            proptest::collection::vec(("[a-z]{0,6}", inner), 0..6).prop_map(Value::Record),
+            proptest::collection::vec(("[a-z]{0,6}", inner), 0..6)
+                .prop_map(|fields: Vec<(String, Value)>| Value::record(fields)),
         ]
     })
 }

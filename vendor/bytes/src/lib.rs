@@ -12,11 +12,40 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable immutable byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
+}
+
+// Like the real crate, comparisons and hashing look at the *contents*,
+// never at the identity of the backing allocation — a sub-slice of one
+// buffer equals a fresh copy of the same bytes.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
 }
 
 impl Bytes {
