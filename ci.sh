@@ -31,6 +31,23 @@ if [ "${1:-}" != "quick" ]; then
   PROXIDE_E14_SMOKE=1 PROXIDE_BENCH_DIR=target \
     cargo run -q --release -p bench --bin e14_hotpath
 
+  step "perfgate (regression gate against the committed E14 baseline)"
+  # Strict self-compare: the committed baseline must gate cleanly against
+  # itself (artifact well-formed, all metrics within tolerance).
+  cargo run -q --release -p bench --bin perfgate -- BENCH_e14.json BENCH_e14.json
+  # The smoke artifact runs a shrunken config, so it is legitimately
+  # incomparable with the full-mode baseline: warn-only keeps the step
+  # green while still exercising the comparability refusal path.
+  cargo run -q --release -p bench --bin perfgate -- --warn-only \
+    target/BENCH_e14.json BENCH_e14.json
+
+  step "E15 flight-recorder smoke (windowed telemetry + exemplars + validators)"
+  # Runs the chaos sweep, asserts re-bucketing invariance, conservation,
+  # exemplar tiling, and exports artifacts for the checks below.
+  cargo run -q --release -p bench --bin e15_flight
+  cargo run -q --release -p bench --bin tracectl -- check target/traces/e15-flight.timeseries.csv
+  cargo run -q --release -p bench --bin tracectl -- check target/traces/e15-flight.report.json
+
   step "tracectl smoke (trace export + round-trip + critical-path self-check)"
   # Exits nonzero on malformed Chrome output, a failed JSONL round-trip,
   # no reconstructable critical path, component sums off by >1%, or any

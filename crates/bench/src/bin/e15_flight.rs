@@ -1,0 +1,5 @@
+//! Runs experiment e15 standalone.
+fn main() {
+    let ok = bench::experiments::e15_flight::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,91 @@
+//! perfgate — CLI for the perf-regression gate.
+//!
+//! ```text
+//! perfgate [--tolerance PCT] [--warn-only] <current.json> <baseline.json>
+//! ```
+//!
+//! Diffs a freshly produced `BENCH_*.json` artifact against a committed
+//! baseline and prints a per-metric verdict table.
+//!
+//! Exit codes:
+//! * `0` — comparable and within tolerance (or `--warn-only`),
+//! * `1` — at least one metric regressed beyond tolerance,
+//! * `2` — artifacts are malformed or incomparable (different
+//!   experiment/mode/config), or a file could not be read.
+//!
+//! With `--warn-only` every outcome exits 0: regressions and
+//! incomparable pairs are reported but do not fail the build. `ci.sh`
+//! uses this for the smoke-mode artifact (whose config legitimately
+//! differs from the committed full-mode baseline) while keeping the
+//! strict gate on the baseline itself.
+
+use bench::perfgate::{compare, GateConfig, GateError};
+
+fn usage() -> ! {
+    eprintln!("usage: perfgate [--tolerance PCT] [--warn-only] <current.json> <baseline.json>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut tolerance = None;
+    let mut warn_only = false;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--tolerance" => {
+                let pct: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                tolerance = Some(pct / 100.0);
+            }
+            "--help" | "-h" => usage(),
+            _ => files.push(arg),
+        }
+    }
+    let [current_path, baseline_path] = files.as_slice() else {
+        usage()
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("perfgate: cannot read {path}: {e}");
+            std::process::exit(if warn_only { 0 } else { 2 });
+        }
+    };
+    let current = read(current_path);
+    let baseline = read(baseline_path);
+
+    let mut cfg = GateConfig::default();
+    if let Some(t) = tolerance {
+        cfg.tolerance = t;
+    }
+    match compare(&baseline, &current, &cfg) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.regressed() {
+                if warn_only {
+                    println!("perfgate: regression beyond tolerance (warn-only, not failing)");
+                } else {
+                    println!("perfgate: FAIL — regression beyond tolerance");
+                    std::process::exit(1);
+                }
+            } else {
+                println!(
+                    "perfgate: ok ({}% tolerance)",
+                    (cfg.tolerance * 100.0).round()
+                );
+            }
+        }
+        Err(e @ GateError::Incomparable(_)) if warn_only => {
+            println!("perfgate: {e} (warn-only, skipping comparison)");
+        }
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            std::process::exit(if warn_only { 0 } else { 2 });
+        }
+    }
+}

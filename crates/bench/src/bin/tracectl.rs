@@ -15,7 +15,7 @@
 //! tracectl run [--loss P] [--dup P] [--seed N] [--rounds N] [--clients N]
 //!              [--top K] [--sample N] [--out DIR]
 //! tracectl analyze <trace.jsonl> [--top K]
-//! tracectl check <trace.chrome.json>
+//! tracectl check <artifact>     # Chrome trace, run report, or timeseries CSV
 //! tracectl smoke
 //! ```
 
@@ -81,7 +81,7 @@ fn main() -> ExitCode {
         }
         Some("check") => match args[1..] {
             [ref path] => cmd_check(path),
-            _ => usage_error("check takes exactly one <trace.chrome.json> path"),
+            _ => usage_error("check takes exactly one artifact path"),
         },
         Some("smoke") => cmd_run(&RunOpts::default(), true),
         _ => {
@@ -91,7 +91,8 @@ fn main() -> ExitCode {
                  run     [--loss P] [--dup P] [--seed N] [--rounds N] [--clients N]\n\
                  \x20       [--top K] [--sample N] [--out DIR]   drive a chaos run, export + analyze\n\
                  analyze <trace.jsonl> [--top K]                analyze an exported trace\n\
-                 check   <trace.chrome.json>                    validate a Chrome Trace export\n\
+                 check   <artifact>                             validate an exported artifact\n\
+                 \x20                                           (Chrome trace, run report, or timeseries CSV)\n\
                  smoke                                          self-checking run for CI"
             );
             ExitCode::from(2)
@@ -385,6 +386,11 @@ fn cmd_analyze(path: &str, top: usize) -> ExitCode {
     finish(&failures)
 }
 
+/// Validates an exported artifact, dispatching on its shape: a
+/// flight-recorder CSV (leading `# width_ns=` comment or a `.csv`
+/// path), a Chrome trace (JSON with `traceEvents`), or a full run
+/// report (JSON with `end_time_ns`, including the timeseries and
+/// exemplar sections).
 fn cmd_check(path: &str) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -393,16 +399,46 @@ fn cmd_check(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match obs::validate_chrome(&text) {
+    if path.ends_with(".csv") || text.starts_with("# width_ns=") {
+        return match obs::validate_timeseries_csv(&text) {
+            Ok(s) => {
+                println!(
+                    "{path}: valid timeseries CSV — {} rows over {} windows, {} series ({} counter, {} gauge, {} hist rows)",
+                    s.rows, s.windows, s.series, s.counters, s.gauges, s.hists
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID timeseries CSV — {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if text.contains("\"traceEvents\"") {
+        return match obs::validate_chrome(&text) {
+            Ok(s) => {
+                println!(
+                    "{path}: valid Chrome trace — {} events ({} spans, {} instants, {} flow arrows) on {} tracks",
+                    s.events, s.spans, s.instants, s.flows, s.tracks
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID Chrome trace — {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match obs::validate_report(&text) {
         Ok(s) => {
             println!(
-                "{path}: valid Chrome trace — {} events ({} spans, {} instants, {} flow arrows) on {} tracks",
-                s.events, s.spans, s.instants, s.flows, s.tracks
+                "{path}: valid run report — {} timeseries windows, {} exemplars ({} with causal breakdown)",
+                s.windows, s.exemplars, s.with_breakdown
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("{path}: INVALID Chrome trace — {e}");
+            eprintln!("{path}: INVALID run report — {e}");
             ExitCode::FAILURE
         }
     }

@@ -176,6 +176,64 @@ fn artifact_path() -> std::path::PathBuf {
         .join("BENCH_e14.json")
 }
 
+/// FNV-1a over the workload-shaping fields, so perfgate has a config
+/// fingerprint that is stable across formatting changes to the artifact.
+fn config_hash(cfg: Config) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        cfg.clients as u64,
+        cfg.calls_per_client,
+        cfg.depth as u64,
+        cfg.batch as u64,
+        cfg.payload as u64,
+    ] {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Git revision of the working tree, when a git binary and repo are
+/// around; benches must keep working in an exported tarball.
+fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?;
+    let rev = rev.trim();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev.to_owned())
+    }
+}
+
+fn artifact_meta(cfg: Config) -> String {
+    // Seed of the first rep; later reps are 1400+i by construction.
+    let mut meta = format!(
+        "{{\"seed\": 1400, \"config_hash\": \"{}\"",
+        config_hash(cfg)
+    );
+    if let Some(rev) = git_rev() {
+        meta.push_str(&format!(", \"git_rev\": \"{rev}\""));
+    }
+    // ISO date is passed in by the harness; the sandboxed sim has no
+    // clock of record of its own.
+    if let Ok(date) = std::env::var("PROXIDE_RUN_DATE") {
+        if !date.is_empty() {
+            meta.push_str(&format!(", \"date\": \"{date}\""));
+        }
+    }
+    meta.push('}');
+    meta
+}
+
 fn artifact_json(cfg: Config, mode: &str, reps: &[Rep], best: &Rep) -> String {
     let mut runs = String::new();
     for (i, r) in reps.iter().enumerate() {
@@ -196,6 +254,7 @@ fn artifact_json(cfg: Config, mode: &str, reps: &[Rep], best: &Rep) -> String {
             "  \"experiment\": \"E14\",\n",
             "  \"title\": \"hot-path macro-benchmark (closed-loop pipelined RPC, wall-clock)\",\n",
             "  \"mode\": \"{mode}\",\n",
+            "  \"meta\": {meta},\n",
             "  \"config\": {{\"clients\": {clients}, \"calls_per_client\": {cpc}, ",
             "\"depth\": {depth}, \"batch\": {batch}, \"payload_bytes\": {payload}, \"reps\": {reps}}},\n",
             "  \"best\": {{\n",
@@ -213,6 +272,7 @@ fn artifact_json(cfg: Config, mode: &str, reps: &[Rep], best: &Rep) -> String {
             "}}\n",
         ),
         mode = mode,
+        meta = artifact_meta(cfg),
         clients = cfg.clients,
         cpc = cfg.calls_per_client,
         depth = cfg.depth,

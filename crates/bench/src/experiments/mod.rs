@@ -5,6 +5,7 @@ pub mod e11_recovery;
 pub mod e12_dsm;
 pub mod e13_pipeline;
 pub mod e14_hotpath;
+pub mod e15_flight;
 pub mod e1_access_methods;
 pub mod e2_cache_sweep;
 pub mod e3_migration;
@@ -33,6 +34,7 @@ pub fn run_all() -> bool {
         e12_dsm::run(),
         e13_pipeline::run(),
         e14_hotpath::run(),
+        e15_flight::run(),
     ];
     let mut all = true;
     for o in &outputs {

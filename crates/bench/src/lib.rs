@@ -15,6 +15,7 @@
 //! `benches/overhead.rs`.
 
 pub mod experiments;
+pub mod perfgate;
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -153,6 +154,38 @@ pub struct Check {
     pub detail: String,
 }
 
+/// One-line digest of a `RunReport` JSON blob for the experiment log:
+/// the loss-shaped counters a reader would otherwise have to dig out of
+/// the blob (proxy-discarded datagrams, trace-ring evictions) plus the
+/// flight-recorder headlines (pinned exemplars, recorded windows).
+/// `None` only when the blob does not parse.
+fn obs_summary_line(json: &str) -> Option<String> {
+    let doc = obs::json::parse(json).ok()?;
+    let discarded: u64 = doc
+        .get("proxies")
+        .and_then(|p| p.as_obj())
+        .map(|m| {
+            m.values()
+                .filter_map(|s| s.u64_field("datagrams_discarded"))
+                .sum()
+        })
+        .unwrap_or(0);
+    let trace_evicted = doc.u64_field("trace_evicted").unwrap_or(0);
+    let exemplars = doc
+        .get("exemplars")
+        .and_then(|e| e.as_arr())
+        .map_or(0, <[obs::json::Json]>::len);
+    let windows = doc
+        .get("timeseries")
+        .and_then(|t| t.get("windows"))
+        .and_then(|w| w.as_arr())
+        .map_or(0, <[obs::json::Json]>::len);
+    Some(format!(
+        "datagrams_discarded={discarded} trace_evicted={trace_evicted} \
+         exemplars={exemplars} ts_windows={windows}"
+    ))
+}
+
 /// Builds a check.
 pub fn check(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> Check {
     Check {
@@ -199,6 +232,9 @@ impl ExperimentOutput {
         }
         for r in &self.reports {
             println!("  obs-report[{}] {}", r.label, r.json);
+            if let Some(line) = obs_summary_line(&r.json) {
+                println!("  obs-summary[{}] {}", r.label, line);
+            }
         }
         all &= self.export_traces();
         all

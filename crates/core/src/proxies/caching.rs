@@ -390,6 +390,13 @@ impl Proxy for CachingProxy {
                 let key = Self::cache_key(op, &args);
                 if let Some(v) = self.lookup(&tag, &key, ctx.now()) {
                     self.stats.local_hits += 1;
+                    if ctx.obs().timeseries_enabled() {
+                        ctx.obs().ts_add(
+                            ctx.now().as_nanos(),
+                            &format!("cache_hit@{}", self.service),
+                            1,
+                        );
+                    }
                     ctx.trace(simnet::TraceEvent::ProxyCacheHit {
                         service: self.service.clone(),
                         op: op.to_owned(),
@@ -398,6 +405,13 @@ impl Proxy for CachingProxy {
                     return Ok(v);
                 }
                 self.stats.remote_calls += 1;
+                if ctx.obs().timeseries_enabled() {
+                    ctx.obs().ts_add(
+                        ctx.now().as_nanos(),
+                        &format!("cache_miss@{}", self.service),
+                        1,
+                    );
+                }
                 ctx.trace(simnet::TraceEvent::ProxyCacheMiss {
                     service: self.service.clone(),
                     op: op.to_owned(),

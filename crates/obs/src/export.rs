@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 
 use crate::json::{self, Json};
+use crate::timeseries::TimeSeriesReport;
 use crate::trace::{CausalEvent, CausalTrace, Loc, NetEvent, NetEventKind};
 use crate::{SpanId, SpanKind, SpanRecord};
 
@@ -609,6 +610,266 @@ pub fn from_jsonl(text: &str) -> Result<CausalTrace, String> {
     Ok(trace)
 }
 
+// ---------------------------------------------------------------------------
+// Flight-recorder time series
+// ---------------------------------------------------------------------------
+
+/// Column header of the time-series CSV, in long format: one row per
+/// `(window, series)` pair. Counter rows fill only `value`; gauge rows
+/// fill `value` (last level), `min`, `max`, `mean` and `count`
+/// (samples); histogram rows fill everything but `value`.
+pub const TIMESERIES_CSV_HEADER: &str = "start_ns,kind,series,value,min,max,mean,p50,p95,p99,count";
+
+/// Exports a flight recording as CSV in long format, windows in time
+/// order and series sorted within each window. The layout imports
+/// directly into spreadsheet tools and plotters; the `kind` column
+/// (`counter` / `gauge` / `hist`) tells rows apart.
+pub fn timeseries_to_csv(ts: &TimeSeriesReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# width_ns={} windows_evicted={} late_dropped={}",
+        ts.width_ns, ts.windows_evicted, ts.late_dropped
+    );
+    out.push_str(TIMESERIES_CSV_HEADER);
+    out.push('\n');
+    for w in &ts.windows {
+        for (name, v) in &w.counters {
+            let _ = writeln!(out, "{},counter,{name},{v},,,,,,,", w.start_ns);
+        }
+        for (name, g) in &w.gauges {
+            let _ = writeln!(
+                out,
+                "{},gauge,{name},{},{},{},{},,,,{}",
+                w.start_ns,
+                g.last,
+                g.min,
+                g.max,
+                g.mean(),
+                g.samples
+            );
+        }
+        for (name, h) in &w.hists {
+            let _ = writeln!(
+                out,
+                "{},hist,{name},,{},{},{},{},{},{},{}",
+                w.start_ns, h.min_ns, h.max_ns, h.mean_ns, h.p50_ns, h.p95_ns, h.p99_ns, h.count
+            );
+        }
+    }
+    out
+}
+
+/// Summary returned by [`validate_timeseries_csv`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeriesCsvSummary {
+    /// Data rows (excluding comment and header).
+    pub rows: usize,
+    /// Distinct window start times.
+    pub windows: usize,
+    /// Distinct series names.
+    pub series: usize,
+    /// Counter rows.
+    pub counters: usize,
+    /// Gauge rows.
+    pub gauges: usize,
+    /// Histogram rows.
+    pub hists: usize,
+}
+
+/// Structurally validates a time-series CSV produced by
+/// [`timeseries_to_csv`]: exact header, 11 columns per row, numeric
+/// fields where the row kind requires them, non-decreasing window start
+/// times, and per-row sanity (`min ≤ max`, histogram quantiles ordered).
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_timeseries_csv(text: &str) -> Result<TimeSeriesCsvSummary, String> {
+    let mut lines = text.lines();
+    let comment = lines.next().ok_or("empty file")?;
+    if !comment.starts_with("# width_ns=") {
+        return Err("missing width_ns comment line".into());
+    }
+    let header = lines.next().ok_or("missing header")?;
+    if header != TIMESERIES_CSV_HEADER {
+        return Err(format!("bad header {header:?}"));
+    }
+    let mut summary = TimeSeriesCsvSummary::default();
+    let mut starts: Vec<u64> = Vec::new();
+    let mut names: Vec<&str> = Vec::new();
+    let mut last_start = 0u64;
+    for (i, line) in lines.enumerate() {
+        let at = |msg: &str| format!("row {}: {msg}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 11 {
+            return Err(at(&format!("{} columns, want 11", cols.len())));
+        }
+        let num = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|_| at(&format!("bad {what} {s:?}")))
+        };
+        let start = num(cols[0], "start_ns")?;
+        if start < last_start {
+            return Err(at("window start went backwards"));
+        }
+        last_start = start;
+        starts.push(start);
+        if cols[2].is_empty() {
+            return Err(at("empty series name"));
+        }
+        names.push(cols[2]);
+        match cols[1] {
+            "counter" => {
+                num(cols[3], "counter value")?;
+                summary.counters += 1;
+            }
+            "gauge" => {
+                num(cols[3], "gauge last")?;
+                let min = num(cols[4], "gauge min")?;
+                let max = num(cols[5], "gauge max")?;
+                if min > max {
+                    return Err(at("gauge min > max"));
+                }
+                num(cols[10], "gauge samples")?;
+                summary.gauges += 1;
+            }
+            "hist" => {
+                let min = num(cols[4], "hist min")?;
+                let max = num(cols[5], "hist max")?;
+                let p50 = num(cols[7], "p50")?;
+                let p95 = num(cols[8], "p95")?;
+                let p99 = num(cols[9], "p99")?;
+                if min > max || p50 > p95 || p95 > p99 || p99 > max {
+                    return Err(at("histogram quantiles out of order"));
+                }
+                num(cols[10], "hist count")?;
+                summary.hists += 1;
+            }
+            other => return Err(at(&format!("unknown row kind {other:?}"))),
+        }
+        summary.rows += 1;
+    }
+    starts.dedup();
+    summary.windows = starts.len();
+    names.sort_unstable();
+    names.dedup();
+    summary.series = names.len();
+    Ok(summary)
+}
+
+// ---------------------------------------------------------------------------
+// Run-report validation
+// ---------------------------------------------------------------------------
+
+/// Summary returned by [`validate_report`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Windows in the embedded flight recording (0 when absent).
+    pub windows: usize,
+    /// Exemplars pinned by the watchdog.
+    pub exemplars: usize,
+    /// Of those, exemplars with a causal breakdown attached.
+    pub with_breakdown: usize,
+}
+
+/// Structurally validates a `RunReport` JSON document, including the
+/// flight-recorder sections added by the watchdog work:
+///
+/// * required aggregate sections (`net`, `rpc`, `spans`) are present,
+/// * `timeseries.windows` (when present) are in strictly increasing
+///   start order, each aligned to `width_ns`,
+/// * every exemplar names a span/service/trigger and — when a breakdown
+///   is attached — its queue/wire/server/retransmit components tile the
+///   exemplar latency *exactly*.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    doc.u64_field("end_time_ns").ok_or("missing end_time_ns")?;
+    for section in ["net", "rpc", "spans"] {
+        if doc.get(section).and_then(Json::as_obj).is_none() {
+            return Err(format!("missing {section} object"));
+        }
+    }
+    let mut summary = ReportSummary::default();
+    if let Some(ts) = doc.get("timeseries") {
+        let width = ts
+            .u64_field("width_ns")
+            .ok_or("timeseries missing width_ns")?;
+        if width == 0 {
+            return Err("timeseries width_ns is 0".into());
+        }
+        let windows = ts
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or("timeseries missing windows array")?;
+        let mut prev: Option<u64> = None;
+        for (i, w) in windows.iter().enumerate() {
+            let at = |msg: &str| format!("windows[{i}]: {msg}");
+            let start = w
+                .u64_field("start_ns")
+                .ok_or_else(|| at("missing start_ns"))?;
+            if start % width != 0 {
+                return Err(at("start_ns not aligned to width_ns"));
+            }
+            if let Some(p) = prev {
+                if start <= p {
+                    return Err(at("window starts not strictly increasing"));
+                }
+            }
+            prev = Some(start);
+            for section in ["counters", "gauges", "hists"] {
+                if w.get(section).and_then(Json::as_obj).is_none() {
+                    return Err(at(&format!("missing {section} object")));
+                }
+            }
+        }
+        summary.windows = windows.len();
+    }
+    if let Some(exemplars) = doc.get("exemplars").and_then(Json::as_arr) {
+        for (i, ex) in exemplars.iter().enumerate() {
+            let at = |msg: &str| format!("exemplars[{i}]: {msg}");
+            ex.u64_field("span").ok_or_else(|| at("missing span"))?;
+            ex.str_field("service")
+                .ok_or_else(|| at("missing service"))?;
+            let latency = ex
+                .u64_field("latency_ns")
+                .ok_or_else(|| at("missing latency_ns"))?;
+            let threshold = ex
+                .u64_field("threshold_ns")
+                .ok_or_else(|| at("missing threshold_ns"))?;
+            if latency <= threshold {
+                return Err(at("latency does not exceed threshold"));
+            }
+            match ex.str_field("trigger") {
+                Some("p99") | Some("slo") => {}
+                other => return Err(at(&format!("bad trigger {other:?}"))),
+            }
+            if let Some(b) = ex.get("breakdown") {
+                let part = |k: &str| b.u64_field(k).ok_or_else(|| at(&format!("missing {k}")));
+                let total = part("queue_ns")?
+                    + part("wire_ns")?
+                    + part("server_ns")?
+                    + part("retransmit_ns")?;
+                if total != latency {
+                    return Err(at(&format!(
+                        "breakdown sums to {total}ns, span is {latency}ns"
+                    )));
+                }
+                summary.with_breakdown += 1;
+            }
+        }
+        summary.exemplars = exemplars.len();
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,5 +1029,95 @@ mod tests {
         assert!(from_jsonl("{\"t\":1}").is_err());
         assert!(from_jsonl("{\"k\":\"sent\",\"t\":1}").is_err());
         assert!(from_jsonl("{\"k\":\"warp\",\"t\":1}").is_err());
+    }
+
+    #[test]
+    fn timeseries_csv_round_validates() {
+        let mut ts = crate::TimeSeries::new(1_000, 16);
+        ts.add(100, "calls_ok@kv", 3);
+        ts.add(1_100, "calls_ok@kv", 2);
+        ts.gauge(150, "inflight@kv", 5);
+        ts.gauge(180, "inflight@kv", 2);
+        ts.observe(1_200, "latency@kv", 400);
+        ts.observe(1_300, "latency@kv", 900);
+        let csv = timeseries_to_csv(&ts.report());
+        let summary = validate_timeseries_csv(&csv).expect("well-formed csv");
+        assert_eq!(summary.counters, 2);
+        assert_eq!(summary.gauges, 1);
+        assert_eq!(summary.hists, 1);
+        assert_eq!(summary.windows, 2);
+        assert_eq!(summary.series, 3);
+        assert_eq!(summary.rows, 4);
+    }
+
+    #[test]
+    fn timeseries_csv_validator_rejects_malformed() {
+        assert!(validate_timeseries_csv("").is_err());
+        assert!(validate_timeseries_csv("start_ns,kind\n").is_err());
+        let good_head =
+            format!("# width_ns=10 windows_evicted=0 late_dropped=0\n{TIMESERIES_CSV_HEADER}\n");
+        // Wrong column count.
+        assert!(validate_timeseries_csv(&format!("{good_head}10,counter,x,1\n")).is_err());
+        // Non-numeric counter value.
+        assert!(validate_timeseries_csv(&format!("{good_head}10,counter,x,abc,,,,,,,\n")).is_err());
+        // Window start regression.
+        assert!(validate_timeseries_csv(&format!(
+            "{good_head}20,counter,x,1,,,,,,,\n10,counter,x,1,,,,,,,\n"
+        ))
+        .is_err());
+        // Unknown row kind.
+        assert!(validate_timeseries_csv(&format!("{good_head}10,meter,x,1,,,,,,,\n")).is_err());
+        // Empty file body is fine (a run with the recorder on but idle).
+        assert!(validate_timeseries_csv(&good_head).is_ok());
+    }
+
+    #[test]
+    fn report_validator_accepts_live_report_and_checks_tiling() {
+        use crate::{MetricsRegistry, MetricsSnapshot, SpanKind, WatchdogConfig};
+        let reg = MetricsRegistry::new();
+        reg.enable_timeseries(1_000, 8);
+        reg.enable_watchdog(WatchdogConfig {
+            slo_ns: Some(100),
+            min_samples: u64::MAX,
+            ..Default::default()
+        });
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        reg.close_span(sp, 5_000, true);
+        let report = reg.report(MetricsSnapshot::default(), 5_000);
+        let summary = validate_report(&report.to_json()).expect("valid report");
+        assert_eq!(summary.windows, 1);
+        assert_eq!(summary.exemplars, 1);
+        assert_eq!(summary.with_breakdown, 0);
+
+        // Hand-build a breakdown that does NOT tile the span: rejected.
+        let bad = r#"{"end_time_ns":1,"net":{},"rpc":{},"spans":{},
+            "exemplars":[{"span":1,"service":"kv","op":"get","latency_ns":100,
+            "threshold_ns":10,"trigger":"slo",
+            "breakdown":{"queue_ns":10,"wire_ns":10,"server_ns":10,"retransmit_ns":10}}]}"#;
+        let err = validate_report(bad).unwrap_err();
+        assert!(err.contains("breakdown sums to 40ns"), "{err}");
+        // And one that does: accepted, counted.
+        let good = bad.replace("\"queue_ns\":10", "\"queue_ns\":70");
+        let summary = validate_report(&good).expect("tiling breakdown accepted");
+        assert_eq!(summary.with_breakdown, 1);
+    }
+
+    #[test]
+    fn report_validator_rejects_structural_damage() {
+        assert!(validate_report("not json").is_err());
+        assert!(validate_report("{\"end_time_ns\":1}").is_err());
+        // Misaligned window start.
+        let bad = r#"{"end_time_ns":1,"net":{},"rpc":{},"spans":{},
+            "timeseries":{"width_ns":1000,"windows":[
+            {"start_ns":500,"counters":{},"gauges":{},"hists":{}}]}}"#;
+        assert!(validate_report(bad).unwrap_err().contains("aligned"));
+        // Non-increasing window starts.
+        let bad = r#"{"end_time_ns":1,"net":{},"rpc":{},"spans":{},
+            "timeseries":{"width_ns":1000,"windows":[
+            {"start_ns":1000,"counters":{},"gauges":{},"hists":{}},
+            {"start_ns":1000,"counters":{},"gauges":{},"hists":{}}]}}"#;
+        assert!(validate_report(bad)
+            .unwrap_err()
+            .contains("strictly increasing"));
     }
 }

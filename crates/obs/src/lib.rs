@@ -30,7 +30,7 @@
 //! request into queueing/wire/server/retransmit components.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
@@ -38,10 +38,15 @@ use serde::{Deserialize, Serialize};
 pub mod analysis;
 pub mod export;
 pub mod json;
+pub mod timeseries;
 pub mod trace;
 
 pub use analysis::{critical_paths, link_attribution, top_k_slowest, CriticalPath, LinkStats};
-pub use export::{from_jsonl, to_chrome_json, to_jsonl, validate_chrome, ChromeSummary};
+pub use export::{
+    from_jsonl, timeseries_to_csv, to_chrome_json, to_jsonl, validate_chrome, validate_report,
+    validate_timeseries_csv, ChromeSummary, ReportSummary, TimeSeriesCsvSummary,
+};
+pub use timeseries::{GaugeStat, TimeSeries, TimeSeriesReport, WindowReport};
 pub use trace::{CausalEvent, CausalTrace, Loc, NetEvent, NetEventKind, TraceSink};
 
 // ---------------------------------------------------------------------------
@@ -413,6 +418,12 @@ impl Histogram {
         let q = q.clamp(0.0, 1.0);
         // Rank of the sample we want, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        // The top-ranked sample IS the observed maximum; interpolation
+        // inside the winning bucket would undershoot it (it estimates
+        // the bucket's (n-1)/n position, never the upper edge).
+        if rank >= self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -495,6 +506,111 @@ pub struct OpLatency {
 }
 
 // ---------------------------------------------------------------------------
+// Slow-call watchdog
+// ---------------------------------------------------------------------------
+
+/// Configuration of the slow-call watchdog.
+///
+/// When enabled, every closing `Invoke` span is compared against a
+/// threshold and pinned as an [`Exemplar`] when it exceeds it. The
+/// threshold is the *lower* of the two triggers that apply:
+///
+/// * `multiplier × rolling p99` of the span's `(service, op)` histogram,
+///   armed only once the histogram holds at least `min_samples` samples
+///   (the p99 of three calls is noise, not a baseline);
+/// * an absolute SLO in nanoseconds, if one is set.
+///
+/// The rolling p99 is computed *before* the closing span's own sample is
+/// recorded, so an outlier cannot raise the bar it is judged against.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Trigger factor over the rolling p99 (e.g. 3.0).
+    pub multiplier: f64,
+    /// Absolute latency SLO in nanoseconds, if any.
+    pub slo_ns: Option<u64>,
+    /// Samples the `(service, op)` histogram must hold before the
+    /// relative trigger arms.
+    pub min_samples: u64,
+    /// Exemplar capacity; once full, further slow calls only bump
+    /// [`RunReport::exemplars_suppressed`].
+    pub max_exemplars: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            multiplier: 3.0,
+            slo_ns: None,
+            min_samples: 32,
+            max_exemplars: 16,
+        }
+    }
+}
+
+/// Queue/wire/server/retransmit decomposition of an exemplar's span,
+/// copied from [`analysis::critical_paths`]. The four components tile
+/// the span exactly: they sum to the exemplar's `latency_ns`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExemplarBreakdown {
+    /// Time spent queued client-side before hitting the wire.
+    pub queue_ns: u64,
+    /// Time on the wire (requests and replies).
+    pub wire_ns: u64,
+    /// Time executing server-side.
+    pub server_ns: u64,
+    /// Time lost to retransmission gaps.
+    pub retransmit_ns: u64,
+    /// Retransmissions on the span's critical path.
+    pub retransmissions: u64,
+    /// Datagram drops attributed to the span.
+    pub drops: u64,
+}
+
+/// One slow call pinned by the watchdog: the span, why it tripped, and
+/// (once [`RunReport::attach_exemplars`] has run) where the time went.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// The offending invoke span.
+    pub span: SpanId,
+    /// Service the call targeted.
+    pub service: String,
+    /// Operation invoked.
+    pub op: String,
+    /// When the call started (simulated nanoseconds).
+    pub start_ns: u64,
+    /// Observed end-to-end latency.
+    pub latency_ns: u64,
+    /// The threshold the call exceeded.
+    pub threshold_ns: u64,
+    /// Rolling p99 at trip time (0 if the relative trigger was unarmed).
+    pub p99_ns: u64,
+    /// Which trigger tripped: `"p99"` or `"slo"`.
+    pub trigger: &'static str,
+    /// Whether the call ultimately succeeded.
+    pub ok: bool,
+    /// Causal decomposition; `None` until attached from a trace.
+    pub breakdown: Option<ExemplarBreakdown>,
+}
+
+/// Provenance of a run, stamped into [`RunReport`] and `BENCH_*.json`
+/// artifacts so tooling can refuse to compare incomparable runs.
+/// Everything is optional: fields the harness cannot know stay absent
+/// rather than inventing values.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// RNG seed the simulation ran with.
+    pub seed: Option<u64>,
+    /// Workload mode label (e.g. `"full"` / `"smoke"`).
+    pub mode: Option<String>,
+    /// Hash of the workload configuration.
+    pub config_hash: Option<String>,
+    /// Git revision of the tree, when available.
+    pub git_rev: Option<String>,
+    /// ISO date supplied by the harness, when available.
+    pub date: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -533,6 +649,16 @@ struct RegistryInner {
     replies_unknown_span: u64,
     /// Replies carrying span 0.
     replies_untracked: u64,
+    /// Windowed flight recorder, when enabled.
+    timeseries: Option<TimeSeries>,
+    /// Slow-call watchdog, when enabled.
+    watchdog: Option<WatchdogConfig>,
+    /// Exemplars the watchdog has pinned so far.
+    exemplars: Vec<Exemplar>,
+    /// Slow calls seen after the exemplar buffer filled.
+    exemplars_suppressed: u64,
+    /// Run provenance stamped by the harness.
+    meta: RunMeta,
 }
 
 /// The process-wide sink for spans, histograms and counters.
@@ -544,6 +670,10 @@ struct RegistryInner {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     next_span: AtomicU64,
+    /// Mirrors `inner.timeseries.is_some()` so hot paths can skip the
+    /// registry lock (and the series-name formatting feeding it) with a
+    /// single relaxed load when the recorder is off.
+    ts_enabled: AtomicBool,
     inner: Mutex<RegistryInner>,
 }
 
@@ -601,11 +731,63 @@ impl MetricsRegistry {
         }
         rec.end_ns = Some(now_ns);
         rec.ok = Some(ok);
+        let kind = rec.kind;
+        let start_ns = rec.start_ns;
         let key = (rec.service.clone(), rec.op.clone());
-        let dur = now_ns.saturating_sub(rec.start_ns);
-        let record_latency = matches!(rec.kind, SpanKind::Invoke | SpanKind::Dispatch);
-        if record_latency {
-            inner.hists.entry(key).or_default().record(dur);
+        let dur = now_ns.saturating_sub(start_ns);
+        // The watchdog judges the closing call against the p99 of the
+        // calls *before* it, so the outlier cannot raise its own bar.
+        if kind == SpanKind::Invoke {
+            if let Some(cfg) = inner.watchdog {
+                let p99 = inner
+                    .hists
+                    .get(&key)
+                    .filter(|h| h.count() >= cfg.min_samples)
+                    .map(|h| h.p99())
+                    .unwrap_or(0);
+                let rel = if p99 > 0 {
+                    Some((cfg.multiplier * p99 as f64) as u64)
+                } else {
+                    None
+                };
+                let tripped = match (rel, cfg.slo_ns) {
+                    (Some(r), Some(s)) if dur > r.min(s) => {
+                        Some(if r <= s { (r, "p99") } else { (s, "slo") })
+                    }
+                    (Some(r), None) if dur > r => Some((r, "p99")),
+                    (None, Some(s)) if dur > s => Some((s, "slo")),
+                    _ => None,
+                };
+                if let Some((threshold_ns, trigger)) = tripped {
+                    if inner.exemplars.len() < cfg.max_exemplars {
+                        let exemplar = Exemplar {
+                            span: id,
+                            service: key.0.clone(),
+                            op: key.1.clone(),
+                            start_ns,
+                            latency_ns: dur,
+                            threshold_ns,
+                            p99_ns: p99,
+                            trigger,
+                            ok,
+                            breakdown: None,
+                        };
+                        inner.exemplars.push(exemplar);
+                    } else {
+                        inner.exemplars_suppressed += 1;
+                    }
+                }
+            }
+        }
+        if matches!(kind, SpanKind::Invoke | SpanKind::Dispatch) {
+            inner.hists.entry(key.clone()).or_default().record(dur);
+        }
+        if kind == SpanKind::Invoke {
+            if let Some(ts) = inner.timeseries.as_mut() {
+                let outcome = if ok { "calls_ok" } else { "calls_err" };
+                ts.add(now_ns, &format!("{outcome}@{}", key.0), 1);
+                ts.observe(now_ns, &format!("latency@{}", key.0), dur);
+            }
         }
     }
 
@@ -617,6 +799,24 @@ impl MetricsRegistry {
         let mut inner = self.lock();
         if let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) {
             rec.retransmissions += 1;
+        }
+    }
+
+    /// Like [`MetricsRegistry::span_retransmit`], but with a timestamp
+    /// so the retransmission also lands in the `retx@<service>` window
+    /// of the flight recorder (when enabled).
+    pub fn span_retransmit_at(&self, id: SpanId, now_ns: u64) {
+        if !id.is_some() {
+            return;
+        }
+        let mut inner = self.lock();
+        let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) else {
+            return;
+        };
+        rec.retransmissions += 1;
+        let service = rec.service.clone();
+        if let Some(ts) = inner.timeseries.as_mut() {
+            ts.add(now_ns, &format!("retx@{service}"), 1);
         }
     }
 
@@ -742,6 +942,102 @@ impl MetricsRegistry {
             .cloned()
     }
 
+    // -- flight recorder ---------------------------------------------------
+
+    /// Turns on the windowed flight recorder with `width_ns`-wide
+    /// windows and a ring of at most `capacity` windows. Idempotent in
+    /// effect but resets the recording when called again.
+    pub fn enable_timeseries(&self, width_ns: u64, capacity: usize) {
+        let mut inner = self.lock();
+        inner.timeseries = Some(TimeSeries::new(width_ns, capacity));
+        self.ts_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// True when the flight recorder is on. Call sites use this to skip
+    /// series-name formatting on hot paths; it is one relaxed atomic
+    /// load.
+    #[inline]
+    pub fn timeseries_enabled(&self) -> bool {
+        self.ts_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Adds `delta` to counter `series` in the window covering `at_ns`.
+    /// No-op while the recorder is off.
+    pub fn ts_add(&self, at_ns: u64, series: &str, delta: u64) {
+        if !self.timeseries_enabled() {
+            return;
+        }
+        if let Some(ts) = self.lock().timeseries.as_mut() {
+            ts.add(at_ns, series, delta);
+        }
+    }
+
+    /// Samples gauge `series` at `value` in the window covering `at_ns`.
+    /// No-op while the recorder is off.
+    pub fn ts_gauge(&self, at_ns: u64, series: &str, value: u64) {
+        if !self.timeseries_enabled() {
+            return;
+        }
+        if let Some(ts) = self.lock().timeseries.as_mut() {
+            ts.gauge(at_ns, series, value);
+        }
+    }
+
+    /// Records `value` into windowed histogram `series`. No-op while the
+    /// recorder is off.
+    pub fn ts_observe(&self, at_ns: u64, series: &str, value: u64) {
+        if !self.timeseries_enabled() {
+            return;
+        }
+        if let Some(ts) = self.lock().timeseries.as_mut() {
+            ts.observe(at_ns, series, value);
+        }
+    }
+
+    /// Snapshot of the flight recording, if the recorder is on.
+    pub fn timeseries_report(&self) -> Option<TimeSeriesReport> {
+        self.lock().timeseries.as_ref().map(|ts| ts.report())
+    }
+
+    /// Arms the slow-call watchdog. Exemplars accumulate from this point
+    /// on; re-arming keeps already-pinned exemplars.
+    pub fn enable_watchdog(&self, cfg: WatchdogConfig) {
+        self.lock().watchdog = Some(cfg);
+    }
+
+    /// Copy of the exemplars pinned so far.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.lock().exemplars.clone()
+    }
+
+    /// Stamps run provenance into the registry (merged field-wise: only
+    /// `Some` fields overwrite).
+    pub fn set_run_meta(&self, meta: RunMeta) {
+        let mut inner = self.lock();
+        let RunMeta {
+            seed,
+            mode,
+            config_hash,
+            git_rev,
+            date,
+        } = meta;
+        if seed.is_some() {
+            inner.meta.seed = seed;
+        }
+        if mode.is_some() {
+            inner.meta.mode = mode;
+        }
+        if config_hash.is_some() {
+            inner.meta.config_hash = config_hash;
+        }
+        if git_rev.is_some() {
+            inner.meta.git_rev = git_rev;
+        }
+        if date.is_some() {
+            inner.meta.date = date;
+        }
+    }
+
     // -- RPC counters ------------------------------------------------------
 
     /// A call was issued.
@@ -859,6 +1155,10 @@ impl MetricsRegistry {
                 },
             },
             trace_evicted: 0,
+            meta: inner.meta.clone(),
+            timeseries: inner.timeseries.as_ref().map(|ts| ts.report()),
+            exemplars: inner.exemplars.clone(),
+            exemplars_suppressed: inner.exemplars_suppressed,
         }
     }
 }
@@ -930,9 +1230,50 @@ pub struct RunReport {
     /// off or the ring never filled — i.e. the timeline is complete).
     /// Filled in by the simulator when it builds the report.
     pub trace_evicted: u64,
+    /// Run provenance (seed, mode, config hash, git rev, date).
+    pub meta: RunMeta,
+    /// The windowed flight recording, when the recorder was on.
+    pub timeseries: Option<TimeSeriesReport>,
+    /// Slow calls pinned by the watchdog.
+    pub exemplars: Vec<Exemplar>,
+    /// Slow calls observed after the exemplar buffer filled.
+    pub exemplars_suppressed: u64,
 }
 
 impl RunReport {
+    /// Fills each exemplar's causal decomposition from `trace`.
+    ///
+    /// [`analysis::critical_paths`] decomposes every traced invoke span
+    /// into queue/wire/server/retransmit components that tile the span
+    /// exactly; this copies the decomposition onto exemplars whose span
+    /// appears in the trace. Returns how many exemplars got a breakdown.
+    /// Exemplars whose span was sampled out of the trace keep
+    /// `breakdown: None` — an honest "unexplained" rather than a guess.
+    pub fn attach_exemplars(&mut self, trace: &CausalTrace) -> usize {
+        if self.exemplars.is_empty() {
+            return 0;
+        }
+        let paths = critical_paths(trace);
+        let by_span: BTreeMap<SpanId, &CriticalPath> = paths.iter().map(|p| (p.span, p)).collect();
+        let mut attached = 0;
+        for ex in &mut self.exemplars {
+            if ex.breakdown.is_some() {
+                continue;
+            }
+            if let Some(p) = by_span.get(&ex.span) {
+                ex.breakdown = Some(ExemplarBreakdown {
+                    queue_ns: p.queue_ns,
+                    wire_ns: p.wire_ns,
+                    server_ns: p.server_ns,
+                    retransmit_ns: p.retransmit_ns,
+                    retransmissions: p.retransmissions,
+                    drops: p.drops,
+                });
+                attached += 1;
+            }
+        }
+        attached
+    }
     /// Renders the report as a self-contained JSON object.
     ///
     /// Hand-rolled so the report stays serializable even when the
@@ -943,6 +1284,30 @@ impl RunReport {
         w.obj(|w| {
             w.field_u64("end_time_ns", self.end_time_ns);
             w.field_u64("trace_evicted", self.trace_evicted);
+            w.field_obj("meta", |w| {
+                let RunMeta {
+                    seed,
+                    mode,
+                    config_hash,
+                    git_rev,
+                    date,
+                } = &self.meta;
+                if let Some(seed) = seed {
+                    w.field_u64("seed", *seed);
+                }
+                if let Some(mode) = mode {
+                    w.field_str("mode", mode);
+                }
+                if let Some(hash) = config_hash {
+                    w.field_str("config_hash", hash);
+                }
+                if let Some(rev) = git_rev {
+                    w.field_str("git_rev", rev);
+                }
+                if let Some(date) = date {
+                    w.field_str("date", date);
+                }
+            });
             w.field_obj("net", |w| {
                 let MetricsSnapshot {
                     msgs_sent,
@@ -1090,6 +1455,99 @@ impl RunReport {
                     w.field_u64("untracked", untracked);
                 });
             });
+            w.field_u64("exemplars_suppressed", self.exemplars_suppressed);
+            w.field_arr("exemplars", |w| {
+                for ex in &self.exemplars {
+                    w.elem_obj(|w| {
+                        w.field_u64("span", ex.span.raw());
+                        w.field_str("service", &ex.service);
+                        w.field_str("op", &ex.op);
+                        w.field_u64("start_ns", ex.start_ns);
+                        w.field_u64("latency_ns", ex.latency_ns);
+                        w.field_u64("threshold_ns", ex.threshold_ns);
+                        w.field_u64("p99_ns", ex.p99_ns);
+                        w.field_str("trigger", ex.trigger);
+                        w.field_u64("ok", u64::from(ex.ok));
+                        if let Some(b) = ex.breakdown {
+                            w.field_obj("breakdown", |w| {
+                                let ExemplarBreakdown {
+                                    queue_ns,
+                                    wire_ns,
+                                    server_ns,
+                                    retransmit_ns,
+                                    retransmissions,
+                                    drops,
+                                } = b;
+                                w.field_u64("queue_ns", queue_ns);
+                                w.field_u64("wire_ns", wire_ns);
+                                w.field_u64("server_ns", server_ns);
+                                w.field_u64("retransmit_ns", retransmit_ns);
+                                w.field_u64("retransmissions", retransmissions);
+                                w.field_u64("drops", drops);
+                            });
+                        }
+                    });
+                }
+            });
+            if let Some(ts) = &self.timeseries {
+                w.field_obj("timeseries", |w| {
+                    w.field_u64("width_ns", ts.width_ns);
+                    w.field_u64("windows_evicted", ts.windows_evicted);
+                    w.field_u64("late_dropped", ts.late_dropped);
+                    w.field_arr("windows", |w| {
+                        for win in &ts.windows {
+                            w.elem_obj(|w| {
+                                w.field_u64("start_ns", win.start_ns);
+                                w.field_obj("counters", |w| {
+                                    for (name, v) in &win.counters {
+                                        w.field_u64(name, *v);
+                                    }
+                                });
+                                w.field_obj("gauges", |w| {
+                                    for (name, g) in &win.gauges {
+                                        w.field_obj(name, |w| {
+                                            let GaugeStat {
+                                                last,
+                                                min,
+                                                max,
+                                                sum,
+                                                samples,
+                                            } = *g;
+                                            w.field_u64("last", last);
+                                            w.field_u64("min", min);
+                                            w.field_u64("max", max);
+                                            w.field_u64("sum", sum);
+                                            w.field_u64("samples", samples);
+                                        });
+                                    }
+                                });
+                                w.field_obj("hists", |w| {
+                                    for (name, h) in &win.hists {
+                                        w.field_obj(name, |w| {
+                                            let OpLatency {
+                                                count,
+                                                min_ns,
+                                                max_ns,
+                                                mean_ns,
+                                                p50_ns,
+                                                p95_ns,
+                                                p99_ns,
+                                            } = *h;
+                                            w.field_u64("count", count);
+                                            w.field_u64("min_ns", min_ns);
+                                            w.field_u64("max_ns", max_ns);
+                                            w.field_u64("mean_ns", mean_ns);
+                                            w.field_u64("p50_ns", p50_ns);
+                                            w.field_u64("p95_ns", p95_ns);
+                                            w.field_u64("p99_ns", p99_ns);
+                                        });
+                                    }
+                                });
+                            });
+                        }
+                    });
+                });
+            }
         });
         w.finish()
     }
@@ -1119,10 +1577,8 @@ impl JsonWriter {
         }
     }
 
-    fn key(&mut self, key: &str) {
-        self.sep();
-        self.out.push('"');
-        for c in key.chars() {
+    fn push_escaped(&mut self, s: &str) {
+        for c in s.chars() {
             match c {
                 '"' => self.out.push_str("\\\""),
                 '\\' => self.out.push_str("\\\\"),
@@ -1132,6 +1588,12 @@ impl JsonWriter {
                 c => self.out.push(c),
             }
         }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.sep();
+        self.out.push('"');
+        self.push_escaped(key);
         self.out.push_str("\":");
     }
 
@@ -1148,8 +1610,30 @@ impl JsonWriter {
         self.out.push_str(&value.to_string());
     }
 
+    fn field_str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push('"');
+        self.push_escaped(value);
+        self.out.push('"');
+    }
+
     fn field_obj(&mut self, key: &str, body: impl FnOnce(&mut JsonWriter)) {
         self.key(key);
+        self.obj(body);
+    }
+
+    fn field_arr(&mut self, key: &str, body: impl FnOnce(&mut JsonWriter)) {
+        self.key(key);
+        self.out.push('[');
+        self.need_comma.push(false);
+        body(self);
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// One object element inside a [`JsonWriter::field_arr`] body.
+    fn elem_obj(&mut self, body: impl FnOnce(&mut JsonWriter)) {
+        self.sep();
         self.obj(body);
     }
 
@@ -1371,5 +1855,225 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn snapshot_since_every_field_smaller() {
+        // "Service removed mid-run": the later snapshot is smaller in
+        // every field. The diff must saturate to zero field-wise, never
+        // wrap.
+        let earlier = MetricsSnapshot {
+            msgs_sent: 100,
+            msgs_delivered: 90,
+            msgs_dropped: 10,
+            msgs_duplicated: 5,
+            msgs_blackholed: 3,
+            bytes_sent: 64_000,
+            events_dispatched: 500,
+        };
+        let later = MetricsSnapshot {
+            msgs_sent: 40,
+            msgs_delivered: 30,
+            msgs_dropped: 4,
+            msgs_duplicated: 2,
+            msgs_blackholed: 1,
+            bytes_sent: 8_000,
+            events_dispatched: 200,
+        };
+        assert_eq!(later.since(&earlier), MetricsSnapshot::default());
+        // Mixed: only some fields went backwards.
+        let mixed = MetricsSnapshot {
+            msgs_sent: 150,
+            ..later
+        };
+        let d = mixed.since(&earlier);
+        assert_eq!(d.msgs_sent, 50);
+        assert_eq!(d.msgs_delivered, 0);
+        assert_eq!(d.bytes_sent, 0);
+    }
+
+    #[test]
+    fn histogram_merge_then_extreme_quantiles() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [7u64, 12, 30] {
+            a.record(v);
+        }
+        for v in [3u64, 5_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        // q=0.0 and q=1.0 must pin to the merged min and max exactly,
+        // despite log2-bucket interpolation.
+        assert_eq!(a.quantile(0.0), a.min());
+        assert_eq!(a.quantile(0.0), 3);
+        assert_eq!(a.quantile(1.0), a.max());
+        assert_eq!(a.quantile(1.0), 5_000);
+        // Merging into an empty histogram keeps the extremes intact.
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.quantile(0.0), 3);
+        assert_eq!(empty.quantile(1.0), 5_000);
+    }
+
+    #[test]
+    fn watchdog_pins_slo_exemplar() {
+        let reg = MetricsRegistry::new();
+        reg.enable_watchdog(WatchdogConfig {
+            multiplier: 3.0,
+            slo_ns: Some(1_000),
+            min_samples: 32,
+            max_exemplars: 4,
+        });
+        // Fast call: under the SLO, relative trigger unarmed.
+        let fast = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        reg.close_span(fast, 500, true);
+        // Slow call: over the SLO.
+        let slow = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 1_000);
+        reg.close_span(slow, 3_500, true);
+        let exemplars = reg.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        let ex = &exemplars[0];
+        assert_eq!(ex.span, slow);
+        assert_eq!(ex.latency_ns, 2_500);
+        assert_eq!(ex.threshold_ns, 1_000);
+        assert_eq!(ex.trigger, "slo");
+        assert!(ex.breakdown.is_none());
+    }
+
+    #[test]
+    fn watchdog_relative_trigger_arms_after_min_samples() {
+        let reg = MetricsRegistry::new();
+        reg.enable_watchdog(WatchdogConfig {
+            multiplier: 3.0,
+            slo_ns: None,
+            min_samples: 10,
+            max_exemplars: 4,
+        });
+        // Nine ~100ns calls: below min_samples, nothing can trip even
+        // though every call dwarfs the (unarmed) p99.
+        for i in 0..9u64 {
+            let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", i * 10_000);
+            reg.close_span(sp, i * 10_000 + 100, true);
+        }
+        assert!(reg.exemplars().is_empty());
+        // Tenth call arms the trigger for the *next* close...
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 100_000);
+        reg.close_span(sp, 100_100, true);
+        // ...and an outlier 50x the p99 trips it.
+        let outlier = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 200_000);
+        reg.close_span(outlier, 205_000, false);
+        let exemplars = reg.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        let ex = &exemplars[0];
+        assert_eq!(ex.span, outlier);
+        assert_eq!(ex.trigger, "p99");
+        assert!(ex.p99_ns > 0);
+        assert!(ex.latency_ns > ex.threshold_ns);
+        assert!(!ex.ok);
+    }
+
+    #[test]
+    fn watchdog_buffer_cap_suppresses() {
+        let reg = MetricsRegistry::new();
+        reg.enable_watchdog(WatchdogConfig {
+            multiplier: 3.0,
+            slo_ns: Some(10),
+            min_samples: u64::MAX,
+            max_exemplars: 2,
+        });
+        for i in 0..5u64 {
+            let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", i * 1_000);
+            reg.close_span(sp, i * 1_000 + 100, true);
+        }
+        let report = reg.report(MetricsSnapshot::default(), 10_000);
+        assert_eq!(report.exemplars.len(), 2);
+        assert_eq!(report.exemplars_suppressed, 3);
+    }
+
+    #[test]
+    fn timeseries_feeds_from_span_close_and_retransmit() {
+        let reg = MetricsRegistry::new();
+        assert!(!reg.timeseries_enabled());
+        reg.enable_timeseries(1_000, 64);
+        assert!(reg.timeseries_enabled());
+        let ok = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        reg.span_retransmit_at(ok, 300);
+        reg.close_span(ok, 500, true);
+        let err = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 1_200);
+        reg.close_span(err, 1_800, false);
+        // Dispatch spans land in aggregate histograms but not in the
+        // per-service call counters (no double counting).
+        let disp = reg.open_span(SpanKind::Dispatch, ok, "svc-kv", "get", 100);
+        reg.close_span(disp, 400, true);
+        let ts = reg.timeseries_report().expect("recorder on");
+        assert_eq!(ts.counter_total("calls_ok@kv"), 1);
+        assert_eq!(ts.counter_total("calls_err@kv"), 1);
+        assert_eq!(ts.counter_total("retx@kv"), 1);
+        assert_eq!(ts.counter_total("calls_ok@svc-kv"), 0);
+        assert_eq!(ts.windows.len(), 2);
+        assert_eq!(ts.windows[0].hists["latency@kv"].max_ns, 500);
+        // Direct API shapes.
+        reg.ts_gauge(2_500, "depth", 7);
+        reg.ts_add(2_500, "bytes", 128);
+        reg.ts_observe(2_500, "lag", 0);
+        let ts = reg.timeseries_report().unwrap();
+        assert_eq!(ts.windows[2].gauges["depth"].max, 7);
+        assert_eq!(ts.counter_total("bytes"), 128);
+    }
+
+    #[test]
+    fn run_meta_merges_and_serializes() {
+        let reg = MetricsRegistry::new();
+        reg.set_run_meta(RunMeta {
+            seed: Some(42),
+            mode: Some("full".into()),
+            ..Default::default()
+        });
+        reg.set_run_meta(RunMeta {
+            date: Some("2026-08-06".into()),
+            ..Default::default()
+        });
+        let report = reg.report(MetricsSnapshot::default(), 0);
+        assert_eq!(report.meta.seed, Some(42));
+        assert_eq!(report.meta.mode.as_deref(), Some("full"));
+        assert_eq!(report.meta.date.as_deref(), Some("2026-08-06"));
+        let json = report.to_json();
+        assert!(json.contains("\"meta\":{\"seed\":42,\"mode\":\"full\",\"date\":\"2026-08-06\"}"));
+    }
+
+    #[test]
+    fn report_json_with_timeseries_and_exemplars_is_wellformed() {
+        let reg = MetricsRegistry::new();
+        reg.enable_timeseries(1_000, 8);
+        reg.enable_watchdog(WatchdogConfig {
+            slo_ns: Some(100),
+            min_samples: u64::MAX,
+            ..Default::default()
+        });
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        reg.ts_gauge(500, "sched_depth", 3);
+        reg.close_span(sp, 2_500, true);
+        let json = reg.report(MetricsSnapshot::default(), 3_000).to_json();
+        assert!(json.contains("\"exemplars\":[{\"span\":1"));
+        assert!(json.contains("\"trigger\":\"slo\""));
+        assert!(json.contains("\"timeseries\":{\"width_ns\":1000"));
+        assert!(json.contains("\"windows\":[{"));
+        assert!(json.contains("\"calls_ok@kv\":1"));
+        assert!(json.contains("\"sched_depth\""));
+        // Balanced braces and brackets, and it round-trips through the
+        // hand-rolled parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let parsed = crate::json::parse(&json).expect("report JSON parses");
+        let ts = parsed.get("timeseries").expect("timeseries present");
+        assert_eq!(ts.u64_field("width_ns"), Some(1_000));
+        assert_eq!(
+            parsed
+                .get("exemplars")
+                .and_then(|e| e.as_arr())
+                .map(|a| a.len()),
+            Some(1)
+        );
     }
 }

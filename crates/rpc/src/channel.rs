@@ -287,6 +287,29 @@ impl Channel {
                 ctx.send_traced(self.server, payload, obs::SpanId::NONE);
             }
         }
+        self.note_depth(ctx);
+    }
+
+    /// Samples the channel's pipeline window and backlog into the flight
+    /// recorder, keyed by service. Called at every transition point
+    /// (flush, expiry, reply) so the gauges bracket each change; costs
+    /// one relaxed load when the recorder is off.
+    fn note_depth(&self, ctx: &mut Ctx) {
+        let obs = ctx.obs();
+        if !obs.timeseries_enabled() {
+            return;
+        }
+        let now_ns = ctx.now().as_nanos();
+        obs.ts_gauge(
+            now_ns,
+            &format!("inflight@{}", self.service),
+            self.outstanding as u64,
+        );
+        obs.ts_gauge(
+            now_ns,
+            &format!("queued@{}", self.service),
+            self.queue.len() as u64,
+        );
     }
 
     /// Fires retransmission timers: calls past their deadline either
@@ -314,7 +337,7 @@ impl Channel {
             }
             self.stats.retries += 1;
             ctx.obs().on_retry();
-            ctx.obs().span_retransmit(rec.span);
+            ctx.obs().span_retransmit_at(rec.span, now.as_nanos());
             ctx.trace(simnet::TraceEvent::Retransmit {
                 src: ctx.endpoint(),
                 dst: self.server,
@@ -324,6 +347,7 @@ impl Channel {
             ctx.send_traced(self.server, rec.bytes.clone(), rec.span);
             rec.deadline = now + self.cfg.policy.attempt_timeout(rec.attempt);
         }
+        self.note_depth(ctx);
     }
 
     fn on_reply(&mut self, ctx: &mut Ctx, rep: Reply, src: Endpoint) {
@@ -340,6 +364,7 @@ impl Channel {
                 ctx.obs()
                     .close_span(rec.span, ctx.now().as_nanos(), rep.result.is_ok());
                 rec.state = CallState::Done(rep.result);
+                self.note_depth(ctx);
             }
             _ => {
                 // Duplicate of an already-settled call, or not ours.

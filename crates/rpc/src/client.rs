@@ -180,7 +180,7 @@ impl RpcClient {
             if attempt > 0 {
                 self.stats.retries += 1;
                 ctx.obs().on_retry();
-                ctx.obs().span_retransmit(span);
+                ctx.obs().span_retransmit_at(span, ctx.now().as_nanos());
                 ctx.trace(simnet::TraceEvent::Retransmit {
                     src: ctx.endpoint(),
                     dst: self.server,

@@ -176,6 +176,9 @@ struct Shared {
     obs: Arc<obs::MetricsRegistry>,
     rng: Mutex<StdRng>,
     trace: Mutex<Option<Trace>>,
+    /// RNG seed the simulation was built with, stamped into report
+    /// provenance so artifacts from different seeds are never compared.
+    seed: u64,
 }
 
 impl Shared {
@@ -207,6 +210,16 @@ impl Shared {
     fn send(&self, src: Endpoint, dst: Endpoint, payload: Bytes, span: obs::SpanId) {
         let now = self.now();
         self.metrics.on_send(payload.len());
+        // Per-link wire bytes for the flight recorder. The enabled check
+        // is one relaxed load; the series-name formatting only happens
+        // when someone is recording.
+        if self.obs.timeseries_enabled() {
+            self.obs.ts_add(
+                now.as_nanos(),
+                &format!("link_bytes@n{}->n{}", src.node.0, dst.node.0),
+                payload.len() as u64,
+            );
+        }
         self.record(TraceEvent::Sent {
             src,
             dst,
@@ -769,6 +782,7 @@ impl Simulation {
                 obs: Arc::new(obs::MetricsRegistry::new()),
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 trace: Mutex::new(None),
+                seed,
             }),
             limit_reached: false,
         }
@@ -799,6 +813,11 @@ impl Simulation {
             .obs
             .report(self.shared.metrics.snapshot(), self.shared.now().as_nanos());
         report.trace_evicted = self.trace_evicted();
+        // The simulator always knows its seed; the harness can overwrite
+        // the rest of the provenance via obs().set_run_meta.
+        if report.meta.seed.is_none() {
+            report.meta.seed = Some(self.shared.seed);
+        }
         report
     }
 
@@ -924,7 +943,10 @@ impl Simulation {
                     Some(ev) if ev.key.time <= limit => {
                         let ev = sched.events.pop().expect("peeked event vanished");
                         sched.now = ev.key.time;
-                        Some(ev)
+                        // Clock and heap depth captured under the same
+                        // lock as the pop, so the flight-recorder sample
+                        // below describes exactly this dispatch.
+                        Some((ev, sched.now, sched.events.len() as u64))
                     }
                     Some(_) => {
                         self.limit_reached = true;
@@ -933,8 +955,25 @@ impl Simulation {
                     None => None,
                 }
             };
-            let Some(ev) = ev else { break };
+            let Some((ev, dispatched_at, depth)) = ev else {
+                break;
+            };
             self.shared.metrics.on_event();
+            if self.shared.obs.timeseries_enabled() {
+                let now_ns = dispatched_at.as_nanos();
+                // Scheduler lag: dispatch time minus the event's
+                // scheduled time. The single-lock pop advances the clock
+                // to the event it pops, so this is structurally zero —
+                // recorded anyway as an invariant monitor (a nonzero
+                // window means the scheduler contract broke) and as the
+                // anchor the genuinely varying heap-depth gauge hangs on.
+                self.shared.obs.ts_observe(
+                    now_ns,
+                    "sched_lag",
+                    now_ns.saturating_sub(ev.key.time.as_nanos()),
+                );
+                self.shared.obs.ts_gauge(now_ns, "sched_depth", depth);
+            }
             self.dispatch(ev.kind);
         }
         if self.limit_reached {
