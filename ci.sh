@@ -41,6 +41,18 @@ if [ "${1:-}" != "quick" ]; then
   cargo run -q --release -p bench --bin perfgate -- --warn-only \
     target/BENCH_e14.json BENCH_e14.json
 
+  step "E16 million-process smoke (poll-driven fleet + BENCH_e16.json)"
+  # ~2k poll-driven clients; asserts every client completes, the whole
+  # fleet is concurrently parked, and the process table stays bounded.
+  PROXIDE_E16_SMOKE=1 PROXIDE_BENCH_DIR=target \
+    cargo run -q --release -p bench --bin e16_million
+
+  step "perfgate (E16 baseline self-compare + warn-only smoke compare)"
+  cargo run -q --release -p bench --bin perfgate -- BENCH_e16.json BENCH_e16.json
+  # Smoke runs a shrunken fleet: incomparable config, warn-only.
+  cargo run -q --release -p bench --bin perfgate -- --warn-only \
+    target/BENCH_e16.json BENCH_e16.json
+
   step "E15 flight-recorder smoke (windowed telemetry + exemplars + validators)"
   # Runs the chaos sweep, asserts re-bucketing invariance, conservation,
   # exemplar tiling, and exports artifacts for the checks below.

@@ -1,0 +1,5 @@
+//! Runs experiment e16 standalone.
+fn main() {
+    let ok = bench::experiments::e16_million::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

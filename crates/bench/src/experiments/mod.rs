@@ -6,6 +6,7 @@ pub mod e12_dsm;
 pub mod e13_pipeline;
 pub mod e14_hotpath;
 pub mod e15_flight;
+pub mod e16_million;
 pub mod e1_access_methods;
 pub mod e2_cache_sweep;
 pub mod e3_migration;
@@ -35,6 +36,7 @@ pub fn run_all() -> bool {
         e13_pipeline::run(),
         e14_hotpath::run(),
         e15_flight::run(),
+        e16_million::run(),
     ];
     let mut all = true;
     for o in &outputs {

@@ -180,9 +180,18 @@ fn obs_summary_line(json: &str) -> Option<String> {
         .and_then(|t| t.get("windows"))
         .and_then(|w| w.as_arr())
         .map_or(0, <[obs::json::Json]>::len);
+    let procs_spawned = doc
+        .get("net")
+        .and_then(|n| n.u64_field("processes_spawned"))
+        .unwrap_or(0);
+    let procs_peak = doc
+        .get("net")
+        .and_then(|n| n.u64_field("processes_peak"))
+        .unwrap_or(0);
     Some(format!(
         "datagrams_discarded={discarded} trace_evicted={trace_evicted} \
-         exemplars={exemplars} ts_windows={windows}"
+         exemplars={exemplars} ts_windows={windows} \
+         procs_spawned={procs_spawned} procs_peak={procs_peak}"
     ))
 }
 

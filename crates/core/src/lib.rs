@@ -92,18 +92,16 @@ mod proxy;
 mod runtime;
 mod server;
 mod session;
+mod session_core;
 mod spec;
 mod stable;
 
 pub use interface::{InterfaceDesc, OpDesc, OpKind};
 pub use object::{FactoryRegistry, ObjectCtor, ServiceObject};
 pub use proxy::{protocol, DiscardStrays, OnewaySink, Proxy, ProxyStats};
-pub use runtime::{BindContext, Binder, ClientRuntime, ProxyCtor, ProxyHandle};
-#[allow(deprecated)]
-pub use server::{
-    spawn_service, spawn_service_recovered, spawn_service_with_factories, ServerStats,
-    ServiceBuilder, ServiceServer,
-};
+pub use runtime::{BindContext, Binder, ClientRuntime, ProxyCtor};
+pub use server::{ServerStats, ServiceBuilder, ServiceServer};
 pub use session::Session;
+pub use session_core::{AsyncHandle, BindFuture, CallFuture, ProxyHandle, SessionCore};
 pub use spec::{AdaptiveParams, CachingParams, Coherence, ProxySpec, ReadTarget};
 pub use stable::{CheckpointPolicy, StableStore};

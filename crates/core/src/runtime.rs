@@ -14,7 +14,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use naming::{NameClient, NameRecord};
-use rpc::{Oneway, RpcError};
+use rpc::RpcError;
 use simnet::{Ctx, Endpoint};
 use wire::{Value, WireError};
 
@@ -22,6 +22,7 @@ use crate::interface::InterfaceDesc;
 use crate::object::FactoryRegistry;
 use crate::proxies::{AdaptiveProxy, CachingProxy, MigratoryProxy, StubProxy};
 use crate::proxy::{Proxy, ProxyStats};
+use crate::session_core::{ProxyHandle, SessionCore};
 use crate::spec::ProxySpec;
 
 /// Everything a custom proxy factory gets to work with.
@@ -77,6 +78,11 @@ impl Binder {
     pub fn with_factories(mut self, factories: FactoryRegistry) -> Binder {
         self.factories = factories;
         self
+    }
+
+    /// The name-server endpoint this binder resolves against.
+    pub fn ns_endpoint(&self) -> Endpoint {
+        self.ns_ep
     }
 
     /// Registers a constructor for [`ProxySpec::Custom`] specs of the
@@ -207,26 +213,25 @@ impl Binder {
     }
 }
 
-/// Handle to a proxy owned by a [`ClientRuntime`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ProxyHandle(usize);
-
-/// The per-process context manager.
+/// The per-process context manager — the blocking face of
+/// [`SessionCore`].
 ///
 /// Owns all proxies bound in this context and routes one-way
 /// notifications between them, so invalidations for service A arriving
-/// while a call to service B is in flight are never lost.
+/// while a call to service B is in flight are never lost. Every method
+/// is a thin delegation to [`SessionCore`]'s blocking surface; code
+/// that also wants the non-blocking surface (poll-driven processes)
+/// reaches it through [`ClientRuntime::core_mut`] or uses
+/// [`SessionCore`] directly.
 pub struct ClientRuntime {
-    binder: Binder,
-    proxies: Vec<Box<dyn Proxy>>,
-    by_service: HashMap<String, usize>,
+    core: SessionCore,
 }
 
 impl fmt::Debug for ClientRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ClientRuntime")
-            .field("proxies", &self.proxies.len())
-            .finish_non_exhaustive()
+            .field("core", &self.core)
+            .finish()
     }
 }
 
@@ -234,21 +239,30 @@ impl ClientRuntime {
     /// Creates a runtime talking to the name server at `ns`.
     pub fn new(ns: Endpoint) -> ClientRuntime {
         ClientRuntime {
-            binder: Binder::new(ns),
-            proxies: Vec::new(),
-            by_service: HashMap::new(),
+            core: SessionCore::new(ns),
         }
     }
 
     /// Supplies object factories (for migratory services).
     pub fn with_factories(mut self, factories: FactoryRegistry) -> ClientRuntime {
-        self.binder = self.binder.with_factories(factories);
+        self.core = self.core.with_factories(factories);
         self
     }
 
     /// Access to the underlying binder (to register custom proxy kinds).
     pub fn binder_mut(&mut self) -> &mut Binder {
-        &mut self.binder
+        self.core.binder_mut()
+    }
+
+    /// The session core behind this runtime (read-only).
+    pub fn core(&self) -> &SessionCore {
+        &self.core
+    }
+
+    /// The session core behind this runtime — e.g. to use the
+    /// non-blocking surface alongside the blocking one.
+    pub fn core_mut(&mut self) -> &mut SessionCore {
+        &mut self.core
     }
 
     /// Binds to `service`, waiting up to 100ms of virtual time for it to
@@ -258,21 +272,12 @@ impl ClientRuntime {
     ///
     /// See [`Binder::bind_wait`].
     pub fn bind(&mut self, ctx: &mut Ctx, service: &str) -> Result<ProxyHandle, RpcError> {
-        let proxy = self
-            .binder
-            .bind_wait(ctx, service, std::time::Duration::from_millis(100))?;
-        let idx = self.proxies.len();
-        self.by_service.insert(proxy.service().to_owned(), idx);
-        self.proxies.push(proxy);
-        Ok(ProxyHandle(idx))
+        self.core.bind(ctx, service)
     }
 
     /// Invokes an operation through a bound proxy.
     ///
-    /// Opens a causal invoke span for the duration of the call (child
-    /// RPCs, retransmissions and server dispatches attach to it), records
-    /// the invocation latency into the per-`(service, op)` histogram, and
-    /// publishes the proxy's counters to the [`obs::MetricsRegistry`].
+    /// See [`SessionCore::invoke`] for span and metrics behaviour.
     ///
     /// # Errors
     ///
@@ -288,25 +293,7 @@ impl ClientRuntime {
         op: &str,
         args: Value,
     ) -> Result<Value, RpcError> {
-        self.pump(ctx);
-        let service = self.proxies[handle.0].service().to_owned();
-        let span = ctx.obs().open_span(
-            obs::SpanKind::Invoke,
-            ctx.current_span(),
-            &service,
-            op,
-            ctx.now().as_nanos(),
-        );
-        let previous = ctx.set_current_span(span);
-        let mut strays: Vec<Oneway> = Vec::new();
-        let result = self.proxies[handle.0].invoke(ctx, op, args, &mut strays);
-        ctx.set_current_span(previous);
-        ctx.obs()
-            .close_span(span, ctx.now().as_nanos(), result.is_ok());
-        ctx.obs()
-            .set_proxy_stats(ctx.name(), &service, self.proxies[handle.0].stats());
-        self.route(ctx, strays);
-        result
+        self.core.invoke(ctx, handle, op, args)
     }
 
     /// Hosts an object directly in this context under `service` — the
@@ -317,42 +304,14 @@ impl ClientRuntime {
         service: impl Into<String>,
         object: Box<dyn crate::ServiceObject>,
     ) -> ProxyHandle {
-        let service = service.into();
-        let idx = self.proxies.len();
-        self.by_service.insert(service.clone(), idx);
-        self.proxies
-            .push(Box::new(crate::proxies::LocalProxy::new(service, object)));
-        ProxyHandle(idx)
+        self.core.host_local(service, object)
     }
 
     /// Drains the process mailbox and routes notifications; gives every
     /// proxy a chance to do deferred work (honour recalls, etc.). Call
     /// this periodically from client loops that go quiet.
     pub fn pump(&mut self, ctx: &mut Ctx) {
-        let mut pending: Vec<Oneway> = Vec::new();
-        while let Ok(Some(msg)) = ctx.try_recv() {
-            if let Ok(rpc::Packet::Oneway(o)) = rpc::Packet::from_frame(&msg.payload) {
-                pending.push(o);
-            }
-            // Replies outside any call are late duplicates: dropped.
-        }
-        self.route(ctx, pending);
-        for p in &mut self.proxies {
-            p.poll(ctx);
-        }
-    }
-
-    fn route(&mut self, ctx: &mut Ctx, oneways: Vec<Oneway>) {
-        for o in oneways {
-            let target = o
-                .args
-                .get("svc")
-                .and_then(Value::as_str)
-                .and_then(|svc| self.by_service.get(svc).copied());
-            if let Some(idx) = target {
-                self.proxies[idx].on_oneway(ctx, &o);
-            }
-        }
+        self.core.pump(ctx);
     }
 
     /// Stats for one proxy.
@@ -361,7 +320,7 @@ impl ClientRuntime {
     ///
     /// Panics if the handle did not come from this runtime.
     pub fn stats(&self, handle: ProxyHandle) -> ProxyStats {
-        self.proxies[handle.0].stats()
+        self.core.stats(handle)
     }
 
     /// Cleanly detaches one proxy (unsubscribe, check state back in).
@@ -370,13 +329,11 @@ impl ClientRuntime {
     ///
     /// Panics if the handle did not come from this runtime.
     pub fn unbind(&mut self, ctx: &mut Ctx, handle: ProxyHandle) {
-        self.proxies[handle.0].detach(ctx);
+        self.core.unbind(ctx, handle);
     }
 
     /// Detaches every proxy (call before client exit).
     pub fn shutdown(&mut self, ctx: &mut Ctx) {
-        for p in &mut self.proxies {
-            p.detach(ctx);
-        }
+        self.core.shutdown(ctx);
     }
 }

@@ -260,7 +260,7 @@ impl ServiceServer {
     }
 
     /// Enables periodic checkpointing of the object's snapshot to the
-    /// node's stable storage. Combine with [`spawn_service_recovered`]
+    /// node's stable storage. Combine with [`ServiceBuilder::recovered`]
     /// to survive crashes.
     pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> ServiceServer {
         self.core.checkpoint = Some(policy);
@@ -475,72 +475,4 @@ impl ServiceBuilder {
             server.run(ctx, ns);
         })
     }
-}
-
-/// Spawns a service process on `node`, hosting the object produced by
-/// `make_object`, registered with the name server at `ns`. Returns the
-/// service's endpoint.
-#[deprecated(note = "use `ServiceBuilder::new(name).spec(..).object(..).spawn(..)`")]
-pub fn spawn_service<F>(
-    sim: &Simulation,
-    node: NodeId,
-    ns: Endpoint,
-    name: &str,
-    spec: ProxySpec,
-    make_object: F,
-) -> Endpoint
-where
-    F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
-{
-    ServiceBuilder::new(name)
-        .spec(spec)
-        .object(make_object)
-        .spawn(sim, node, ns)
-}
-
-/// Spawns a service that recovers from the node's last checkpoint if
-/// one exists (otherwise hosts the object from `make_default`), and
-/// keeps checkpointing under `policy`.
-#[deprecated(note = "use `ServiceBuilder` with `.factories(..).recovered(policy)`")]
-#[allow(clippy::too_many_arguments)] // mirrors the historical signature
-pub fn spawn_service_recovered<F>(
-    sim: &Simulation,
-    node: NodeId,
-    ns: Endpoint,
-    name: &str,
-    spec: ProxySpec,
-    factories: FactoryRegistry,
-    policy: CheckpointPolicy,
-    make_default: F,
-) -> Endpoint
-where
-    F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
-{
-    ServiceBuilder::new(name)
-        .spec(spec)
-        .factories(factories)
-        .recovered(policy)
-        .object(make_default)
-        .spawn(sim, node, ns)
-}
-
-/// Like [`spawn_service`], with a factory registry for checkin support.
-#[deprecated(note = "use `ServiceBuilder` with `.factories(..)`")]
-pub fn spawn_service_with_factories<F>(
-    sim: &Simulation,
-    node: NodeId,
-    ns: Endpoint,
-    name: &str,
-    spec: ProxySpec,
-    factories: FactoryRegistry,
-    make_object: F,
-) -> Endpoint
-where
-    F: FnOnce() -> Box<dyn ServiceObject> + Send + 'static,
-{
-    ServiceBuilder::new(name)
-        .spec(spec)
-        .factories(factories)
-        .object(make_object)
-        .spawn(sim, node, ns)
 }

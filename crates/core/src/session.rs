@@ -7,6 +7,13 @@
 //! [`Session`] borrows both once; typed clients (and application code)
 //! take a single `&mut Session<'_>`.
 //!
+//! `Session` is the *blocking* face of the session engine: every method
+//! forwards through [`ClientRuntime`] to
+//! [`SessionCore`](crate::SessionCore)'s blocking surface. Poll-driven
+//! processes use the same core's non-blocking surface
+//! (`bind_async`/`invoke_async`) instead — see the
+//! [`session_core`](crate::SessionCore) docs and `DESIGN.md` §8.
+//!
 //! ```
 //! use simnet::{Simulation, NetworkConfig, NodeId};
 //! use naming::spawn_name_server;
@@ -47,7 +54,8 @@ use wire::Value;
 use rpc::RpcError;
 
 use crate::proxy::ProxyStats;
-use crate::runtime::{ClientRuntime, ProxyHandle};
+use crate::runtime::ClientRuntime;
+use crate::session_core::ProxyHandle;
 
 /// A borrowed `(runtime, context)` pair — the unit every client-side
 /// call actually operates on.

@@ -171,6 +171,12 @@ pub struct MetricsSnapshot {
     pub bytes_sent: u64,
     /// Scheduler events dispatched.
     pub events_dispatched: u64,
+    /// Simulated processes spawned over the run (threads and poll-driven
+    /// state machines alike).
+    pub processes_spawned: u64,
+    /// High-water mark of simultaneously live processes — the number
+    /// backing E16's memory-boundedness claim (peak × per-process state).
+    pub processes_peak: u64,
 }
 
 impl MetricsSnapshot {
@@ -188,6 +194,8 @@ impl MetricsSnapshot {
             msgs_blackholed,
             bytes_sent,
             events_dispatched,
+            processes_spawned,
+            processes_peak,
         } = *self;
         let MetricsSnapshot {
             msgs_sent: e_sent,
@@ -197,6 +205,8 @@ impl MetricsSnapshot {
             msgs_blackholed: e_blackholed,
             bytes_sent: e_bytes,
             events_dispatched: e_events,
+            processes_spawned: e_spawned,
+            processes_peak: e_peak,
         } = *earlier;
         MetricsSnapshot {
             msgs_sent: msgs_sent.saturating_sub(e_sent),
@@ -206,6 +216,8 @@ impl MetricsSnapshot {
             msgs_blackholed: msgs_blackholed.saturating_sub(e_blackholed),
             bytes_sent: bytes_sent.saturating_sub(e_bytes),
             events_dispatched: events_dispatched.saturating_sub(e_events),
+            processes_spawned: processes_spawned.saturating_sub(e_spawned),
+            processes_peak: processes_peak.saturating_sub(e_peak),
         }
     }
 }
@@ -1317,6 +1329,8 @@ impl RunReport {
                     msgs_blackholed,
                     bytes_sent,
                     events_dispatched,
+                    processes_spawned,
+                    processes_peak,
                 } = self.net;
                 w.field_u64("msgs_sent", msgs_sent);
                 w.field_u64("msgs_delivered", msgs_delivered);
@@ -1325,6 +1339,8 @@ impl RunReport {
                 w.field_u64("msgs_blackholed", msgs_blackholed);
                 w.field_u64("bytes_sent", bytes_sent);
                 w.field_u64("events_dispatched", events_dispatched);
+                w.field_u64("processes_spawned", processes_spawned);
+                w.field_u64("processes_peak", processes_peak);
             });
             w.field_obj("rpc", |w| {
                 w.field_obj("client", |w| {
@@ -1794,6 +1810,8 @@ mod tests {
             msgs_blackholed: 0,
             bytes_sent: 640,
             events_dispatched: 30,
+            processes_spawned: 3,
+            processes_peak: 3,
         };
         let b = MetricsSnapshot {
             msgs_sent: 15,
@@ -1803,11 +1821,15 @@ mod tests {
             msgs_blackholed: 0,
             bytes_sent: 900,
             events_dispatched: 45,
+            processes_spawned: 5,
+            processes_peak: 4,
         };
         let d = b.since(&a);
         assert_eq!(d.msgs_sent, 5);
         assert_eq!(d.msgs_delivered, 4);
         assert_eq!(d.bytes_sent, 260);
+        assert_eq!(d.processes_spawned, 2);
+        assert_eq!(d.processes_peak, 1);
         // Reversed order saturates instead of wrapping.
         let r = a.since(&b);
         assert_eq!(r.msgs_sent, 0);
@@ -1870,6 +1892,8 @@ mod tests {
             msgs_blackholed: 3,
             bytes_sent: 64_000,
             events_dispatched: 500,
+            processes_spawned: 12,
+            processes_peak: 8,
         };
         let later = MetricsSnapshot {
             msgs_sent: 40,
@@ -1879,6 +1903,8 @@ mod tests {
             msgs_blackholed: 1,
             bytes_sent: 8_000,
             events_dispatched: 200,
+            processes_spawned: 6,
+            processes_peak: 4,
         };
         assert_eq!(later.since(&earlier), MetricsSnapshot::default());
         // Mixed: only some fields went backwards.

@@ -35,6 +35,8 @@
 //! | `link_bytes@n<a>->n<b>`     | counter | simnet send path           |
 //! | `sched_lag`                 | hist    | scheduler dispatch loop    |
 //! | `sched_depth`               | gauge   | scheduler event heap       |
+//! | `processes_spawned`         | gauge   | simnet process spawn path  |
+//! | `processes_peak`            | gauge   | simnet live high-water mark|
 
 use std::collections::{BTreeMap, VecDeque};
 

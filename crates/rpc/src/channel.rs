@@ -5,7 +5,10 @@
 //! [`ChannelConfig::pipeline_depth`] calls in flight against one server
 //! endpoint: [`Channel::begin_call`] stages a call and returns a
 //! [`CallHandle`]; [`Channel::wait`] / [`Channel::wait_all`] drive the
-//! channel until replies arrive. Replies are matched by call id, each
+//! channel until replies arrive (blocking style), and
+//! [`Channel::poll_wait`] / [`Channel::try_take`] do the same for
+//! poll-driven processes, completing on the reply's own delivery wake
+//! instead of a parked thread. Replies are matched by call id, each
 //! call keeps its own retransmission timer, and ids retransmit unchanged
 //! — so the server's per-client window gives the same at-most-once
 //! guarantee the synchronous client enjoys, even though calls now
@@ -476,6 +479,64 @@ impl Channel {
         }
         self.flush(ctx);
         Ok(())
+    }
+
+    /// Claims the result of a settled call without blocking, consuming
+    /// its slot. Returns `None` while the call is still in flight; a
+    /// reaped or unknown handle reports `Some(Err(Timeout))`, matching
+    /// [`Channel::wait`].
+    pub fn try_take(&mut self, h: CallHandle) -> Option<Result<Value, RpcError>> {
+        if !self.is_settled(h) {
+            return None;
+        }
+        Some(match self.calls.remove(&h.0) {
+            Some(CallRec {
+                state: CallState::Done(result),
+                ..
+            }) => result.map_err(RpcError::Remote),
+            _ => Err(RpcError::Timeout {
+                attempts: self.cfg.policy.max_attempts,
+            }),
+        })
+    }
+
+    /// The earliest retransmission deadline among in-flight calls, or
+    /// `None` when nothing is outstanding. Poll-driven callers arm a
+    /// timer wake at this instant before parking, so retransmits and
+    /// final timeouts fire even if no reply ever arrives.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.calls
+            .values()
+            .filter(|r| matches!(r.state, CallState::Outstanding))
+            .map(|r| r.deadline)
+            .min()
+    }
+
+    /// Poll-driven analogue of [`Channel::wait`]: drives the channel as
+    /// far as it can without blocking, and either yields the settled
+    /// result or registers the wakes that complete it — the reply
+    /// delivery itself (every delivery polls a parked process) plus a
+    /// timer at the next retransmission deadline.
+    ///
+    /// Completed calls settle via the *completion wake* of the reply
+    /// datagram; there is no condvar and no parked thread.
+    pub fn poll_wait(
+        &mut self,
+        cx: &mut simnet::ProcCx,
+        h: CallHandle,
+    ) -> simnet::Poll<Result<Value, RpcError>> {
+        if let Err(e) = self.poll(cx.ctx()) {
+            return simnet::Poll::Ready(Err(e));
+        }
+        match self.try_take(h) {
+            Some(result) => simnet::Poll::Ready(result),
+            None => {
+                if let Some(dl) = self.next_deadline() {
+                    cx.wake_at(dl);
+                }
+                simnet::Poll::Pending
+            }
+        }
     }
 
     /// Takes the one-way notifications (invalidations, recalls) that

@@ -4,7 +4,7 @@
 //! state fits in one datagram, so the checkout cost is one RTT and the
 //! crossover against a stub appears after only a handful of calls.
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
+use proxy_core::{InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -104,21 +104,6 @@ impl CounterClient {
         })
     }
 
-    /// Pair-style variant of [`CounterClient::bind`] for callers not yet
-    /// on [`Session`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the bind.
-    #[deprecated(note = "use `bind` with a `Session`")]
-    pub fn bind_with(
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        service: &str,
-    ) -> Result<CounterClient, RpcError> {
-        CounterClient::bind(&mut Session::new(rt, ctx), service)
-    }
-
     /// The underlying proxy handle (for stats).
     pub fn handle(&self) -> ProxyHandle {
         self.handle
@@ -142,16 +127,6 @@ impl CounterClient {
     pub fn inc(&self, session: &mut Session<'_>) -> Result<u64, RpcError> {
         let v = session.invoke(self.handle, "inc", Value::Null)?;
         Ok(v.as_u64().unwrap_or(0))
-    }
-
-    /// Pair-style variant of [`CounterClient::inc`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the invocation.
-    #[deprecated(note = "use `inc` with a `Session`")]
-    pub fn inc_with(&self, rt: &mut ClientRuntime, ctx: &mut Ctx) -> Result<u64, RpcError> {
-        self.inc(&mut Session::new(rt, ctx))
     }
 
     /// Adds `n` and returns the new value.

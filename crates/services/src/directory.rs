@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
+use proxy_core::{InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -167,21 +167,6 @@ impl DirectoryClient {
         Ok(DirectoryClient {
             handle: session.bind(service)?,
         })
-    }
-
-    /// Pair-style variant of [`DirectoryClient::bind`] for callers not
-    /// yet on [`Session`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the bind.
-    #[deprecated(note = "use `bind` with a `Session`")]
-    pub fn bind_with(
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        service: &str,
-    ) -> Result<DirectoryClient, RpcError> {
-        DirectoryClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use bytes::Bytes;
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
+use proxy_core::{InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -157,21 +157,6 @@ impl FileClient {
         Ok(FileClient {
             handle: session.bind(service)?,
         })
-    }
-
-    /// Pair-style variant of [`FileClient::bind`] for callers not yet
-    /// on [`Session`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the bind.
-    #[deprecated(note = "use `bind` with a `Session`")]
-    pub fn bind_with(
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        service: &str,
-    ) -> Result<FileClient, RpcError> {
-        FileClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).

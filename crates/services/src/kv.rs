@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
+use proxy_core::{InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -125,21 +125,6 @@ impl KvClient {
         })
     }
 
-    /// Pair-style variant of [`KvClient::bind`] for callers not yet on
-    /// [`Session`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the bind.
-    #[deprecated(note = "use `bind` with a `Session`")]
-    pub fn bind_with(
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        service: &str,
-    ) -> Result<KvClient, RpcError> {
-        KvClient::bind(&mut Session::new(rt, ctx), service)
-    }
-
     /// The underlying proxy handle (for stats).
     pub fn handle(&self) -> ProxyHandle {
         self.handle
@@ -159,21 +144,6 @@ impl KvClient {
         Ok(v.as_str().map(str::to_owned))
     }
 
-    /// Pair-style variant of [`KvClient::get`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the invocation.
-    #[deprecated(note = "use `get` with a `Session`")]
-    pub fn get_with(
-        &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        key: &str,
-    ) -> Result<Option<String>, RpcError> {
-        self.get(&mut Session::new(rt, ctx), key)
-    }
-
     /// Writes a key, returning the previous value if any.
     ///
     /// # Errors
@@ -191,22 +161,6 @@ impl KvClient {
             Value::record([("key", Value::str(key)), ("value", Value::str(value))]),
         )?;
         Ok(v.as_str().map(str::to_owned))
-    }
-
-    /// Pair-style variant of [`KvClient::put`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the invocation.
-    #[deprecated(note = "use `put` with a `Session`")]
-    pub fn put_with(
-        &self,
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        key: &str,
-        value: &str,
-    ) -> Result<Option<String>, RpcError> {
-        self.put(&mut Session::new(rt, ctx), key, value)
     }
 
     /// Deletes a key; true if it existed.

@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use proxy_core::{ClientRuntime, InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
+use proxy_core::{InterfaceDesc, OpDesc, ProxyHandle, ServiceObject, Session};
 use rpc::{ErrorCode, RemoteError, RpcError};
 use simnet::Ctx;
 use wire::Value;
@@ -131,21 +131,6 @@ impl QueueClient {
         Ok(QueueClient {
             handle: session.bind(service)?,
         })
-    }
-
-    /// Pair-style variant of [`QueueClient::bind`] for callers not yet
-    /// on [`Session`].
-    ///
-    /// # Errors
-    ///
-    /// Any [`RpcError`] from the bind.
-    #[deprecated(note = "use `bind` with a `Session`")]
-    pub fn bind_with(
-        rt: &mut ClientRuntime,
-        ctx: &mut Ctx,
-        service: &str,
-    ) -> Result<QueueClient, RpcError> {
-        QueueClient::bind(&mut Session::new(rt, ctx), service)
     }
 
     /// The underlying proxy handle (for stats).

@@ -4,11 +4,14 @@
 //! on. It stands in for the 1986 testbed of the proxy-principle paper
 //! (Unix processes on a LAN) with something strictly more controllable:
 //!
-//! * **Processes** are OS threads running ordinary blocking Rust code
-//!   against a [`Ctx`] handle ([`Ctx::send`], [`Ctx::recv`],
-//!   [`Ctx::sleep`]). The scheduler runs exactly one process at a time,
-//!   in virtual-time order, so every run is deterministic for a given
-//!   seed.
+//! * **Processes** come in two kinds behind one scheduler: OS threads
+//!   running ordinary blocking Rust code against a [`Ctx`] handle
+//!   ([`Ctx::send`], [`Ctx::recv`], [`Ctx::sleep`]), and poll-driven
+//!   [`Process`] state machines that park as a single heap entry
+//!   instead of a thread stack (see the [`poll`] module) — the latter
+//!   scale to hundreds of thousands of concurrent processes. The
+//!   scheduler runs exactly one process at a time, in virtual-time
+//!   order, so every run is deterministic for a given seed.
 //! * **The network** between nodes models latency, bandwidth, jitter,
 //!   loss, duplication, reordering, link overrides, partitions and node
 //!   crashes (see [`NetworkConfig`] and [`Network`]).
@@ -42,6 +45,7 @@ mod addr;
 mod metrics;
 mod msg;
 mod net;
+pub mod poll;
 mod sched;
 mod time;
 mod trace;
@@ -50,6 +54,7 @@ pub use addr::{Endpoint, NodeId, PortId, ProcId};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use msg::Message;
 pub use net::{Network, NetworkConfig};
+pub use poll::{Poll, ProcCx, Process};
 pub use sched::{Ctx, RunReport, Simulation, Stopped};
 pub use time::{duration_to_nanos, SimTime};
 pub use trace::{TraceDump, TraceEvent, TraceRecord};

@@ -26,6 +26,9 @@ pub struct Metrics {
     msgs_blackholed: AtomicU64,
     bytes_sent: AtomicU64,
     events_dispatched: AtomicU64,
+    processes_spawned: AtomicU64,
+    processes_live: AtomicU64,
+    processes_peak: AtomicU64,
 }
 
 impl Metrics {
@@ -59,6 +62,22 @@ impl Metrics {
         self.events_dispatched.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Notes one process spawn and returns `(spawned_total, peak)` for
+    /// the caller to sample into the flight recorder. The peak update is
+    /// a plain load/store: only the scheduler thread mutates these.
+    pub(crate) fn on_proc_spawn(&self) -> (u64, u64) {
+        let spawned = self.processes_spawned.fetch_add(1, Ordering::Relaxed) + 1;
+        let live = self.processes_live.fetch_add(1, Ordering::Relaxed) + 1;
+        if live > self.processes_peak.load(Ordering::Relaxed) {
+            self.processes_peak.store(live, Ordering::Relaxed);
+        }
+        (spawned, self.processes_peak.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn on_proc_finish(&self) {
+        self.processes_live.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Copies current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -69,6 +88,8 @@ impl Metrics {
             msgs_blackholed: self.msgs_blackholed.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
+            processes_spawned: self.processes_spawned.load(Ordering::Relaxed),
+            processes_peak: self.processes_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -87,7 +108,14 @@ mod tests {
         m.on_duplicate();
         m.on_blackhole();
         m.on_event();
+        m.on_proc_spawn();
+        m.on_proc_spawn();
+        m.on_proc_finish();
+        m.on_proc_spawn();
         let s = m.snapshot();
+        assert_eq!(s.processes_spawned, 3);
+        // live went 1, 2, 1, 2 — the peak stays at its high-water mark.
+        assert_eq!(s.processes_peak, 2);
         assert_eq!(s.msgs_sent, 2);
         assert_eq!(s.bytes_sent, 15);
         assert_eq!(s.msgs_delivered, 1);

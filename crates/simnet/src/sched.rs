@@ -2,13 +2,24 @@
 //!
 //! # Execution model
 //!
-//! Each simulated process is an OS thread running ordinary blocking Rust
-//! code against a [`Ctx`] handle. The scheduler enforces that **exactly one
-//! process thread runs at any instant**: a process runs until it blocks
-//! (in [`Ctx::recv`], [`Ctx::sleep`], …) and control then returns to the
-//! scheduler, which dispatches the next event in virtual-time order. All
-//! randomness comes from a single seeded RNG drawn in event order, so runs
-//! are fully deterministic: same seed, same interleaving, same results.
+//! The scheduler runs two kinds of simulated process behind one event
+//! loop:
+//!
+//! * **Thread-backed** ([`Simulation::spawn`]) — an OS thread running
+//!   ordinary blocking Rust code against a [`Ctx`] handle. The process
+//!   runs until it blocks (in [`Ctx::recv`], [`Ctx::sleep`], …) and
+//!   control then returns to the scheduler via a channel handoff.
+//!   Natural to write, but each parked process pins a thread stack.
+//! * **Poll-driven** ([`Simulation::spawn_poll`]) — a [`Process`] state
+//!   machine the scheduler polls in event order; parking costs one heap
+//!   entry in the process table, so simulations scale to hundreds of
+//!   thousands of concurrent processes (see the [`poll`](crate::poll)
+//!   module and experiment E16).
+//!
+//! Either way **exactly one process runs at any instant**, and all
+//! randomness comes from a single seeded RNG drawn in event order, so
+//! runs are fully deterministic: same seed, same interleaving, same
+//! results.
 //!
 //! This is the repo's substitute for the paper's testbed of Unix processes
 //! on a LAN (see `DESIGN.md` §6): processes get the natural blocking style
@@ -31,6 +42,7 @@ use crate::addr::{Endpoint, NodeId, PortId, ProcId};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::msg::Message;
 use crate::net::{Fate, Network, NetworkConfig};
+use crate::poll::{Poll, ProcCx, Process};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceDump, TraceEvent};
 
@@ -46,6 +58,14 @@ impl std::fmt::Display for Stopped {
 }
 
 impl std::error::Error for Stopped {}
+
+/// Extracts a displayable message from a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".to_string())
+}
 
 /// Scheduler → process control transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +98,8 @@ enum ProcState {
     NotStarted,
     Sleeping,
     BlockedRecv,
+    /// Poll-driven process whose last poll returned `Pending`.
+    Parked,
     Finished,
 }
 
@@ -117,16 +139,36 @@ impl Ord for Ev {
     }
 }
 
+/// A poll-driven process's state machine plus its per-process context.
+/// Taken out of the registry while being polled so no lock is held
+/// during user code, and put back if the poll returns `Pending`.
+struct PolledMachine {
+    process: Box<dyn Process>,
+    cx: ProcCx,
+}
+
+/// How a process executes: a parked thread stack or a heap-allocated
+/// state machine.
+enum ProcKind {
+    Thread {
+        resume_tx: Sender<Resume>,
+        yield_rx: Receiver<YieldMsg>,
+        handle: Option<JoinHandle<()>>,
+    },
+    Polled {
+        machine: Option<PolledMachine>,
+    },
+}
+
 struct ProcEntry {
     name: String,
     mailbox: VecDeque<Message>,
     state: ProcState,
-    /// Incremented every time the process blocks in recv; stale timeout
-    /// events carry an older generation and are ignored.
+    /// Incremented every time the process blocks in recv (threaded) or
+    /// parks (poll-driven); stale timeout events carry an older
+    /// generation and are ignored.
     gen: u64,
-    resume_tx: Sender<Resume>,
-    yield_rx: Receiver<YieldMsg>,
-    handle: Option<JoinHandle<()>>,
+    kind: ProcKind,
     panic_msg: Option<String>,
 }
 
@@ -271,6 +313,55 @@ impl Shared {
             .and_then(|e| e.mailbox.pop_front())
     }
 
+    /// Allocates a pid and binds its primary endpoint (common to both
+    /// process kinds).
+    fn bind_new_proc(&self, node: NodeId, port: Option<PortId>) -> (ProcId, Endpoint) {
+        let mut reg = self.registry.lock();
+        let pid = reg.alloc_pid();
+        let port = match port {
+            Some(p) => {
+                assert!(
+                    !p.is_ephemeral(),
+                    "explicitly bound ports must be below PortId::EPHEMERAL_BASE, got {p}"
+                );
+                p
+            }
+            None => reg.alloc_ephemeral_port(node),
+        };
+        let endpoint = Endpoint::new(node, port);
+        assert!(
+            !reg.endpoints.contains_key(&endpoint),
+            "endpoint {endpoint} already bound"
+        );
+        reg.endpoints.insert(endpoint, pid);
+        (pid, endpoint)
+    }
+
+    /// Registers `entry`, records the spawn, samples the process gauges
+    /// and schedules the first wake at the current instant.
+    fn finish_spawn(&self, pid: ProcId, endpoint: Endpoint, entry: ProcEntry) {
+        let proc_name = entry.name.clone();
+        self.registry.lock().procs.insert(pid, entry);
+        self.note_proc_spawned();
+        self.record(TraceEvent::Spawned {
+            pid,
+            name: proc_name,
+            endpoint,
+        });
+        // Start the process at the current instant.
+        let now = self.now();
+        self.push_event(now, EvKind::Wake(pid));
+    }
+
+    fn note_proc_spawned(&self) {
+        let (spawned, peak) = self.metrics.on_proc_spawn();
+        if self.obs.timeseries_enabled() {
+            let now_ns = self.now().as_nanos();
+            self.obs.ts_gauge(now_ns, "processes_spawned", spawned);
+            self.obs.ts_gauge(now_ns, "processes_peak", peak);
+        }
+    }
+
     fn spawn_proc(
         self: &Arc<Self>,
         name: String,
@@ -278,27 +369,7 @@ impl Shared {
         port: Option<PortId>,
         body: Box<dyn FnOnce(&mut Ctx) + Send + 'static>,
     ) -> Endpoint {
-        let (pid, endpoint) = {
-            let mut reg = self.registry.lock();
-            let pid = reg.alloc_pid();
-            let port = match port {
-                Some(p) => {
-                    assert!(
-                        !p.is_ephemeral(),
-                        "explicitly bound ports must be below PortId::EPHEMERAL_BASE, got {p}"
-                    );
-                    p
-                }
-                None => reg.alloc_ephemeral_port(node),
-            };
-            let endpoint = Endpoint::new(node, port);
-            assert!(
-                !reg.endpoints.contains_key(&endpoint),
-                "endpoint {endpoint} already bound"
-            );
-            reg.endpoints.insert(endpoint, pid);
-            (pid, endpoint)
-        };
+        let (pid, endpoint) = self.bind_new_proc(node, port);
 
         let (resume_tx, resume_rx) = bounded::<Resume>(1);
         let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
@@ -308,8 +379,8 @@ impl Shared {
             name: name.clone(),
             endpoint,
             shared: Arc::clone(self),
-            resume_rx,
-            yield_tx: yield_tx.clone(),
+            resume_rx: Some(resume_rx),
+            yield_tx: Some(yield_tx.clone()),
             stopped: false,
             seq_counter: std::cell::Cell::new(0),
             current_span: std::cell::Cell::new(obs::SpanId::NONE),
@@ -319,44 +390,74 @@ impl Shared {
             .name(format!("sim-{name}"))
             .spawn(move || {
                 // Wait for the scheduler to start us (or abort pre-start).
-                match ctx.resume_rx.recv() {
+                match ctx.resume_rx.as_ref().expect("threaded ctx").recv() {
                     Ok(Resume::Start) => {}
                     _ => {
-                        let _ = ctx.yield_tx.send(YieldMsg::Finished { panic_msg: None });
+                        let _ = yield_tx.send(YieldMsg::Finished { panic_msg: None });
                         return;
                     }
                 }
                 let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-                let panic_msg = result.err().map(|p| {
-                    p.downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| p.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<non-string panic>".to_string())
-                });
-                let _ = ctx.yield_tx.send(YieldMsg::Finished { panic_msg });
+                let panic_msg = result.err().map(|p| panic_message(p.as_ref()));
+                let _ = yield_tx.send(YieldMsg::Finished { panic_msg });
             })
             .expect("failed to spawn simulation process thread");
 
-        let proc_name = name.clone();
         let entry = ProcEntry {
             name,
             mailbox: VecDeque::new(),
             state: ProcState::NotStarted,
             gen: 0,
-            resume_tx,
-            yield_rx,
-            handle: Some(handle),
+            kind: ProcKind::Thread {
+                resume_tx,
+                yield_rx,
+                handle: Some(handle),
+            },
             panic_msg: None,
         };
-        self.registry.lock().procs.insert(pid, entry);
-        self.record(TraceEvent::Spawned {
+        self.finish_spawn(pid, endpoint, entry);
+        endpoint
+    }
+
+    /// Spawns a poll-driven process: no thread, just a state machine in
+    /// the process table. See the [`poll`](crate::poll) module.
+    fn spawn_polled(
+        self: &Arc<Self>,
+        name: String,
+        node: NodeId,
+        port: Option<PortId>,
+        process: Box<dyn Process>,
+    ) -> Endpoint {
+        let (pid, endpoint) = self.bind_new_proc(node, port);
+
+        let ctx = Ctx {
             pid,
-            name: proc_name,
+            name: name.clone(),
             endpoint,
-        });
-        // Start the process at the current instant.
-        let now = self.now();
-        self.push_event(now, EvKind::Wake(pid));
+            shared: Arc::clone(self),
+            // No scheduler channels: a poll-driven process parks by
+            // returning Pending, never by a thread handoff.
+            resume_rx: None,
+            yield_tx: None,
+            stopped: false,
+            seq_counter: std::cell::Cell::new(0),
+            current_span: std::cell::Cell::new(obs::SpanId::NONE),
+        };
+
+        let entry = ProcEntry {
+            name,
+            mailbox: VecDeque::new(),
+            state: ProcState::NotStarted,
+            gen: 0,
+            kind: ProcKind::Polled {
+                machine: Some(PolledMachine {
+                    process,
+                    cx: ProcCx::new(ctx),
+                }),
+            },
+            panic_msg: None,
+        };
+        self.finish_spawn(pid, endpoint, entry);
         endpoint
     }
 
@@ -401,8 +502,10 @@ pub struct Ctx {
     name: String,
     endpoint: Endpoint,
     shared: Arc<Shared>,
-    resume_rx: Receiver<Resume>,
-    yield_tx: Sender<YieldMsg>,
+    /// `None` for poll-driven processes, which never block on the
+    /// scheduler and so carry no handoff channels at all.
+    resume_rx: Option<Receiver<Resume>>,
+    yield_tx: Option<Sender<YieldMsg>>,
     stopped: bool,
     seq_counter: std::cell::Cell<u64>,
     current_span: std::cell::Cell<obs::SpanId>,
@@ -673,6 +776,36 @@ impl Ctx {
             .spawn_proc(name.into(), node, Some(port), Box::new(body))
     }
 
+    /// Spawns a poll-driven process on `node` with an ephemeral port
+    /// (see [`Simulation::spawn_poll`]).
+    pub fn spawn_poll<P>(&self, name: impl Into<String>, node: NodeId, process: P) -> Endpoint
+    where
+        P: Process,
+    {
+        self.shared
+            .spawn_polled(name.into(), node, None, Box::new(process))
+    }
+
+    /// Spawns a poll-driven process listening on a well-known port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already bound on that node or is in the
+    /// ephemeral range.
+    pub fn spawn_poll_at<P>(
+        &self,
+        name: impl Into<String>,
+        node: NodeId,
+        port: PortId,
+        process: P,
+    ) -> Endpoint
+    where
+        P: Process,
+    {
+        self.shared
+            .spawn_polled(name.into(), node, Some(port), Box::new(process))
+    }
+
     /// Exclusive access to the network model for runtime fault injection
     /// (partitions, loss, link latency). Do not hold across blocking calls.
     pub fn net(&self) -> MutexGuard<'_, Network> {
@@ -701,9 +834,25 @@ impl Ctx {
         self.with_rng(|r| r.gen())
     }
 
+    /// Whether this context belongs to a poll-driven process. Blocking
+    /// operations are unavailable there; protocol layers can branch on
+    /// this to pick a non-blocking strategy.
+    pub fn is_poll_driven(&self) -> bool {
+        self.yield_tx.is_none()
+    }
+
     fn block_on(&mut self, y: YieldMsg) -> Resume {
-        self.yield_tx.send(y).expect("scheduler disappeared");
-        self.resume_rx.recv().expect("scheduler disappeared")
+        let (Some(tx), Some(rx)) = (&self.yield_tx, &self.resume_rx) else {
+            panic!(
+                "blocking Ctx operation ({y:?}) in poll-driven process '{}': \
+                 a state machine parks by returning Poll::Pending (arm a timer \
+                 with ProcCx::wake_at / wake_after instead of sleeping, and use \
+                 try_recv instead of recv)",
+                self.name
+            );
+        };
+        tx.send(y).expect("scheduler disappeared");
+        rx.recv().expect("scheduler disappeared")
     }
 }
 
@@ -912,6 +1061,39 @@ impl Simulation {
             .spawn_proc(name.into(), node, Some(port), Box::new(body))
     }
 
+    /// Spawns a poll-driven process on `node` with an ephemeral port.
+    /// The scheduler polls it whenever a message is delivered to it or a
+    /// timer it armed with [`ProcCx::wake_at`] fires; it parks by
+    /// returning [`Poll::Pending`] and costs no thread while parked.
+    /// See the [`poll`](crate::poll) module for the full model.
+    pub fn spawn_poll<P>(&self, name: impl Into<String>, node: NodeId, process: P) -> Endpoint
+    where
+        P: Process,
+    {
+        self.shared
+            .spawn_polled(name.into(), node, None, Box::new(process))
+    }
+
+    /// Spawns a poll-driven process listening on a well-known port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already bound on that node or is in the
+    /// ephemeral range.
+    pub fn spawn_poll_at<P>(
+        &self,
+        name: impl Into<String>,
+        node: NodeId,
+        port: PortId,
+        process: P,
+    ) -> Endpoint
+    where
+        P: Process,
+    {
+        self.shared
+            .spawn_polled(name.into(), node, Some(port), Box::new(process))
+    }
+
     /// Runs the simulation until no events remain, then shuts all
     /// processes down and joins their threads.
     ///
@@ -1001,39 +1183,65 @@ impl Simulation {
 
     fn dispatch(&mut self, kind: EvKind) {
         match kind {
-            EvKind::Wake(pid) => {
-                let state = self.proc_state(pid);
-                match state {
-                    Some(ProcState::NotStarted) => self.resume_and_wait(pid, Resume::Start),
-                    Some(ProcState::Sleeping) => self.resume_and_wait(pid, Resume::Woken),
-                    _ => {} // finished or stale
-                }
-            }
+            EvKind::Wake(pid) => match self.proc_status(pid) {
+                Some((ProcState::NotStarted, false)) => self.resume_and_wait(pid, Resume::Start),
+                Some((ProcState::Sleeping, false)) => self.resume_and_wait(pid, Resume::Woken),
+                Some((ProcState::NotStarted | ProcState::Parked, true)) => self.poll_process(pid),
+                _ => {} // finished or stale
+            },
             EvKind::Timeout { pid, gen } => {
-                let fire = {
+                // A timer is live only if the process still blocks on the
+                // park that armed it: the generation bumps on every park.
+                let polled = {
                     let reg = self.shared.registry.lock();
-                    reg.procs
-                        .get(&pid)
-                        .map(|e| e.state == ProcState::BlockedRecv && e.gen == gen)
-                        .unwrap_or(false)
+                    reg.procs.get(&pid).and_then(|e| {
+                        if e.gen != gen {
+                            return None;
+                        }
+                        match (&e.kind, e.state) {
+                            (ProcKind::Thread { .. }, ProcState::BlockedRecv) => Some(false),
+                            (ProcKind::Polled { .. }, ProcState::Parked) => Some(true),
+                            _ => None,
+                        }
+                    })
                 };
-                if fire {
-                    self.resume_and_wait(pid, Resume::TimedOut);
+                match polled {
+                    Some(false) => self.resume_and_wait(pid, Resume::TimedOut),
+                    Some(true) => self.poll_process(pid),
+                    None => {}
                 }
             }
-            EvKind::Kill(pid) => {
-                // Tear the victim down now: keep resuming it with
-                // Shutdown until its body returns.
-                loop {
-                    match self.proc_state(pid) {
-                        Some(ProcState::Finished) | None => break,
-                        _ => self.resume_and_wait(pid, Resume::Shutdown),
+            EvKind::Kill(pid) => match self.proc_status(pid) {
+                Some((ProcState::Finished, _)) | None => {}
+                Some((_, true)) => {
+                    // A killed state machine just drops: a crash runs no
+                    // farewell code (destructors still run, as they would
+                    // for a thread unwinding out of Stopped).
+                    self.finish_polled(pid, None);
+                }
+                Some((_, false)) => {
+                    // Tear the victim down now: keep resuming it with
+                    // Shutdown until its body returns.
+                    loop {
+                        match self.proc_status(pid) {
+                            Some((ProcState::Finished, _)) | None => break,
+                            _ => self.resume_and_wait(pid, Resume::Shutdown),
+                        }
                     }
                 }
-            }
+            },
             EvKind::Deliver { msg } => {
                 let (delivered_src, delivered_dst, delivered_bytes, delivered_span) =
                     (msg.src, msg.dst, msg.payload.len(), msg.span);
+                // What the delivery should do to the receiving process:
+                // resume a thread blocked in recv, poll a parked machine,
+                // or nothing (it will find the message when it next runs).
+                #[derive(PartialEq)]
+                enum After {
+                    Nothing,
+                    ResumeThread,
+                    PollMachine,
+                }
                 let target = {
                     let mut reg = self.shared.registry.lock();
                     let pid = reg.endpoints.get(&msg.dst).copied();
@@ -1044,14 +1252,28 @@ impl Simulation {
                                 None
                             } else {
                                 entry.mailbox.push_back(msg);
-                                Some((pid, entry.state))
+                                let after = match (&entry.kind, entry.state) {
+                                    (ProcKind::Thread { .. }, ProcState::BlockedRecv) => {
+                                        After::ResumeThread
+                                    }
+                                    // Every delivery wakes a parked machine:
+                                    // it parked after seeing an empty
+                                    // mailbox, so this message is news. No
+                                    // wakeup can be lost — racing
+                                    // completions each schedule a poll.
+                                    (ProcKind::Polled { .. }, ProcState::Parked) => {
+                                        After::PollMachine
+                                    }
+                                    _ => After::Nothing,
+                                };
+                                Some((pid, after))
                             }
                         }
                         None => None,
                     }
                 };
                 match target {
-                    Some((pid, state)) => {
+                    Some((pid, after)) => {
                         self.shared.metrics.on_deliver();
                         self.shared.record(TraceEvent::Delivered {
                             src: delivered_src,
@@ -1059,8 +1281,10 @@ impl Simulation {
                             bytes: delivered_bytes,
                             span: delivered_span,
                         });
-                        if state == ProcState::BlockedRecv {
-                            self.resume_and_wait(pid, Resume::Delivered);
+                        match after {
+                            After::ResumeThread => self.resume_and_wait(pid, Resume::Delivered),
+                            After::PollMachine => self.poll_process(pid),
+                            After::Nothing => {}
                         }
                     }
                     None => {
@@ -1076,8 +1300,89 @@ impl Simulation {
         }
     }
 
-    fn proc_state(&self, pid: ProcId) -> Option<ProcState> {
-        self.shared.registry.lock().procs.get(&pid).map(|e| e.state)
+    /// The process's state plus whether it is poll-driven.
+    fn proc_status(&self, pid: ProcId) -> Option<(ProcState, bool)> {
+        self.shared
+            .registry
+            .lock()
+            .procs
+            .get(&pid)
+            .map(|e| (e.state, matches!(e.kind, ProcKind::Polled { .. })))
+    }
+
+    /// Polls a poll-driven process once. The machine is taken out of the
+    /// registry for the duration, so no lock is held while user code
+    /// runs (and the machine may freely spawn or kill other processes).
+    fn poll_process(&mut self, pid: ProcId) {
+        let machine = {
+            let mut reg = self.shared.registry.lock();
+            let Some(entry) = reg.procs.get_mut(&pid) else {
+                return;
+            };
+            if entry.state == ProcState::Finished {
+                return;
+            }
+            match &mut entry.kind {
+                ProcKind::Polled { machine } => machine.take(),
+                ProcKind::Thread { .. } => unreachable!("poll of thread-backed process"),
+            }
+        };
+        let Some(mut m) = machine else {
+            return;
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| m.process.poll(&mut m.cx)));
+        let wake = m.cx.take_wake();
+        match result {
+            Ok(Poll::Pending) => {
+                let gen = {
+                    let mut reg = self.shared.registry.lock();
+                    let entry = reg.procs.get_mut(&pid).expect("proc vanished");
+                    entry.gen += 1;
+                    entry.state = ProcState::Parked;
+                    match &mut entry.kind {
+                        ProcKind::Polled { machine } => *machine = Some(m),
+                        ProcKind::Thread { .. } => unreachable!(),
+                    }
+                    entry.gen
+                };
+                if let Some(at) = wake {
+                    let at = at.max(self.shared.now());
+                    self.shared.push_event(at, EvKind::Timeout { pid, gen });
+                }
+            }
+            Ok(Poll::Ready(())) => {
+                drop(m);
+                self.finish_polled(pid, None);
+            }
+            Err(p) => {
+                drop(m);
+                self.finish_polled(pid, Some(panic_message(p.as_ref())));
+            }
+        }
+    }
+
+    /// Marks a poll-driven process finished, dropping its machine (and
+    /// with it the process's share of the table memory).
+    fn finish_polled(&mut self, pid: ProcId, panic_msg: Option<String>) {
+        let newly_finished = {
+            let mut reg = self.shared.registry.lock();
+            let Some(entry) = reg.procs.get_mut(&pid) else {
+                return;
+            };
+            let newly = entry.state != ProcState::Finished;
+            entry.state = ProcState::Finished;
+            if panic_msg.is_some() {
+                entry.panic_msg = panic_msg;
+            }
+            if let ProcKind::Polled { machine } = &mut entry.kind {
+                *machine = None;
+            }
+            newly
+        };
+        if newly_finished {
+            self.shared.metrics.on_proc_finish();
+            self.shared.record(TraceEvent::Finished { pid });
+        }
     }
 
     /// Resumes `pid` and blocks until it yields again, then records the
@@ -1086,7 +1391,14 @@ impl Simulation {
         let (tx, rx) = {
             let reg = self.shared.registry.lock();
             let entry = reg.procs.get(&pid).expect("resume of unknown proc");
-            (entry.resume_tx.clone(), entry.yield_rx.clone())
+            match &entry.kind {
+                ProcKind::Thread {
+                    resume_tx,
+                    yield_rx,
+                    ..
+                } => (resume_tx.clone(), yield_rx.clone()),
+                ProcKind::Polled { .. } => unreachable!("resume of poll-driven process"),
+            }
         };
         tx.send(resume).expect("process thread gone before resume");
         let y = rx.recv().expect("process thread gone before yield");
@@ -1111,28 +1423,37 @@ impl Simulation {
                 entry.state = ProcState::Finished;
                 entry.panic_msg = panic_msg;
                 drop(reg);
+                self.shared.metrics.on_proc_finish();
                 self.shared.record(TraceEvent::Finished { pid });
             }
         }
     }
 
-    /// Tells every live process to stop and joins all threads.
+    /// Tells every live process to stop: threads are resumed with
+    /// `Shutdown` until they return (then joined); poll-driven machines
+    /// get one final poll with the stop flag set — the mirror of a
+    /// thread seeing [`Stopped`] — and are then dropped regardless.
     fn shutdown(&mut self) {
-        let pids: Vec<ProcId> = {
+        let pids: Vec<(ProcId, bool)> = {
             let reg = self.shared.registry.lock();
             reg.procs
                 .iter()
                 .filter(|(_, e)| e.state != ProcState::Finished)
-                .map(|(pid, _)| *pid)
+                .map(|(pid, e)| (*pid, matches!(e.kind, ProcKind::Polled { .. })))
                 .collect()
         };
-        for pid in pids {
-            // A stopping process may legally block a few more times before
-            // noticing; keep resuming it with Shutdown until it finishes.
-            loop {
-                match self.proc_state(pid) {
-                    Some(ProcState::Finished) | None => break,
-                    _ => self.resume_and_wait(pid, Resume::Shutdown),
+        for (pid, polled) in pids {
+            if polled {
+                self.shutdown_polled(pid);
+            } else {
+                // A stopping process may legally block a few more times
+                // before noticing; keep resuming it with Shutdown until
+                // it finishes.
+                loop {
+                    match self.proc_status(pid) {
+                        Some((ProcState::Finished, _)) | None => break,
+                        _ => self.resume_and_wait(pid, Resume::Shutdown),
+                    }
                 }
             }
         }
@@ -1140,7 +1461,10 @@ impl Simulation {
             let mut reg = self.shared.registry.lock();
             reg.procs
                 .values_mut()
-                .filter_map(|e| e.handle.take().map(|h| (e.name.clone(), h)))
+                .filter_map(|e| match &mut e.kind {
+                    ProcKind::Thread { handle, .. } => handle.take().map(|h| (e.name.clone(), h)),
+                    ProcKind::Polled { .. } => None,
+                })
                 .collect()
         };
         for (name, h) in handles {
@@ -1149,6 +1473,32 @@ impl Simulation {
                 eprintln!("simnet: process thread '{name}' terminated abnormally");
             }
         }
+    }
+
+    /// One final poll with the stop flag raised, then finish. Dropping
+    /// the machine here also breaks the `Shared → registry → ProcCx →
+    /// Shared` reference cycle a parked machine's context holds.
+    fn shutdown_polled(&mut self, pid: ProcId) {
+        let machine = {
+            let mut reg = self.shared.registry.lock();
+            let Some(entry) = reg.procs.get_mut(&pid) else {
+                return;
+            };
+            if entry.state == ProcState::Finished {
+                return;
+            }
+            match &mut entry.kind {
+                ProcKind::Polled { machine } => machine.take(),
+                ProcKind::Thread { .. } => unreachable!(),
+            }
+        };
+        let panic_msg = machine.and_then(|mut m| {
+            m.cx.ctx.stopped = true;
+            panic::catch_unwind(AssertUnwindSafe(|| m.process.poll(&mut m.cx)))
+                .err()
+                .map(|p| panic_message(p.as_ref()))
+        });
+        self.finish_polled(pid, panic_msg);
     }
 
     fn check_panics(&self) {
