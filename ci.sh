@@ -53,6 +53,19 @@ if [ "${1:-}" != "quick" ]; then
   cargo run -q --release -p bench --bin perfgate -- --warn-only \
     target/BENCH_e16.json BENCH_e16.json
 
+  step "E17 observability-plane smoke (obs-on vs obs-off + BENCH_e17.json)"
+  # ~20k clients, two legs (instrumented vs dark); asserts retirement
+  # conserves spans, the table ends O(open + sampled), self-measurement
+  # records the plane's own cost, and overhead stays under 2x.
+  PROXIDE_E17_SMOKE=1 PROXIDE_BENCH_DIR=target \
+    cargo run -q --release -p bench --bin e17_obsplane
+
+  step "perfgate (E17 baseline self-compare + warn-only smoke compare)"
+  cargo run -q --release -p bench --bin perfgate -- BENCH_e17.json BENCH_e17.json
+  # Smoke runs a shrunken fleet: incomparable config, warn-only.
+  cargo run -q --release -p bench --bin perfgate -- --warn-only \
+    target/BENCH_e17.json BENCH_e17.json
+
   step "E15 flight-recorder smoke (windowed telemetry + exemplars + validators)"
   # Runs the chaos sweep, asserts re-bucketing invariance, conservation,
   # exemplar tiling, and exports artifacts for the checks below.

@@ -432,8 +432,8 @@ fn cmd_check(path: &str) -> ExitCode {
     match obs::validate_report(&text) {
         Ok(s) => {
             println!(
-                "{path}: valid run report — {} timeseries windows, {} exemplars ({} with causal breakdown)",
-                s.windows, s.exemplars, s.with_breakdown
+                "{path}: valid run report — {} timeseries windows, {} exemplars ({} with causal breakdown), {} spans retired / {} resident",
+                s.windows, s.exemplars, s.with_breakdown, s.spans_retired, s.spans_resident
             );
             ExitCode::SUCCESS
         }

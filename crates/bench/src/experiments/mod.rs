@@ -7,6 +7,7 @@ pub mod e13_pipeline;
 pub mod e14_hotpath;
 pub mod e15_flight;
 pub mod e16_million;
+pub mod e17_obsplane;
 pub mod e1_access_methods;
 pub mod e2_cache_sweep;
 pub mod e3_migration;
@@ -37,6 +38,7 @@ pub fn run_all() -> bool {
         e14_hotpath::run(),
         e15_flight::run(),
         e16_million::run(),
+        e17_obsplane::run(),
     ];
     let mut all = true;
     for o in &outputs {

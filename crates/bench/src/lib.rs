@@ -157,8 +157,9 @@ pub struct Check {
 /// One-line digest of a `RunReport` JSON blob for the experiment log:
 /// the loss-shaped counters a reader would otherwise have to dig out of
 /// the blob (proxy-discarded datagrams, trace-ring evictions) plus the
-/// flight-recorder headlines (pinned exemplars, recorded windows).
-/// `None` only when the blob does not parse.
+/// flight-recorder headlines (pinned exemplars, recorded windows) and
+/// the obs-plane honesty counts (spans retired vs resident, time spent
+/// inside the plane itself). `None` only when the blob does not parse.
 fn obs_summary_line(json: &str) -> Option<String> {
     let doc = obs::json::parse(json).ok()?;
     let discarded: u64 = doc
@@ -188,10 +189,25 @@ fn obs_summary_line(json: &str) -> Option<String> {
         .get("net")
         .and_then(|n| n.u64_field("processes_peak"))
         .unwrap_or(0);
+    let spans_retired = doc
+        .get("obs")
+        .and_then(|o| o.u64_field("spans_retired"))
+        .unwrap_or(0);
+    let spans_resident = doc
+        .get("obs")
+        .and_then(|o| o.u64_field("spans_resident"))
+        .unwrap_or(0);
+    let obs_self_us = doc
+        .get("obs")
+        .and_then(|o| o.u64_field("self_ns"))
+        .unwrap_or(0)
+        / 1_000;
     Some(format!(
         "datagrams_discarded={discarded} trace_evicted={trace_evicted} \
          exemplars={exemplars} ts_windows={windows} \
-         procs_spawned={procs_spawned} procs_peak={procs_peak}"
+         procs_spawned={procs_spawned} procs_peak={procs_peak} \
+         spans_retired={spans_retired} spans_resident={spans_resident} \
+         obs_self_us={obs_self_us}"
     ))
 }
 

@@ -1,0 +1,141 @@
+//! Name-server cluster: replicas share one striped directory, so a
+//! registration through any replica endpoint is visible to lookups
+//! through every other, and clients spreading lookups by service-name
+//! hash still resolve everything.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proxy_core::{
+    BindFuture, CallFuture, InterfaceDesc, OpDesc, ProxySpec, ServiceBuilder, ServiceObject,
+    SessionCore,
+};
+use rpc::{ErrorCode, RemoteError};
+use simnet::{Endpoint, NetworkConfig, NodeId, Poll, ProcCx, Process, Simulation};
+use wire::Value;
+
+/// Echoes its configured id.
+struct Echo(u64);
+
+impl ServiceObject for Echo {
+    fn interface(&self) -> InterfaceDesc {
+        InterfaceDesc::new("echo", [OpDesc::read_whole("get")])
+    }
+
+    fn dispatch(
+        &mut self,
+        _ctx: &mut simnet::Ctx,
+        op: &str,
+        _args: &Value,
+    ) -> Result<Value, RemoteError> {
+        match op {
+            "get" => Ok(Value::U64(self.0)),
+            other => Err(RemoteError::new(ErrorCode::NoSuchOp, other.to_owned())),
+        }
+    }
+}
+
+/// Binds one service through the replica set and calls `get` once.
+struct ClusterClient {
+    core: SessionCore,
+    service: String,
+    expect: u64,
+    state: State,
+    ok: Arc<AtomicU64>,
+}
+
+enum State {
+    Start,
+    Binding(BindFuture),
+    Calling(CallFuture),
+    Done,
+}
+
+impl Process for ClusterClient {
+    fn poll(&mut self, cx: &mut ProcCx) -> Poll<()> {
+        loop {
+            match self.state {
+                State::Start => {
+                    let f = self.core.bind_async(cx, &self.service.clone());
+                    self.state = State::Binding(f);
+                }
+                State::Binding(f) => match self.core.poll_bind(cx, f) {
+                    Poll::Pending => return Poll::Pending,
+                    Poll::Ready(h) => {
+                        let h = h.expect("bind resolves through some replica");
+                        let f = self.core.invoke_async(cx, h, "get", Value::Null);
+                        self.state = State::Calling(f);
+                    }
+                },
+                State::Calling(f) => match self.core.poll_call(cx, f) {
+                    Poll::Pending => return Poll::Pending,
+                    Poll::Ready(r) => {
+                        let v = r.expect("call succeeds").as_u64().unwrap();
+                        assert_eq!(v, self.expect, "bound to the right service");
+                        self.ok.fetch_add(1, Ordering::Relaxed);
+                        self.state = State::Done;
+                        return Poll::Ready(());
+                    }
+                },
+                State::Done => return Poll::Ready(()),
+            }
+        }
+    }
+}
+
+const SERVICES: u64 = 12;
+
+fn cluster_run(seed: u64, replicas: usize) -> (u64, String) {
+    let mut sim = Simulation::new(NetworkConfig::lan(), seed);
+    let ns_nodes: Vec<NodeId> = (0..replicas as u32).map(NodeId).collect();
+    let cluster: Vec<Endpoint> = naming::spawn_name_cluster(&sim, &ns_nodes);
+    // Register every service through a *different* replica endpoint:
+    // the shared directory must make all of them visible everywhere.
+    for i in 0..SERVICES {
+        let reg_ep = cluster[(i as usize) % cluster.len()];
+        ServiceBuilder::new(format!("echo-{i}"))
+            .spec(ProxySpec::Stub)
+            .object(move || Box::new(Echo(i)))
+            .spawn(&sim, NodeId(replicas as u32 + i as u32), reg_ep);
+    }
+    let ok = Arc::new(AtomicU64::new(0));
+    for i in 0..SERVICES {
+        sim.spawn_poll(
+            format!("client-{i}"),
+            NodeId(100 + i as u32),
+            ClusterClient {
+                core: SessionCore::new(cluster[0]).with_ns_replicas(cluster.clone()),
+                service: format!("echo-{i}"),
+                expect: i,
+                state: State::Start,
+                ok: Arc::clone(&ok),
+            },
+        );
+    }
+    sim.run();
+    let report = sim.obs_report();
+    (ok.load(Ordering::Relaxed), report.to_json())
+}
+
+#[test]
+fn cluster_resolves_cross_replica_registrations() {
+    let (ok, _) = cluster_run(42, 3);
+    assert_eq!(ok, SERVICES, "every client bound and called");
+}
+
+#[test]
+fn cluster_runs_are_deterministic() {
+    let (ok_a, json_a) = cluster_run(7, 4);
+    let (ok_b, json_b) = cluster_run(7, 4);
+    assert_eq!(ok_a, SERVICES);
+    assert_eq!(ok_b, SERVICES);
+    assert_eq!(json_a, json_b, "same seed, same cluster => same report");
+}
+
+#[test]
+fn single_replica_cluster_matches_plain_server() {
+    // A one-replica cluster is just the ordinary name server reached
+    // through the cluster API; everything still resolves.
+    let (ok, _) = cluster_run(11, 1);
+    assert_eq!(ok, SERVICES);
+}

@@ -31,11 +31,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod directory;
 mod record;
 mod server;
 
+pub use directory::Directory;
 pub use record::NameRecord;
-pub use server::{name_server_body, spawn_name_server, NAME_SERVER_PORT};
+pub use server::{
+    name_server_body, serve_directory, spawn_name_cluster, spawn_name_server, NAME_SERVER_PORT,
+};
 
 use std::collections::HashMap;
 

@@ -1,38 +1,24 @@
 //! The name server process.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rpc::{endpoint_from_value, ErrorCode, RemoteError, Request, RpcServer};
 use simnet::{Ctx, Endpoint, NodeId, PortId, Simulation};
 use wire::{Value, WireError};
 
-use crate::record::NameRecord;
+use crate::directory::Directory;
 
 /// The well-known port the name server listens on.
 pub const NAME_SERVER_PORT: PortId = PortId(1);
-
-/// In-memory name table (process-local state of the server).
-#[derive(Debug, Default)]
-struct NameTable {
-    records: BTreeMap<String, NameRecord>,
-    next_gen: u64,
-}
-
-impl NameTable {
-    fn bump(&mut self) -> u64 {
-        self.next_gen += 1;
-        self.next_gen
-    }
-}
 
 fn bad_args(e: WireError) -> RemoteError {
     RemoteError::new(ErrorCode::BadArgs, e.to_string())
 }
 
-fn handle(table: &mut NameTable, req: &Request) -> Result<Value, RemoteError> {
+fn handle(dir: &Directory, req: &Request) -> Result<Value, RemoteError> {
     match req.op.as_str() {
         "register" => {
-            let name = req.args.get_str("name").map_err(bad_args)?.to_owned();
+            let name = req.args.get_str("name").map_err(bad_args)?;
             let ep = endpoint_from_value(
                 req.args
                     .get("ep")
@@ -40,15 +26,7 @@ fn handle(table: &mut NameTable, req: &Request) -> Result<Value, RemoteError> {
             )
             .map_err(bad_args)?;
             let meta = req.args.get("meta").cloned().unwrap_or(Value::Null);
-            let gen = table.bump();
-            table.records.insert(
-                name,
-                NameRecord {
-                    endpoint: ep,
-                    meta,
-                    generation: gen,
-                },
-            );
+            let gen = dir.register(name, ep, meta);
             Ok(Value::record([("gen", Value::U64(gen))]))
         }
         "update" => {
@@ -60,16 +38,8 @@ fn handle(table: &mut NameTable, req: &Request) -> Result<Value, RemoteError> {
             )
             .map_err(bad_args)?;
             let meta = req.args.get("meta").cloned().unwrap_or(Value::Null);
-            let gen = table.bump();
-            match table.records.get_mut(name) {
-                Some(rec) => {
-                    rec.endpoint = ep;
-                    if meta != Value::Null {
-                        rec.meta = meta;
-                    }
-                    rec.generation = gen;
-                    Ok(Value::record([("gen", Value::U64(gen))]))
-                }
+            match dir.update(name, ep, meta) {
+                Some(gen) => Ok(Value::record([("gen", Value::U64(gen))])),
                 None => Err(RemoteError::new(
                     ErrorCode::NoSuchObject,
                     format!("unknown name `{name}`"),
@@ -78,17 +48,18 @@ fn handle(table: &mut NameTable, req: &Request) -> Result<Value, RemoteError> {
         }
         "unregister" => {
             let name = req.args.get_str("name").map_err(bad_args)?;
-            match table.records.remove(name) {
-                Some(_) => Ok(Value::Null),
-                None => Err(RemoteError::new(
+            if dir.unregister(name) {
+                Ok(Value::Null)
+            } else {
+                Err(RemoteError::new(
                     ErrorCode::NoSuchObject,
                     format!("unknown name `{name}`"),
-                )),
+                ))
             }
         }
         "lookup" => {
             let name = req.args.get_str("name").map_err(bad_args)?;
-            match table.records.get(name) {
+            match dir.lookup(name) {
                 Some(rec) => Ok(rec.to_value()),
                 None => Err(RemoteError::new(
                     ErrorCode::NoSuchObject,
@@ -98,7 +69,7 @@ fn handle(table: &mut NameTable, req: &Request) -> Result<Value, RemoteError> {
         }
         "list" => Ok(Value::record([(
             "names",
-            Value::list(table.records.keys().map(Value::str)),
+            Value::list(dir.list().iter().map(Value::str)),
         )])),
         other => Err(RemoteError::new(ErrorCode::NoSuchOp, other.to_owned())),
     }
@@ -113,9 +84,16 @@ fn handle(table: &mut NameTable, req: &Request) -> Result<Value, RemoteError> {
 /// sim.spawn_at("names", NodeId(2), PortId(1), naming::name_server_body);
 /// ```
 pub fn name_server_body(ctx: &mut Ctx) {
-    let mut table = NameTable::default();
+    serve_directory(ctx, Arc::new(Directory::new()));
+}
+
+/// A name-server process body serving a caller-provided (typically
+/// shared) [`Directory`]. This is what replica bodies run: each replica
+/// answers from the same striped table, so a registration through any
+/// replica is immediately visible to lookups through every other.
+pub fn serve_directory(ctx: &mut Ctx, dir: Arc<Directory>) {
     let mut server = RpcServer::new();
-    server.serve(ctx, |_ctx, req| handle(&mut table, req), |_, _| {});
+    server.serve(ctx, |_ctx, req| handle(&dir, req), |_, _| {});
 }
 
 /// Spawns the name server on `node` at [`NAME_SERVER_PORT`], returning
@@ -128,9 +106,42 @@ pub fn spawn_name_server(sim: &Simulation, node: NodeId) -> Endpoint {
     sim.spawn_at("name-server", node, NAME_SERVER_PORT, name_server_body)
 }
 
+/// Spawns one name-server replica per node in `nodes`, all serving one
+/// shared striped [`Directory`], and returns their endpoints (one per
+/// node, in order).
+///
+/// Clients spread their lookups across the replicas (see
+/// `SessionCore::with_ns_replicas` in `core`), so a million concurrent
+/// bind backoff polls fan out over `nodes.len()` server queues instead
+/// of serializing on one process — while registrations stay visible
+/// directory-wide in the same instant.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or [`NAME_SERVER_PORT`] is already bound
+/// on any of the nodes.
+pub fn spawn_name_cluster(sim: &Simulation, nodes: &[NodeId]) -> Vec<Endpoint> {
+    assert!(!nodes.is_empty(), "name cluster needs at least one node");
+    let dir = Arc::new(Directory::new());
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| {
+            let dir = Arc::clone(&dir);
+            sim.spawn_at(
+                format!("name-server-{i}"),
+                node,
+                NAME_SERVER_PORT,
+                move |ctx: &mut Ctx| serve_directory(ctx, dir),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::NameRecord;
 
     fn req(op: &str, args: Value) -> Request {
         Request {
@@ -149,9 +160,9 @@ mod tests {
 
     #[test]
     fn register_then_lookup() {
-        let mut t = NameTable::default();
+        let t = Directory::new();
         let r = handle(
-            &mut t,
+            &t,
             &req(
                 "register",
                 Value::record([("name", Value::str("kv")), ("ep", ep_value(1, 2))]),
@@ -160,7 +171,7 @@ mod tests {
         .unwrap();
         assert_eq!(r.get_u64("gen").unwrap(), 1);
         let rec = handle(
-            &mut t,
+            &t,
             &req("lookup", Value::record([("name", Value::str("kv"))])),
         )
         .unwrap();
@@ -170,9 +181,9 @@ mod tests {
 
     #[test]
     fn update_bumps_generation_and_moves() {
-        let mut t = NameTable::default();
+        let t = Directory::new();
         handle(
-            &mut t,
+            &t,
             &req(
                 "register",
                 Value::record([("name", Value::str("kv")), ("ep", ep_value(1, 2))]),
@@ -180,7 +191,7 @@ mod tests {
         )
         .unwrap();
         let r = handle(
-            &mut t,
+            &t,
             &req(
                 "update",
                 Value::record([("name", Value::str("kv")), ("ep", ep_value(3, 4))]),
@@ -190,7 +201,7 @@ mod tests {
         assert_eq!(r.get_u64("gen").unwrap(), 2);
         let rec = NameRecord::from_value(
             &handle(
-                &mut t,
+                &t,
                 &req("lookup", Value::record([("name", Value::str("kv"))])),
             )
             .unwrap(),
@@ -202,15 +213,15 @@ mod tests {
 
     #[test]
     fn unknown_name_is_no_such_object() {
-        let mut t = NameTable::default();
+        let t = Directory::new();
         let e = handle(
-            &mut t,
+            &t,
             &req("lookup", Value::record([("name", Value::str("x"))])),
         )
         .unwrap_err();
         assert_eq!(e.code, ErrorCode::NoSuchObject);
         let e = handle(
-            &mut t,
+            &t,
             &req(
                 "update",
                 Value::record([("name", Value::str("x")), ("ep", ep_value(0, 0))]),
@@ -219,7 +230,7 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.code, ErrorCode::NoSuchObject);
         let e = handle(
-            &mut t,
+            &t,
             &req("unregister", Value::record([("name", Value::str("x"))])),
         )
         .unwrap_err();
@@ -228,10 +239,10 @@ mod tests {
 
     #[test]
     fn list_is_sorted() {
-        let mut t = NameTable::default();
+        let t = Directory::new();
         for n in ["zeta", "alpha", "mid"] {
             handle(
-                &mut t,
+                &t,
                 &req(
                     "register",
                     Value::record([("name", Value::str(n)), ("ep", ep_value(0, 1))]),
@@ -239,7 +250,7 @@ mod tests {
             )
             .unwrap();
         }
-        let r = handle(&mut t, &req("list", Value::Null)).unwrap();
+        let r = handle(&t, &req("list", Value::Null)).unwrap();
         let names: Vec<&str> = r
             .get_list("names")
             .unwrap()
@@ -251,17 +262,17 @@ mod tests {
 
     #[test]
     fn bad_args_reported() {
-        let mut t = NameTable::default();
-        let e = handle(&mut t, &req("register", Value::Null)).unwrap_err();
+        let t = Directory::new();
+        let e = handle(&t, &req("register", Value::Null)).unwrap_err();
         assert_eq!(e.code, ErrorCode::BadArgs);
     }
 
     #[test]
     fn reregister_replaces_binding() {
-        let mut t = NameTable::default();
+        let t = Directory::new();
         for p in [2u32, 7] {
             handle(
-                &mut t,
+                &t,
                 &req(
                     "register",
                     Value::record([("name", Value::str("kv")), ("ep", ep_value(1, p))]),
@@ -271,7 +282,7 @@ mod tests {
         }
         let rec = NameRecord::from_value(
             &handle(
-                &mut t,
+                &t,
                 &req("lookup", Value::record([("name", Value::str("kv"))])),
             )
             .unwrap(),

@@ -774,6 +774,11 @@ pub struct ReportSummary {
     pub exemplars: usize,
     /// Of those, exemplars with a causal breakdown attached.
     pub with_breakdown: usize,
+    /// Spans retired (folded into aggregates and evicted) by the
+    /// sharded registry; 0 for reports predating the obs section.
+    pub spans_retired: u64,
+    /// Spans resident in the span table at report time.
+    pub spans_resident: u64,
 }
 
 /// Structurally validates a `RunReport` JSON document, including the
@@ -784,7 +789,11 @@ pub struct ReportSummary {
 ///   start order, each aligned to `width_ns`,
 /// * every exemplar names a span/service/trigger and — when a breakdown
 ///   is attached — its queue/wire/server/retransmit components tile the
-///   exemplar latency *exactly*.
+///   exemplar latency *exactly*,
+/// * the obs self-measurement section (when present) carries every
+///   gauge, and retirement conserves spans: retired + resident equals
+///   the spans the run allocated (`started + oneways`). Reports written
+///   before the sharded registry have no `obs` object and stay valid.
 ///
 /// # Errors
 ///
@@ -866,6 +875,34 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             }
         }
         summary.exemplars = exemplars.len();
+    }
+    if let Some(obs) = doc.get("obs") {
+        let field = |k: &str| obs.u64_field(k).ok_or_else(|| format!("obs: missing {k}"));
+        let retired = field("spans_retired")?;
+        let resident = field("spans_resident")?;
+        let resident_peak = field("spans_resident_peak")?;
+        let bytes = field("span_table_bytes")?;
+        let bytes_peak = field("span_table_bytes_peak")?;
+        field("spans_sampled")?;
+        field("self_ns")?;
+        field("self_calls")?;
+        if resident > resident_peak {
+            return Err("obs: spans_resident exceeds its peak".into());
+        }
+        if bytes > bytes_peak {
+            return Err("obs: span_table_bytes exceeds its peak".into());
+        }
+        let spans = doc.get("spans").expect("presence checked above");
+        let allocated =
+            spans.u64_field("started").unwrap_or(0) + spans.u64_field("oneways").unwrap_or(0);
+        if retired + resident != allocated {
+            return Err(format!(
+                "obs: retirement does not conserve spans — \
+                 {retired} retired + {resident} resident != {allocated} allocated"
+            ));
+        }
+        summary.spans_retired = retired;
+        summary.spans_resident = resident;
     }
     Ok(summary)
 }

@@ -29,7 +29,7 @@
 //! Format JSON or a JSONL log, and [`analysis`] decomposes every
 //! request into queueing/wire/server/retransmit components.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -639,28 +639,69 @@ pub enum ReplyKind {
     Untracked,
 }
 
+/// Per-`(service, op)` fold of retired spans.
+///
+/// When span retirement is on ([`MetricsRegistry::enable_retirement`]),
+/// a closed span is evicted from the table and everything the report
+/// still needs from it lands here, so the totals in [`SpanReport`] are
+/// exact even though the records themselves are gone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RetiredAgg {
+    /// Invoke spans folded in.
+    invokes: u64,
+    /// Dispatch spans folded in.
+    dispatches: u64,
+    /// One-way spans folded in.
+    oneways: u64,
+    /// Retransmissions the folded spans had accumulated at close time.
+    retransmissions: u64,
+}
+
+/// One statistics stripe. Every `(service, op)` key lives wholly in one
+/// stripe (picked by key hash), so per-key state — the latency
+/// histogram the watchdog judges against and the retired-span
+/// aggregate — never needs cross-stripe merging and the report merge
+/// stays deterministic for any stripe count.
 #[derive(Debug, Default)]
-struct RegistryInner {
-    /// All spans ever opened; span id `n` lives at index `n - 1`.
-    spans: Vec<SpanRecord>,
+struct StatStripe {
     /// Per `(service, op)` latency histograms.
-    hists: BTreeMap<(String, String), Histogram>,
-    /// Aggregated client-side RPC counters.
-    rpc_client: CallStats,
-    /// Aggregated server-side RPC counters.
-    rpc_server: ServeStats,
+    hists: HashMap<(String, String), Histogram>,
+    /// Per `(service, op)` folds of retired spans.
+    retired: HashMap<(String, String), RetiredAgg>,
+}
+
+/// One stripe of the hot RPC counters. Cache-line aligned so stripes on
+/// different cores never false-share; every field is a relaxed atomic
+/// because the counters are pure sums with no cross-field invariants.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct CounterCell {
+    calls: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    stale_replies: AtomicU64,
+    strays_dropped: AtomicU64,
+    executed: AtomicU64,
+    duplicates_suppressed: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    oneways: AtomicU64,
+    undecodable: AtomicU64,
+    replies_matched: AtomicU64,
+    replies_late: AtomicU64,
+    replies_unknown_span: AtomicU64,
+    replies_untracked: AtomicU64,
+}
+
+/// Cold, rarely-written registry state behind a single mutex: published
+/// snapshots, the flight recorder, the watchdog and its exemplars, and
+/// run provenance. Nothing on the per-call hot path touches this lock
+/// unless the corresponding feature is armed.
+#[derive(Debug, Default)]
+struct MiscInner {
     /// Last published per-proxy stats, keyed `service@owner`.
     proxies: BTreeMap<String, ProxyStats>,
     /// Last published per-service server stats, keyed by service name.
     servers: BTreeMap<String, ServerStats>,
-    /// Replies matched to a live span.
-    replies_matched: u64,
-    /// Replies whose span had already closed.
-    replies_late: u64,
-    /// Replies carrying a span id never allocated here.
-    replies_unknown_span: u64,
-    /// Replies carrying span 0.
-    replies_untracked: u64,
     /// Windowed flight recorder, when enabled.
     timeseries: Option<TimeSeries>,
     /// Slow-call watchdog, when enabled.
@@ -673,35 +714,301 @@ struct RegistryInner {
     meta: RunMeta,
 }
 
+/// Self-measurement of the observability plane: what the plane itself
+/// costs, reported as first-class gauges inside the report it produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsPlaneReport {
+    /// Closed spans folded into per-`(service, op)` aggregates and
+    /// evicted from the span table.
+    pub spans_retired: u64,
+    /// Closed spans the retirement sampler kept resident (exemplars for
+    /// the flight recorder and critical-path analysis).
+    pub spans_sampled: u64,
+    /// Spans resident in the table at report time (open + sampled).
+    pub spans_resident: u64,
+    /// High-water mark of resident spans over the run.
+    pub spans_resident_peak: u64,
+    /// Estimated resident span-table bytes at report time (record
+    /// struct plus its service/op string payloads).
+    pub span_table_bytes: u64,
+    /// High-water mark of the span-table byte estimate.
+    pub span_table_bytes_peak: u64,
+    /// Wall-clock nanoseconds spent inside registry calls while
+    /// self-measurement was on (0 when it never was).
+    pub self_ns: u64,
+    /// Registry calls timed by self-measurement.
+    pub self_calls: u64,
+}
+
+/// Default number of span-table shards.
+const DEFAULT_SPAN_SHARDS: usize = 16;
+/// Default number of `(service, op)` statistic stripes.
+const DEFAULT_STAT_STRIPES: usize = 8;
+/// Number of hot-counter stripes (fixed; must be a power of two).
+const COUNTER_STRIPES: usize = 8;
+
+/// FNV-1a over a `(service, op)` key, for stripe selection.
+fn key_hash(service: &str, op: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(service.as_bytes());
+    eat(&[0xff]);
+    eat(op.as_bytes());
+    h
+}
+
+/// Byte estimate of one resident span record: the struct itself plus
+/// its heap-owned string payloads. Deliberately `len`-based (not
+/// capacity) so the estimate is identical across shard counts.
+fn span_bytes(rec: &SpanRecord) -> u64 {
+    (std::mem::size_of::<SpanRecord>() + rec.service.len() + rec.op.len()) as u64
+}
+
 /// The process-wide sink for spans, histograms and counters.
 ///
 /// One registry is shared by every process of a simulation (it hangs off
 /// the scheduler's shared state), so a single [`RunReport`] covers the
 /// whole run. All methods take `&self`; interior mutability keeps the
 /// call sites free of plumbing.
-#[derive(Debug, Default)]
+///
+/// Internally the registry is sharded so a million-client run can leave
+/// it on: span records live in id-keyed shards, per-`(service, op)`
+/// statistics (histograms, retirement aggregates, the watchdog's
+/// rolling p99) live in key-hashed stripes, and the hot RPC counters
+/// are striped relaxed atomics. [`MetricsRegistry::report`] merges all
+/// of it deterministically: every per-key statistic lives wholly in one
+/// stripe, every cross-shard sum is commutative, and map output is
+/// key-ordered — so the report is byte-identical for any shard or
+/// stripe count.
+#[derive(Debug)]
 pub struct MetricsRegistry {
     next_span: AtomicU64,
-    /// Mirrors `inner.timeseries.is_some()` so hot paths can skip the
-    /// registry lock (and the series-name formatting feeding it) with a
+    /// Mirrors `misc.timeseries.is_some()` so hot paths can skip the
+    /// misc lock (and the series-name formatting feeding it) with a
     /// single relaxed load when the recorder is off.
     ts_enabled: AtomicBool,
-    inner: Mutex<RegistryInner>,
+    /// Mirrors `misc.watchdog.is_some()` for the same reason.
+    wd_enabled: AtomicBool,
+    /// Master switch: when off the whole plane is inert — `open_span`
+    /// returns [`SpanId::NONE`] and every recording call is a no-op.
+    enabled: AtomicBool,
+    // -- retirement --
+    retire_enabled: AtomicBool,
+    /// Keep every nth closed span resident (0 = keep none).
+    retire_keep_every: AtomicU64,
+    /// Global close sequence driving the keep-every-nth sampler; global
+    /// so the sampling decision is independent of the shard count.
+    closed_seq: AtomicU64,
+    retired: AtomicU64,
+    sampled_kept: AtomicU64,
+    /// Retransmissions noted for spans already retired (attributable to
+    /// the run but no longer to a record).
+    retired_retransmissions: AtomicU64,
+    // -- residency gauges --
+    resident: AtomicU64,
+    resident_peak: AtomicU64,
+    table_bytes: AtomicU64,
+    table_bytes_peak: AtomicU64,
+    // -- self-measurement --
+    sm_enabled: AtomicBool,
+    self_ns: AtomicU64,
+    self_calls: AtomicU64,
+    // -- sharded state --
+    span_shards: Box<[Mutex<HashMap<u64, SpanRecord>>]>,
+    stripes: Box<[Mutex<StatStripe>]>,
+    counters: Box<[CounterCell]>,
+    misc: Mutex<MiscInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::with_layout(DEFAULT_SPAN_SHARDS, DEFAULT_STAT_STRIPES)
+    }
+}
+
+/// What `close_span` carries out of the span-shard phase into the
+/// stripe phase.
+struct ClosedSpan {
+    kind: SpanKind,
+    start_ns: u64,
+    service: String,
+    op: String,
+    /// `Some(retransmissions)` when the record was retired and must be
+    /// folded into the stripe's aggregate.
+    fold_retransmissions: Option<u64>,
 }
 
 impl MetricsRegistry {
-    /// A fresh registry with no spans or counters.
+    /// A fresh registry with the default shard layout.
     pub fn new() -> MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// A registry with an explicit shard layout (rounded up to powers
+    /// of two, clamped to at least 1). The layout affects contention and
+    /// memory granularity only — never the report: byte-identical
+    /// output for any layout is a tested invariant.
+    pub fn with_layout(span_shards: usize, stat_stripes: usize) -> MetricsRegistry {
+        let span_shards = span_shards.clamp(1, 1 << 16).next_power_of_two();
+        let stat_stripes = stat_stripes.clamp(1, 1 << 16).next_power_of_two();
+        MetricsRegistry {
+            next_span: AtomicU64::new(0),
+            ts_enabled: AtomicBool::new(false),
+            wd_enabled: AtomicBool::new(false),
+            enabled: AtomicBool::new(true),
+            retire_enabled: AtomicBool::new(false),
+            retire_keep_every: AtomicU64::new(0),
+            closed_seq: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+            sampled_kept: AtomicU64::new(0),
+            retired_retransmissions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            resident_peak: AtomicU64::new(0),
+            table_bytes: AtomicU64::new(0),
+            table_bytes_peak: AtomicU64::new(0),
+            sm_enabled: AtomicBool::new(false),
+            self_ns: AtomicU64::new(0),
+            self_calls: AtomicU64::new(0),
+            span_shards: (0..span_shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            stripes: (0..stat_stripes)
+                .map(|_| Mutex::new(StatStripe::default()))
+                .collect(),
+            counters: (0..COUNTER_STRIPES)
+                .map(|_| CounterCell::default())
+                .collect(),
+            misc: Mutex::new(MiscInner::default()),
+        }
+    }
+
+    #[inline]
+    fn on(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, id: u64) -> std::sync::MutexGuard<'_, HashMap<u64, SpanRecord>> {
+        let idx = (id as usize).wrapping_sub(1) & (self.span_shards.len() - 1);
+        self.span_shards[idx]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stripe(&self, service: &str, op: &str) -> std::sync::MutexGuard<'_, StatStripe> {
+        let idx = (key_hash(service, op) as usize) & (self.stripes.len() - 1);
+        self.stripes[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn misc(&self) -> std::sync::MutexGuard<'_, MiscInner> {
+        self.misc.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The calling thread's counter stripe. Threads are assigned
+    /// round-robin on first use; the report sums all stripes, so the
+    /// assignment never shows in the output.
+    fn cell(&self) -> &CounterCell {
+        use std::cell::Cell;
+        use std::sync::atomic::AtomicUsize;
+        thread_local! {
+            static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let idx = STRIPE.with(|s| {
+            let mut i = s.get();
+            if i == usize::MAX {
+                i = NEXT.fetch_add(1, Ordering::Relaxed);
+                s.set(i);
+            }
+            i
+        });
+        &self.counters[idx & (COUNTER_STRIPES - 1)]
+    }
+
+    #[inline]
+    fn sm_start(&self) -> Option<std::time::Instant> {
+        if self.sm_enabled.load(Ordering::Relaxed) {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn sm_end(&self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.self_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.self_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bookkeeping for a record leaving the table.
+    fn note_evicted(&self, rec: &SpanRecord) {
+        self.retired.fetch_add(1, Ordering::Relaxed);
+        self.resident.fetch_sub(1, Ordering::Relaxed);
+        self.table_bytes
+            .fetch_sub(span_bytes(rec), Ordering::Relaxed);
+    }
+
+    /// The keep-every-nth retirement sampling decision for the next
+    /// closed span (also advances the global close sequence).
+    fn retire_keeps(&self) -> bool {
+        let seq = self.closed_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.retire_keep_every.load(Ordering::Relaxed) {
+            0 => false,
+            n => seq.is_multiple_of(n),
+        }
+    }
+
+    // -- switches ----------------------------------------------------------
+
+    /// Master switch for the whole plane. When off, `open_span` returns
+    /// [`SpanId::NONE`] (which makes every downstream span call a no-op)
+    /// and counters stop accumulating — the obs-off leg of overhead
+    /// experiments. On by default.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when the plane is recording (the default).
+    pub fn is_enabled(&self) -> bool {
+        self.on()
+    }
+
+    /// Arms span retirement: closed `Invoke`/`Dispatch`/`Oneway` spans
+    /// fold into per-`(service, op)` aggregates and are evicted from the
+    /// table, keeping the resident working set O(open spans + sampled
+    /// exemplars) instead of O(total calls). `keep_every = n` keeps
+    /// every nth closed span resident as a sampled exemplar for traces
+    /// (`0` keeps none). Off by default — without retirement every span
+    /// stays resident, the pre-retirement behavior.
+    pub fn enable_retirement(&self, keep_every: u64) {
+        self.retire_keep_every.store(keep_every, Ordering::Relaxed);
+        self.retire_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// True when span retirement is armed.
+    pub fn retirement_enabled(&self) -> bool {
+        self.retire_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Arms self-measurement: every registry call is timed with a
+    /// monotonic clock and accumulated into the `self_ns`/`self_calls`
+    /// gauges of [`ObsPlaneReport`]. Off by default (two clock reads
+    /// per call are not free — that is the point of measuring).
+    pub fn enable_self_measure(&self) {
+        self.sm_enabled.store(true, Ordering::Relaxed);
     }
 
     // -- spans ------------------------------------------------------------
 
-    /// Opens a span and returns its id (never [`SpanId::NONE`]).
+    /// Opens a span and returns its id (never [`SpanId::NONE`] while the
+    /// plane is enabled; always [`SpanId::NONE`] when disabled).
     pub fn open_span(
         &self,
         kind: SpanKind,
@@ -710,9 +1017,12 @@ impl MetricsRegistry {
         op: &str,
         now_ns: u64,
     ) -> SpanId {
+        if !self.on() {
+            return SpanId::NONE;
+        }
+        let t0 = self.sm_start();
         let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed) + 1);
-        let mut inner = self.lock();
-        inner.spans.push(SpanRecord {
+        let rec = SpanRecord {
             id,
             parent,
             kind,
@@ -723,35 +1033,88 @@ impl MetricsRegistry {
             ok: None,
             retransmissions: 0,
             replies: 0,
-        });
+        };
+        let bytes = span_bytes(&rec);
+        self.shard(id.0).insert(id.0, rec);
+        let resident = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        self.resident_peak.fetch_max(resident, Ordering::Relaxed);
+        let total = self.table_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.table_bytes_peak.fetch_max(total, Ordering::Relaxed);
+        self.sm_end(t0);
         id
     }
 
     /// Closes a span and, for `Invoke` and `Dispatch` spans, records its
     /// duration into the `(service, op)` histogram. Closing
-    /// [`SpanId::NONE`] or an already-closed span is a no-op.
+    /// [`SpanId::NONE`] or an already-closed span is a no-op. When
+    /// retirement is armed the closed record folds into its stripe's
+    /// aggregate and leaves the table (unless the sampler keeps it).
     pub fn close_span(&self, id: SpanId, now_ns: u64, ok: bool) {
-        if !id.is_some() {
+        if !id.is_some() || !self.on() {
             return;
         }
-        let mut inner = self.lock();
-        let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) else {
-            return;
+        let t0 = self.sm_start();
+        // Phase 1 — span shard: close the record, decide retirement.
+        let closed: ClosedSpan = {
+            let mut shard = self.shard(id.0);
+            let retire;
+            let kind;
+            let start_ns;
+            {
+                let Some(rec) = shard.get_mut(&id.0) else {
+                    self.sm_end(t0);
+                    return;
+                };
+                if rec.end_ns.is_some() {
+                    self.sm_end(t0);
+                    return;
+                }
+                rec.end_ns = Some(now_ns);
+                rec.ok = Some(ok);
+                kind = rec.kind;
+                start_ns = rec.start_ns;
+                retire = self.retire_enabled.load(Ordering::Relaxed)
+                    && matches!(kind, SpanKind::Invoke | SpanKind::Dispatch);
+            }
+            if retire && !self.retire_keeps() {
+                let rec = shard.remove(&id.0).expect("record just closed");
+                self.note_evicted(&rec);
+                ClosedSpan {
+                    kind,
+                    start_ns,
+                    service: rec.service,
+                    op: rec.op,
+                    fold_retransmissions: Some(rec.retransmissions),
+                }
+            } else {
+                if retire {
+                    self.sampled_kept.fetch_add(1, Ordering::Relaxed);
+                }
+                let rec = shard.get(&id.0).expect("record just closed");
+                ClosedSpan {
+                    kind,
+                    start_ns,
+                    service: rec.service.clone(),
+                    op: rec.op.clone(),
+                    fold_retransmissions: None,
+                }
+            }
         };
-        if rec.end_ns.is_some() {
-            return;
-        }
-        rec.end_ns = Some(now_ns);
-        rec.ok = Some(ok);
-        let kind = rec.kind;
-        let start_ns = rec.start_ns;
-        let key = (rec.service.clone(), rec.op.clone());
-        let dur = now_ns.saturating_sub(start_ns);
+        let dur = now_ns.saturating_sub(closed.start_ns);
         // The watchdog judges the closing call against the p99 of the
         // calls *before* it, so the outlier cannot raise its own bar.
-        if kind == SpanKind::Invoke {
-            if let Some(cfg) = inner.watchdog {
-                let p99 = inner
+        let wd = if closed.kind == SpanKind::Invoke && self.wd_enabled.load(Ordering::Relaxed) {
+            self.misc().watchdog
+        } else {
+            None
+        };
+        // Phase 2 — stat stripe: watchdog judgment, histogram, fold.
+        let key = (closed.service, closed.op);
+        let mut tripped: Option<(u64, &'static str, u64)> = None;
+        {
+            let mut stripe = self.stripe(&key.0, &key.1);
+            if let Some(cfg) = wd {
+                let p99 = stripe
                     .hists
                     .get(&key)
                     .filter(|h| h.count() >= cfg.min_samples)
@@ -762,120 +1125,225 @@ impl MetricsRegistry {
                 } else {
                     None
                 };
-                let tripped = match (rel, cfg.slo_ns) {
-                    (Some(r), Some(s)) if dur > r.min(s) => {
-                        Some(if r <= s { (r, "p99") } else { (s, "slo") })
-                    }
-                    (Some(r), None) if dur > r => Some((r, "p99")),
-                    (None, Some(s)) if dur > s => Some((s, "slo")),
+                tripped = match (rel, cfg.slo_ns) {
+                    (Some(r), Some(s)) if dur > r.min(s) => Some(if r <= s {
+                        (r, "p99", p99)
+                    } else {
+                        (s, "slo", p99)
+                    }),
+                    (Some(r), None) if dur > r => Some((r, "p99", p99)),
+                    (None, Some(s)) if dur > s => Some((s, "slo", p99)),
                     _ => None,
                 };
-                if let Some((threshold_ns, trigger)) = tripped {
-                    if inner.exemplars.len() < cfg.max_exemplars {
-                        let exemplar = Exemplar {
-                            span: id,
-                            service: key.0.clone(),
-                            op: key.1.clone(),
-                            start_ns,
-                            latency_ns: dur,
-                            threshold_ns,
-                            p99_ns: p99,
-                            trigger,
-                            ok,
-                            breakdown: None,
-                        };
-                        inner.exemplars.push(exemplar);
-                    } else {
-                        inner.exemplars_suppressed += 1;
-                    }
+            }
+            if matches!(closed.kind, SpanKind::Invoke | SpanKind::Dispatch) {
+                stripe.hists.entry(key.clone()).or_default().record(dur);
+            }
+            if let Some(retx) = closed.fold_retransmissions {
+                let agg = stripe.retired.entry(key.clone()).or_default();
+                match closed.kind {
+                    SpanKind::Invoke => agg.invokes += 1,
+                    SpanKind::Dispatch => agg.dispatches += 1,
+                    SpanKind::Oneway => agg.oneways += 1,
                 }
+                agg.retransmissions += retx;
             }
         }
-        if matches!(kind, SpanKind::Invoke | SpanKind::Dispatch) {
-            inner.hists.entry(key.clone()).or_default().record(dur);
+        // Phase 3 — misc: exemplar pinning and the flight recorder.
+        if let Some((threshold_ns, trigger, p99)) = tripped {
+            let mut misc = self.misc();
+            let cap = misc.watchdog.map_or(0, |c| c.max_exemplars);
+            if misc.exemplars.len() < cap {
+                let exemplar = Exemplar {
+                    span: id,
+                    service: key.0.clone(),
+                    op: key.1.clone(),
+                    start_ns: closed.start_ns,
+                    latency_ns: dur,
+                    threshold_ns,
+                    p99_ns: p99,
+                    trigger,
+                    ok,
+                    breakdown: None,
+                };
+                misc.exemplars.push(exemplar);
+            } else {
+                misc.exemplars_suppressed += 1;
+            }
         }
-        if kind == SpanKind::Invoke {
-            if let Some(ts) = inner.timeseries.as_mut() {
+        if closed.kind == SpanKind::Invoke && self.ts_enabled.load(Ordering::Relaxed) {
+            let mut misc = self.misc();
+            if let Some(ts) = misc.timeseries.as_mut() {
                 let outcome = if ok { "calls_ok" } else { "calls_err" };
                 ts.add(now_ns, &format!("{outcome}@{}", key.0), 1);
                 ts.observe(now_ns, &format!("latency@{}", key.0), dur);
             }
         }
+        self.sm_end(t0);
     }
 
-    /// Notes a retransmission of the request belonging to `id`.
+    /// Notes a retransmission of the request belonging to `id`. A span
+    /// already retired counts toward the run total without a record to
+    /// land on.
     pub fn span_retransmit(&self, id: SpanId) {
-        if !id.is_some() {
+        if !id.is_some() || !self.on() {
             return;
         }
-        let mut inner = self.lock();
-        if let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) {
-            rec.retransmissions += 1;
+        let t0 = self.sm_start();
+        let mut shard = self.shard(id.0);
+        match shard.get_mut(&id.0) {
+            Some(rec) => rec.retransmissions += 1,
+            None => {
+                if id.0 <= self.next_span.load(Ordering::Relaxed) {
+                    self.retired_retransmissions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
+        drop(shard);
+        self.sm_end(t0);
     }
 
     /// Like [`MetricsRegistry::span_retransmit`], but with a timestamp
     /// so the retransmission also lands in the `retx@<service>` window
     /// of the flight recorder (when enabled).
     pub fn span_retransmit_at(&self, id: SpanId, now_ns: u64) {
-        if !id.is_some() {
+        if !id.is_some() || !self.on() {
             return;
         }
-        let mut inner = self.lock();
-        let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) else {
-            return;
-        };
-        rec.retransmissions += 1;
-        let service = rec.service.clone();
-        if let Some(ts) = inner.timeseries.as_mut() {
-            ts.add(now_ns, &format!("retx@{service}"), 1);
-        }
-    }
-
-    /// Notes a reply observed for the raw wire span `raw` and classifies
-    /// it against the registry's span table.
-    pub fn span_reply(&self, raw: u64, _now_ns: u64) -> ReplyKind {
-        let mut inner = self.lock();
-        if raw == 0 {
-            inner.replies_untracked += 1;
-            return ReplyKind::Untracked;
-        }
-        match inner.spans.get_mut(raw as usize - 1) {
-            None => {
-                inner.replies_unknown_span += 1;
-                ReplyKind::UnknownSpan
-            }
-            Some(rec) => {
-                rec.replies += 1;
-                if rec.end_ns.is_some() {
-                    inner.replies_late += 1;
-                    ReplyKind::Late
-                } else {
-                    inner.replies_matched += 1;
-                    ReplyKind::Matched
+        let t0 = self.sm_start();
+        let mut service: Option<String> = None;
+        {
+            let mut shard = self.shard(id.0);
+            match shard.get_mut(&id.0) {
+                Some(rec) => {
+                    rec.retransmissions += 1;
+                    if self.ts_enabled.load(Ordering::Relaxed) {
+                        service = Some(rec.service.clone());
+                    }
+                }
+                None => {
+                    if id.0 <= self.next_span.load(Ordering::Relaxed) {
+                        self.retired_retransmissions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
+        if let Some(service) = service {
+            let mut misc = self.misc();
+            if let Some(ts) = misc.timeseries.as_mut() {
+                ts.add(now_ns, &format!("retx@{service}"), 1);
+            }
+        }
+        self.sm_end(t0);
+    }
+
+    /// Notes a reply observed for the raw wire span `raw` and classifies
+    /// it against the registry's span table. A reply for a span that was
+    /// allocated but has since been retired is `Late` — retirement only
+    /// ever evicts *closed* spans, so any further reply is by definition
+    /// a duplicate or stale one.
+    pub fn span_reply(&self, raw: u64, _now_ns: u64) -> ReplyKind {
+        if !self.on() {
+            return ReplyKind::Untracked;
+        }
+        let t0 = self.sm_start();
+        let kind = if raw == 0 {
+            self.cell()
+                .replies_untracked
+                .fetch_add(1, Ordering::Relaxed);
+            ReplyKind::Untracked
+        } else if raw > self.next_span.load(Ordering::Relaxed) {
+            self.cell()
+                .replies_unknown_span
+                .fetch_add(1, Ordering::Relaxed);
+            ReplyKind::UnknownSpan
+        } else {
+            let mut shard = self.shard(raw);
+            match shard.get_mut(&raw) {
+                Some(rec) => {
+                    rec.replies += 1;
+                    if rec.end_ns.is_some() {
+                        self.cell().replies_late.fetch_add(1, Ordering::Relaxed);
+                        ReplyKind::Late
+                    } else {
+                        self.cell().replies_matched.fetch_add(1, Ordering::Relaxed);
+                        ReplyKind::Matched
+                    }
+                }
+                None => {
+                    self.cell().replies_late.fetch_add(1, Ordering::Relaxed);
+                    ReplyKind::Late
+                }
+            }
+        };
+        self.sm_end(t0);
+        kind
     }
 
     /// Records a one-way notification as an immediately-closed span
     /// parented to `parent` (commonly the dispatch span that triggered
     /// the notification). Returns the new span's id.
     pub fn note_oneway(&self, parent: SpanId, service: &str, op: &str, now_ns: u64) -> SpanId {
-        let id = self.open_span(SpanKind::Oneway, parent, service, op, now_ns);
-        // Close without touching the latency histograms: a one-way has
-        // no observable duration.
-        let mut inner = self.lock();
-        if let Some(rec) = inner.spans.get_mut(id.0 as usize - 1) {
-            rec.end_ns = Some(now_ns);
-            rec.ok = Some(true);
+        if !self.on() {
+            return SpanId::NONE;
         }
+        let id = self.open_span(SpanKind::Oneway, parent, service, op, now_ns);
+        let t0 = self.sm_start();
+        let mut fold = false;
+        {
+            let mut shard = self.shard(id.0);
+            if let Some(rec) = shard.get_mut(&id.0) {
+                // Close without touching the latency histograms: a
+                // one-way has no observable duration.
+                rec.end_ns = Some(now_ns);
+                rec.ok = Some(true);
+                if self.retire_enabled.load(Ordering::Relaxed) {
+                    if self.retire_keeps() {
+                        self.sampled_kept.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let rec = shard.remove(&id.0).expect("record just closed");
+                        self.note_evicted(&rec);
+                        fold = true;
+                    }
+                }
+            }
+        }
+        if fold {
+            self.stripe(service, op)
+                .retired
+                .entry((service.to_string(), op.to_string()))
+                .or_default()
+                .oneways += 1;
+        }
+        self.sm_end(t0);
         id
     }
 
-    /// Copy of every span recorded so far.
-    pub fn spans(&self) -> Vec<SpanRecord> {
-        self.lock().spans.clone()
+    /// Visits every resident span in ascending id order. This replaces
+    /// the old `spans()` full-table clone: the visitor borrows each
+    /// record in place (one shard lock at a time), so building a trace
+    /// or checking invariants costs O(resident), not O(all-time) heap.
+    pub fn for_each_span(&self, mut f: impl FnMut(&SpanRecord)) {
+        let mut ids: Vec<u64> = Vec::new();
+        for shard in self.span_shards.iter() {
+            let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            ids.extend(s.keys().copied());
+        }
+        ids.sort_unstable();
+        for id in ids {
+            let s = self.shard(id);
+            if let Some(rec) = s.get(&id) {
+                f(rec);
+            }
+        }
+    }
+
+    /// Copy of one resident span record, if `id` is still in the table.
+    pub fn span_record(&self, id: SpanId) -> Option<SpanRecord> {
+        if !id.is_some() {
+            return None;
+        }
+        self.shard(id.0).get(&id.0).cloned()
     }
 
     /// Number of spans opened so far.
@@ -883,52 +1351,78 @@ impl MetricsRegistry {
         self.next_span.load(Ordering::Relaxed)
     }
 
+    /// Spans currently resident in the table (open + retained).
+    pub fn resident_spans(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// The plane's self-measurement gauges, as they stand right now.
+    pub fn obs_plane(&self) -> ObsPlaneReport {
+        ObsPlaneReport {
+            spans_retired: self.retired.load(Ordering::Relaxed),
+            spans_sampled: self.sampled_kept.load(Ordering::Relaxed),
+            spans_resident: self.resident.load(Ordering::Relaxed),
+            spans_resident_peak: self.resident_peak.load(Ordering::Relaxed),
+            span_table_bytes: self.table_bytes.load(Ordering::Relaxed),
+            span_table_bytes_peak: self.table_bytes_peak.load(Ordering::Relaxed),
+            self_ns: self.self_ns.load(Ordering::Relaxed),
+            self_calls: self.self_calls.load(Ordering::Relaxed),
+        }
+    }
+
     /// Checks the structural causality invariants of the span table and
     /// returns a human-readable description of each violation:
     ///
     /// * every parent reference points at an allocated span,
-    /// * a child span never starts before its parent,
+    /// * a child span never starts before its parent (when the parent is
+    ///   still resident — a retired parent was a valid closed span),
     /// * every `Dispatch` span has an `Invoke` or `Dispatch` parent,
     /// * no reply was observed for a span id that was never allocated.
     pub fn verify_causality(&self) -> Vec<String> {
-        let inner = self.lock();
+        let allocated = self.next_span.load(Ordering::Relaxed);
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        self.for_each_span(|rec| spans.push(rec.clone()));
+        let by_id: HashMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, r)| (r.id.0, i)).collect();
         let mut violations = Vec::new();
-        for rec in &inner.spans {
+        for rec in &spans {
             if rec.parent.is_some() {
-                match inner.spans.get(rec.parent.0 as usize - 1) {
-                    None => violations.push(format!(
+                if rec.parent.0 > allocated {
+                    violations.push(format!(
                         "{} ({} {}/{}) has unallocated parent {}",
                         rec.id,
                         rec.kind.label(),
                         rec.service,
                         rec.op,
                         rec.parent
-                    )),
-                    Some(parent) => {
-                        if rec.start_ns < parent.start_ns {
-                            violations.push(format!(
-                                "{} starts at {}ns before its parent {} at {}ns",
-                                rec.id, rec.start_ns, parent.id, parent.start_ns
-                            ));
-                        }
+                    ));
+                } else if let Some(&pi) = by_id.get(&rec.parent.0) {
+                    let parent = &spans[pi];
+                    if rec.start_ns < parent.start_ns {
+                        violations.push(format!(
+                            "{} starts at {}ns before its parent {} at {}ns",
+                            rec.id, rec.start_ns, parent.id, parent.start_ns
+                        ));
                     }
-                }
-            }
-            if rec.kind == SpanKind::Dispatch && rec.parent.is_some() {
-                if let Some(parent) = inner.spans.get(rec.parent.0 as usize - 1) {
-                    if parent.kind == SpanKind::Oneway {
+                    if rec.kind == SpanKind::Dispatch && parent.kind == SpanKind::Oneway {
                         violations.push(format!(
                             "dispatch {} is parented to one-way {}",
                             rec.id, parent.id
                         ));
                     }
                 }
+                // An allocated-but-absent parent was retired: it closed
+                // validly, nothing left to cross-check.
             }
         }
-        if inner.replies_unknown_span > 0 {
+        let unknown: u64 = self
+            .counters
+            .iter()
+            .map(|c| c.replies_unknown_span.load(Ordering::Relaxed))
+            .sum();
+        if unknown > 0 {
             violations.push(format!(
-                "{} replies carried span ids never allocated",
-                inner.replies_unknown_span
+                "{unknown} replies carried span ids never allocated"
             ));
         }
         violations
@@ -939,16 +1433,21 @@ impl MetricsRegistry {
     /// Records a latency sample for `(service, op)` directly (spans do
     /// this automatically when closed).
     pub fn record_latency(&self, service: &str, op: &str, ns: u64) {
-        self.lock()
+        if !self.on() {
+            return;
+        }
+        let t0 = self.sm_start();
+        self.stripe(service, op)
             .hists
             .entry((service.to_string(), op.to_string()))
             .or_default()
             .record(ns);
+        self.sm_end(t0);
     }
 
     /// Copy of the histogram for `(service, op)`, if any sample landed.
     pub fn histogram(&self, service: &str, op: &str) -> Option<Histogram> {
-        self.lock()
+        self.stripe(service, op)
             .hists
             .get(&(service.to_string(), op.to_string()))
             .cloned()
@@ -960,8 +1459,8 @@ impl MetricsRegistry {
     /// windows and a ring of at most `capacity` windows. Idempotent in
     /// effect but resets the recording when called again.
     pub fn enable_timeseries(&self, width_ns: u64, capacity: usize) {
-        let mut inner = self.lock();
-        inner.timeseries = Some(TimeSeries::new(width_ns, capacity));
+        let mut misc = self.misc();
+        misc.timeseries = Some(TimeSeries::new(width_ns, capacity));
         self.ts_enabled.store(true, Ordering::Relaxed);
     }
 
@@ -979,7 +1478,7 @@ impl MetricsRegistry {
         if !self.timeseries_enabled() {
             return;
         }
-        if let Some(ts) = self.lock().timeseries.as_mut() {
+        if let Some(ts) = self.misc().timeseries.as_mut() {
             ts.add(at_ns, series, delta);
         }
     }
@@ -990,7 +1489,7 @@ impl MetricsRegistry {
         if !self.timeseries_enabled() {
             return;
         }
-        if let Some(ts) = self.lock().timeseries.as_mut() {
+        if let Some(ts) = self.misc().timeseries.as_mut() {
             ts.gauge(at_ns, series, value);
         }
     }
@@ -1001,31 +1500,33 @@ impl MetricsRegistry {
         if !self.timeseries_enabled() {
             return;
         }
-        if let Some(ts) = self.lock().timeseries.as_mut() {
+        if let Some(ts) = self.misc().timeseries.as_mut() {
             ts.observe(at_ns, series, value);
         }
     }
 
     /// Snapshot of the flight recording, if the recorder is on.
     pub fn timeseries_report(&self) -> Option<TimeSeriesReport> {
-        self.lock().timeseries.as_ref().map(|ts| ts.report())
+        self.misc().timeseries.as_ref().map(|ts| ts.report())
     }
 
     /// Arms the slow-call watchdog. Exemplars accumulate from this point
     /// on; re-arming keeps already-pinned exemplars.
     pub fn enable_watchdog(&self, cfg: WatchdogConfig) {
-        self.lock().watchdog = Some(cfg);
+        let mut misc = self.misc();
+        misc.watchdog = Some(cfg);
+        self.wd_enabled.store(true, Ordering::Relaxed);
     }
 
     /// Copy of the exemplars pinned so far.
     pub fn exemplars(&self) -> Vec<Exemplar> {
-        self.lock().exemplars.clone()
+        self.misc().exemplars.clone()
     }
 
     /// Stamps run provenance into the registry (merged field-wise: only
     /// `Some` fields overwrite).
     pub fn set_run_meta(&self, meta: RunMeta) {
-        let mut inner = self.lock();
+        let mut misc = self.misc();
         let RunMeta {
             seed,
             mode,
@@ -1034,19 +1535,19 @@ impl MetricsRegistry {
             date,
         } = meta;
         if seed.is_some() {
-            inner.meta.seed = seed;
+            misc.meta.seed = seed;
         }
         if mode.is_some() {
-            inner.meta.mode = mode;
+            misc.meta.mode = mode;
         }
         if config_hash.is_some() {
-            inner.meta.config_hash = config_hash;
+            misc.meta.config_hash = config_hash;
         }
         if git_rev.is_some() {
-            inner.meta.git_rev = git_rev;
+            misc.meta.git_rev = git_rev;
         }
         if date.is_some() {
-            inner.meta.date = date;
+            misc.meta.date = date;
         }
     }
 
@@ -1054,52 +1555,76 @@ impl MetricsRegistry {
 
     /// A call was issued.
     pub fn on_call(&self) {
-        self.lock().rpc_client.calls += 1;
+        if self.on() {
+            self.cell().calls.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A request was retransmitted.
     pub fn on_retry(&self) {
-        self.lock().rpc_client.retries += 1;
+        if self.on() {
+            self.cell().retries.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A call exhausted all attempts.
     pub fn on_timeout(&self) {
-        self.lock().rpc_client.timeouts += 1;
+        if self.on() {
+            self.cell().timeouts.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A reply arrived for an already-completed call.
     pub fn on_stale_reply(&self) {
-        self.lock().rpc_client.stale_replies += 1;
+        if self.on() {
+            self.cell().stale_replies.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A stray packet was discarded while waiting for a reply.
     pub fn on_stray_dropped(&self) {
-        self.lock().rpc_client.strays_dropped += 1;
+        if self.on() {
+            self.cell().strays_dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A request was executed for the first time.
     pub fn on_executed(&self) {
-        self.lock().rpc_server.executed += 1;
+        if self.on() {
+            self.cell().executed.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A duplicate request was answered from the reply cache.
     pub fn on_duplicate_suppressed(&self) {
-        self.lock().rpc_server.duplicates_suppressed += 1;
+        if self.on() {
+            self.cell()
+                .duplicates_suppressed
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A duplicate request was dropped.
     pub fn on_duplicate_dropped(&self) {
-        self.lock().rpc_server.duplicates_dropped += 1;
+        if self.on() {
+            self.cell()
+                .duplicates_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A one-way message was received by a server.
     pub fn on_oneway_rx(&self) {
-        self.lock().rpc_server.oneways += 1;
+        if self.on() {
+            self.cell().oneways.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// An undecodable packet was received by a server.
     pub fn on_undecodable(&self) {
-        self.lock().rpc_server.undecodable += 1;
+        if self.on() {
+            self.cell().undecodable.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     // -- published snapshots ----------------------------------------------
@@ -1107,51 +1632,95 @@ impl MetricsRegistry {
     /// Publishes the latest stats of one proxy. Keyed `service@owner`;
     /// stats are monotonic so overwriting is idempotent.
     pub fn set_proxy_stats(&self, owner: &str, service: &str, stats: ProxyStats) {
-        self.lock()
+        if !self.on() {
+            return;
+        }
+        self.misc()
             .proxies
             .insert(format!("{service}@{owner}"), stats);
     }
 
     /// Publishes the latest stats of one service server.
     pub fn set_server_stats(&self, service: &str, stats: ServerStats) {
-        self.lock().servers.insert(service.to_string(), stats);
+        if !self.on() {
+            return;
+        }
+        self.misc().servers.insert(service.to_string(), stats);
     }
 
     // -- reporting ---------------------------------------------------------
 
     /// Builds the unified report. `net` is the simulator's counter
     /// snapshot and `end_time_ns` the simulated clock at report time.
+    ///
+    /// The merge is deterministic: per-key statistics live wholly in one
+    /// stripe, cross-shard sums are commutative, and map output is
+    /// key-ordered — the same run produces byte-identical JSON for any
+    /// shard/stripe layout.
     pub fn report(&self, net: MetricsSnapshot, end_time_ns: u64) -> RunReport {
-        let inner = self.lock();
+        // Hot counters: sum the stripes.
+        let csum = |field: fn(&CounterCell) -> &AtomicU64| -> u64 {
+            self.counters
+                .iter()
+                .map(|c| field(c).load(Ordering::Relaxed))
+                .sum()
+        };
+        let client = CallStats {
+            calls: csum(|c| &c.calls),
+            retries: csum(|c| &c.retries),
+            timeouts: csum(|c| &c.timeouts),
+            stale_replies: csum(|c| &c.stale_replies),
+            strays_dropped: csum(|c| &c.strays_dropped),
+        };
+        let server = ServeStats {
+            executed: csum(|c| &c.executed),
+            duplicates_suppressed: csum(|c| &c.duplicates_suppressed),
+            duplicates_dropped: csum(|c| &c.duplicates_dropped),
+            oneways: csum(|c| &c.oneways),
+            undecodable: csum(|c| &c.undecodable),
+        };
+        // Stripes: histograms into the key-ordered ops map, retired
+        // aggregates into the span totals.
         let mut ops = BTreeMap::new();
-        for ((service, op), hist) in &inner.hists {
-            ops.insert(format!("{service}/{op}"), hist.summary());
-        }
         let mut started = 0u64;
         let mut completed = 0u64;
         let mut oneways = 0u64;
-        let mut retransmissions = 0u64;
-        for rec in &inner.spans {
-            match rec.kind {
-                SpanKind::Oneway => oneways += 1,
-                _ => {
-                    started += 1;
-                    if rec.end_ns.is_some() {
-                        completed += 1;
+        let mut retransmissions = self.retired_retransmissions.load(Ordering::Relaxed);
+        for stripe in self.stripes.iter() {
+            let s = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            for ((service, op), hist) in &s.hists {
+                ops.insert(format!("{service}/{op}"), hist.summary());
+            }
+            for agg in s.retired.values() {
+                started += agg.invokes + agg.dispatches;
+                completed += agg.invokes + agg.dispatches;
+                oneways += agg.oneways;
+                retransmissions += agg.retransmissions;
+            }
+        }
+        // Shards: the resident spans.
+        for shard in self.span_shards.iter() {
+            let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for rec in s.values() {
+                match rec.kind {
+                    SpanKind::Oneway => oneways += 1,
+                    _ => {
+                        started += 1;
+                        if rec.end_ns.is_some() {
+                            completed += 1;
+                        }
                     }
                 }
+                retransmissions += rec.retransmissions;
             }
-            retransmissions += rec.retransmissions;
         }
+        let misc = self.misc();
         RunReport {
             end_time_ns,
             net,
-            rpc: RpcReport {
-                client: inner.rpc_client,
-                server: inner.rpc_server,
-            },
-            proxies: inner.proxies.clone(),
-            servers: inner.servers.clone(),
+            rpc: RpcReport { client, server },
+            proxies: misc.proxies.clone(),
+            servers: misc.servers.clone(),
             ops,
             spans: SpanReport {
                 started,
@@ -1160,17 +1729,18 @@ impl MetricsRegistry {
                 oneways,
                 retransmissions,
                 replies: ReplyReport {
-                    matched: inner.replies_matched,
-                    late: inner.replies_late,
-                    unknown_span: inner.replies_unknown_span,
-                    untracked: inner.replies_untracked,
+                    matched: csum(|c| &c.replies_matched),
+                    late: csum(|c| &c.replies_late),
+                    unknown_span: csum(|c| &c.replies_unknown_span),
+                    untracked: csum(|c| &c.replies_untracked),
                 },
             },
+            obs: self.obs_plane(),
             trace_evicted: 0,
-            meta: inner.meta.clone(),
-            timeseries: inner.timeseries.as_ref().map(|ts| ts.report()),
-            exemplars: inner.exemplars.clone(),
-            exemplars_suppressed: inner.exemplars_suppressed,
+            meta: misc.meta.clone(),
+            timeseries: misc.timeseries.as_ref().map(|ts| ts.report()),
+            exemplars: misc.exemplars.clone(),
+            exemplars_suppressed: misc.exemplars_suppressed,
         }
     }
 }
@@ -1238,6 +1808,10 @@ pub struct RunReport {
     pub ops: BTreeMap<String, OpLatency>,
     /// Span table summary.
     pub spans: SpanReport,
+    /// Self-measurement of the observability plane itself: retirement
+    /// counts, resident span-table footprint and time spent inside
+    /// registry calls.
+    pub obs: ObsPlaneReport,
     /// Events the bounded simnet trace ring evicted (0 when tracing is
     /// off or the ring never filled — i.e. the timeline is complete).
     /// Filled in by the simulator when it builds the report.
@@ -1470,6 +2044,26 @@ impl RunReport {
                     w.field_u64("unknown_span", unknown_span);
                     w.field_u64("untracked", untracked);
                 });
+            });
+            w.field_obj("obs", |w| {
+                let ObsPlaneReport {
+                    spans_retired,
+                    spans_sampled,
+                    spans_resident,
+                    spans_resident_peak,
+                    span_table_bytes,
+                    span_table_bytes_peak,
+                    self_ns,
+                    self_calls,
+                } = self.obs;
+                w.field_u64("spans_retired", spans_retired);
+                w.field_u64("spans_sampled", spans_sampled);
+                w.field_u64("spans_resident", spans_resident);
+                w.field_u64("spans_resident_peak", spans_resident_peak);
+                w.field_u64("span_table_bytes", span_table_bytes);
+                w.field_u64("span_table_bytes_peak", span_table_bytes_peak);
+                w.field_u64("self_ns", self_ns);
+                w.field_u64("self_calls", self_calls);
             });
             w.field_u64("exemplars_suppressed", self.exemplars_suppressed);
             w.field_arr("exemplars", |w| {
@@ -1773,8 +2367,8 @@ mod tests {
         reg.span_retransmit(sp);
         let report = reg.report(MetricsSnapshot::default(), 50);
         assert_eq!(report.spans.retransmissions, 2);
-        let spans = reg.spans();
-        assert_eq!(spans[0].retransmissions, 2);
+        let rec = reg.span_record(sp).expect("span resident");
+        assert_eq!(rec.retransmissions, 2);
     }
 
     #[test]
@@ -1791,8 +2385,7 @@ mod tests {
         let reg = MetricsRegistry::new();
         let disp = reg.open_span(SpanKind::Dispatch, SpanId::NONE, "svc-kv", "put", 10);
         let ow = reg.note_oneway(disp, "kv", "inv", 20);
-        let spans = reg.spans();
-        let rec = &spans[ow.raw() as usize - 1];
+        let rec = reg.span_record(ow).expect("span resident");
         assert_eq!(rec.kind, SpanKind::Oneway);
         assert_eq!(rec.parent, disp);
         assert_eq!(rec.end_ns, Some(20));
@@ -2101,5 +2694,199 @@ mod tests {
                 .map(|a| a.len()),
             Some(1)
         );
+    }
+
+    /// Drives an identical call sequence into a registry.
+    fn drive(reg: &MetricsRegistry) {
+        for i in 0..100u64 {
+            let svc = if i % 2 == 0 { "kv" } else { "dir" };
+            let op = if i % 3 == 0 { "get" } else { "put" };
+            let inv = reg.open_span(SpanKind::Invoke, SpanId::NONE, svc, op, i * 10);
+            let disp = reg.open_span(SpanKind::Dispatch, inv, svc, op, i * 10 + 2);
+            if i % 7 == 0 {
+                reg.span_retransmit(inv);
+            }
+            reg.on_call();
+            reg.on_executed();
+            reg.close_span(disp, i * 10 + 5, true);
+            reg.span_reply(inv.raw(), i * 10 + 6);
+            reg.close_span(inv, i * 10 + 8, i % 11 != 0);
+            if i % 5 == 0 {
+                reg.note_oneway(disp, svc, "inv", i * 10 + 9);
+            }
+        }
+        // Leave a few spans open so `open` is nonzero.
+        for _ in 0..3 {
+            reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 9_999);
+        }
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_layouts() {
+        let base = {
+            let reg = MetricsRegistry::with_layout(1, 1);
+            drive(&reg);
+            reg.report(MetricsSnapshot::default(), 10_000).to_json()
+        };
+        for (shards, stripes) in [(4, 2), (16, 8), (64, 16)] {
+            let reg = MetricsRegistry::with_layout(shards, stripes);
+            drive(&reg);
+            let json = reg.report(MetricsSnapshot::default(), 10_000).to_json();
+            assert_eq!(json, base, "layout {shards}x{stripes} diverged");
+        }
+    }
+
+    #[test]
+    fn retirement_conserves_report_totals() {
+        let plain = MetricsRegistry::new();
+        drive(&plain);
+        let retiring = MetricsRegistry::new();
+        retiring.enable_retirement(0);
+        drive(&retiring);
+
+        let a = plain.report(MetricsSnapshot::default(), 10_000);
+        let b = retiring.report(MetricsSnapshot::default(), 10_000);
+        // Everything the report derives from spans is conserved exactly.
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.rpc, b.rpc);
+        // But the retiring table only holds what is still open.
+        assert_eq!(b.obs.spans_resident, 3);
+        assert_eq!(
+            b.obs.spans_retired + b.obs.spans_resident,
+            b.spans.started + b.spans.oneways
+        );
+        assert!(plain.resident_spans() > retiring.resident_spans());
+    }
+
+    #[test]
+    fn retirement_sampler_keeps_every_nth() {
+        let reg = MetricsRegistry::new();
+        reg.enable_retirement(10);
+        for i in 0..100u64 {
+            let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", i);
+            reg.close_span(sp, i + 1, true);
+        }
+        let obs = reg.obs_plane();
+        assert_eq!(obs.spans_sampled, 10);
+        assert_eq!(obs.spans_retired, 90);
+        assert_eq!(obs.spans_resident, 10);
+        // Sampled records are real, closed records.
+        let mut kept = 0;
+        reg.for_each_span(|rec| {
+            assert!(rec.end_ns.is_some());
+            kept += 1;
+        });
+        assert_eq!(kept, 10);
+    }
+
+    #[test]
+    fn retired_span_reply_is_late_and_retransmit_counted() {
+        let reg = MetricsRegistry::new();
+        reg.enable_retirement(0);
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        reg.close_span(sp, 5, true);
+        assert!(reg.span_record(sp).is_none(), "span retired");
+        // A reply for a retired span is by definition late: retirement
+        // only ever evicts closed spans.
+        assert_eq!(reg.span_reply(sp.raw(), 9), ReplyKind::Late);
+        reg.span_retransmit(sp);
+        let report = reg.report(MetricsSnapshot::default(), 10);
+        assert_eq!(report.spans.replies.late, 1);
+        assert_eq!(report.spans.replies.unknown_span, 0);
+        assert_eq!(report.spans.retransmissions, 1);
+    }
+
+    #[test]
+    fn disabled_plane_is_inert() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(false);
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        assert_eq!(sp, SpanId::NONE);
+        reg.close_span(sp, 5, true);
+        assert_eq!(reg.span_reply(7, 9), ReplyKind::Untracked);
+        reg.on_call();
+        reg.on_executed();
+        reg.record_latency("kv", "get", 100);
+        let report = reg.report(MetricsSnapshot::default(), 10);
+        assert_eq!(report.spans.started, 0);
+        assert_eq!(report.rpc.client.calls, 0);
+        assert_eq!(report.rpc.server.executed, 0);
+        assert_eq!(report.spans.replies.untracked, 0);
+        assert!(report.ops.is_empty());
+        assert_eq!(reg.span_count(), 0);
+        // And it can be turned back on.
+        reg.set_enabled(true);
+        assert!(reg
+            .open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0)
+            .is_some());
+    }
+
+    #[test]
+    fn for_each_span_visits_ascending_ids() {
+        let reg = MetricsRegistry::with_layout(4, 2);
+        for i in 0..50u64 {
+            reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", i);
+        }
+        let mut prev = 0;
+        let mut seen = 0;
+        reg.for_each_span(|rec| {
+            assert!(rec.id.raw() > prev, "ids must ascend");
+            prev = rec.id.raw();
+            seen += 1;
+        });
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn obs_plane_gauges_track_residency_and_bytes() {
+        let reg = MetricsRegistry::new();
+        let a = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        let b = reg.open_span(SpanKind::Invoke, SpanId::NONE, "dirsvc", "lookup", 1);
+        let full = reg.obs_plane();
+        assert_eq!(full.spans_resident, 2);
+        assert_eq!(full.spans_resident_peak, 2);
+        let per = std::mem::size_of::<SpanRecord>() as u64;
+        let strings = ("kv".len() + "get".len() + "dirsvc".len() + "lookup".len()) as u64;
+        assert_eq!(full.span_table_bytes, 2 * per + strings);
+        reg.enable_retirement(0);
+        reg.close_span(a, 5, true);
+        reg.close_span(b, 6, true);
+        let after = reg.obs_plane();
+        assert_eq!(after.spans_resident, 0);
+        assert_eq!(after.span_table_bytes, 0);
+        assert_eq!(after.spans_resident_peak, 2);
+        assert_eq!(after.span_table_bytes_peak, full.span_table_bytes);
+        assert_eq!(after.spans_retired, 2);
+    }
+
+    #[test]
+    fn self_measure_accumulates_when_armed() {
+        let reg = MetricsRegistry::new();
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 0);
+        reg.close_span(sp, 5, true);
+        assert_eq!(reg.obs_plane().self_calls, 0, "off by default");
+        reg.enable_self_measure();
+        let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", 10);
+        reg.close_span(sp, 15, true);
+        let obs = reg.obs_plane();
+        assert_eq!(obs.self_calls, 2);
+    }
+
+    #[test]
+    fn run_report_json_has_obs_section() {
+        let reg = MetricsRegistry::new();
+        reg.enable_retirement(2);
+        for i in 0..4u64 {
+            let sp = reg.open_span(SpanKind::Invoke, SpanId::NONE, "kv", "get", i);
+            reg.close_span(sp, i + 1, true);
+        }
+        let json = reg.report(MetricsSnapshot::default(), 100).to_json();
+        let parsed = json::parse(&json).expect("report json parses");
+        let obs = parsed.get("obs").expect("obs object");
+        assert_eq!(obs.u64_field("spans_retired"), Some(2));
+        assert_eq!(obs.u64_field("spans_sampled"), Some(2));
+        assert_eq!(obs.u64_field("spans_resident"), Some(2));
+        assert_eq!(obs.u64_field("self_calls"), Some(0));
     }
 }

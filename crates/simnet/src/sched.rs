@@ -937,6 +937,24 @@ impl Simulation {
         }
     }
 
+    /// Replaces the observability registry with one using an explicit
+    /// shard layout (see [`obs::MetricsRegistry::with_layout`]). The
+    /// layout affects lock contention only — for a fixed seed the
+    /// resulting [`obs::RunReport`] is byte-identical for any layout,
+    /// which the merge-determinism tests pin down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a process has been spawned (the registry
+    /// is already shared at that point).
+    #[must_use]
+    pub fn with_obs_layout(mut self, span_shards: usize, stat_stripes: usize) -> Simulation {
+        let shared =
+            Arc::get_mut(&mut self.shared).expect("set the obs layout before spawning any process");
+        shared.obs = Arc::new(obs::MetricsRegistry::with_layout(span_shards, stat_stripes));
+        self
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.shared.now()
@@ -1021,9 +1039,9 @@ impl Simulation {
                 sink.push_net(e);
             }
         }
-        for span in self.shared.obs.spans() {
-            sink.push_span(span);
-        }
+        self.shared
+            .obs
+            .for_each_span(|span| sink.push_span(span.clone()));
         sink.build()
     }
 
