@@ -66,6 +66,28 @@ if [ "${1:-}" != "quick" ]; then
   cargo run -q --release -p bench --bin perfgate -- --warn-only \
     target/BENCH_e17.json BENCH_e17.json
 
+  step "E18 multi-core scheduler smoke (thread sweep + BENCH_e18.json)"
+  # 1k poll-driven clients over 8 domains, run at 1/2/4 worker threads;
+  # asserts every leg is byte-identical to the 1-thread run (summary,
+  # causal trace, RunReport JSON), zero time inversions, and the >=3x
+  # speedup gate arms only on hosts with >= 4 cores.
+  PROXIDE_E18_SMOKE=1 PROXIDE_BENCH_DIR=target \
+    cargo run -q --release -p bench --bin e18_multicore
+
+  step "perfgate (E18 baseline self-compare + warn-only smoke compare)"
+  cargo run -q --release -p bench --bin perfgate -- BENCH_e18.json BENCH_e18.json
+  # Smoke runs a shrunken sweep: incomparable config, warn-only.
+  cargo run -q --release -p bench --bin perfgate -- --warn-only \
+    target/BENCH_e18.json BENCH_e18.json
+
+  step "threaded-determinism gate (1-thread vs 4-thread trace artifacts)"
+  # The E18 smoke run above exported the causal trace of its 1-thread
+  # and 4-thread legs. Both must be well-formed and byte-for-byte equal:
+  # threads are a wall-clock knob, never an ordering knob.
+  cargo run -q --release -p bench --bin tracectl -- check target/traces/e18-t1.trace.jsonl
+  cargo run -q --release -p bench --bin tracectl -- check target/traces/e18-t4.trace.jsonl
+  cmp target/traces/e18-t1.trace.jsonl target/traces/e18-t4.trace.jsonl
+
   step "E15 flight-recorder smoke (windowed telemetry + exemplars + validators)"
   # Runs the chaos sweep, asserts re-bucketing invariance, conservation,
   # exemplar tiling, and exports artifacts for the checks below.

@@ -1,0 +1,6 @@
+//! Runs experiment e18 standalone. Set `PROXIDE_E18_SMOKE=1` for the
+//! fast CI configuration.
+fn main() {
+    let ok = bench::experiments::e18_multicore::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -414,6 +414,31 @@ fn cmd_check(path: &str) -> ExitCode {
             }
         };
     }
+    if path.ends_with(".jsonl") || text.lines().next().is_some_and(|l| l.contains("\"kind\"")) {
+        return match obs::from_jsonl(&text) {
+            Ok(trace) => {
+                // The exporter is canonical: a parse + re-export must
+                // reproduce the input byte for byte. This is what lets
+                // `ci.sh` compare thread-sweep legs with a plain `cmp`.
+                if obs::to_jsonl(&trace) != text {
+                    eprintln!("{path}: INVALID trace JSONL — re-export is not byte-identical");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "{path}: valid trace JSONL — {} events ({} spans, {} net, {} evicted), canonical round-trip",
+                    trace.events.len(),
+                    trace.spans().count(),
+                    trace.net_events().count(),
+                    trace.evicted
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID trace JSONL — {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if text.contains("\"traceEvents\"") {
         return match obs::validate_chrome(&text) {
             Ok(s) => {

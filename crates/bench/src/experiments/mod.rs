@@ -8,6 +8,7 @@ pub mod e14_hotpath;
 pub mod e15_flight;
 pub mod e16_million;
 pub mod e17_obsplane;
+pub mod e18_multicore;
 pub mod e1_access_methods;
 pub mod e2_cache_sweep;
 pub mod e3_migration;
@@ -39,6 +40,7 @@ pub fn run_all() -> bool {
         e15_flight::run(),
         e16_million::run(),
         e17_obsplane::run(),
+        e18_multicore::run(),
     ];
     let mut all = true;
     for o in &outputs {

@@ -189,6 +189,10 @@ fn obs_summary_line(json: &str) -> Option<String> {
         .get("net")
         .and_then(|n| n.u64_field("processes_peak"))
         .unwrap_or(0);
+    let inversions = doc
+        .get("net")
+        .and_then(|n| n.u64_field("sched_time_inversions"))
+        .unwrap_or(0);
     let spans_retired = doc
         .get("obs")
         .and_then(|o| o.u64_field("spans_retired"))
@@ -206,6 +210,7 @@ fn obs_summary_line(json: &str) -> Option<String> {
         "datagrams_discarded={discarded} trace_evicted={trace_evicted} \
          exemplars={exemplars} ts_windows={windows} \
          procs_spawned={procs_spawned} procs_peak={procs_peak} \
+         sched_time_inversions={inversions} \
          spans_retired={spans_retired} spans_resident={spans_resident} \
          obs_self_us={obs_self_us}"
     ))

@@ -371,6 +371,18 @@ impl SessionCore {
         cx: &mut ProcCx,
         f: BindFuture,
     ) -> Poll<Result<AsyncHandle, RpcError>> {
+        let r = self.poll_bind_inner(cx, f);
+        // Same as poll_call: no channel may be left with an unarmed
+        // retransmit deadline when the caller parks after this pass.
+        self.arm_all_deadlines(cx);
+        r
+    }
+
+    fn poll_bind_inner(
+        &mut self,
+        cx: &mut ProcCx,
+        f: BindFuture,
+    ) -> Poll<Result<AsyncHandle, RpcError>> {
         loop {
             let state = &mut self.binds[f.0];
             match state {
@@ -503,7 +515,33 @@ impl SessionCore {
     ///
     /// Panics if the future did not come from this core.
     pub fn poll_call(&mut self, cx: &mut ProcCx, f: CallFuture) -> Poll<Result<Value, RpcError>> {
-        self.services[f.svc].chan.poll_wait(cx, f.call)
+        let r = self.services[f.svc].chan.poll_wait(cx, f.call);
+        // The caller may park after this without polling its other
+        // futures this pass; make sure no channel in the core is left
+        // with an unarmed (possibly earlier) retransmit deadline.
+        self.arm_all_deadlines(cx);
+        r
+    }
+
+    /// Arms a timer wake at the earliest retransmit deadline across
+    /// *every* channel this core owns — bound services and in-flight
+    /// binds alike. A poll pass typically drives one future; any other
+    /// channel with outstanding calls still needs its timer armed, or a
+    /// deadline computed before the caller parked would go stale and
+    /// its retransmissions would wait on an unrelated delivery.
+    fn arm_all_deadlines(&self, cx: &mut ProcCx) {
+        for s in &self.services {
+            if let Some(dl) = s.chan.next_deadline() {
+                cx.wake_at(dl);
+            }
+        }
+        for b in &self.binds {
+            if let BindState::Resolving { chan, .. } = b {
+                if let Some(dl) = chan.next_deadline() {
+                    cx.wake_at(dl);
+                }
+            }
+        }
     }
 
     /// Per-service channel statistics for an async binding (calls,

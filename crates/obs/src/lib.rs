@@ -176,12 +176,24 @@ pub struct MetricsSnapshot {
     pub processes_spawned: u64,
     /// High-water mark of simultaneously live processes — the number
     /// backing E16's memory-boundedness claim (peak × per-process state).
+    ///
+    /// This is a **gauge**, not a counter: [`MetricsSnapshot::since`]
+    /// carries the later snapshot's level through instead of diffing it.
     pub processes_peak: u64,
+    /// Events popped with a timestamp behind their domain's clock. A
+    /// scheduler that respects causality never produces one; any nonzero
+    /// value means the conservative-lookahead bound was violated (or a
+    /// bug reordered the heap) and the run's timing data is suspect.
+    pub sched_time_inversions: u64,
 }
 
 impl MetricsSnapshot {
     /// Difference between two snapshots (`self` minus the `earlier` one),
-    /// saturating at zero per field.
+    /// saturating at zero per counter field. Gauge fields are not
+    /// differences: `processes_peak` reports the later snapshot's level
+    /// (the peak *as of* the window's end), because diffing a
+    /// high-water mark like a counter yields 0 for any window where the
+    /// peak did not rise.
     ///
     /// Destructures exhaustively so that adding a counter to the struct
     /// is a compile error here until the diff handles it too.
@@ -196,6 +208,7 @@ impl MetricsSnapshot {
             events_dispatched,
             processes_spawned,
             processes_peak,
+            sched_time_inversions,
         } = *self;
         let MetricsSnapshot {
             msgs_sent: e_sent,
@@ -206,7 +219,8 @@ impl MetricsSnapshot {
             bytes_sent: e_bytes,
             events_dispatched: e_events,
             processes_spawned: e_spawned,
-            processes_peak: e_peak,
+            processes_peak: _,
+            sched_time_inversions: e_inversions,
         } = *earlier;
         MetricsSnapshot {
             msgs_sent: msgs_sent.saturating_sub(e_sent),
@@ -217,7 +231,9 @@ impl MetricsSnapshot {
             bytes_sent: bytes_sent.saturating_sub(e_bytes),
             events_dispatched: events_dispatched.saturating_sub(e_events),
             processes_spawned: processes_spawned.saturating_sub(e_spawned),
-            processes_peak: processes_peak.saturating_sub(e_peak),
+            // Gauge: the peak as of the later snapshot, not a diff.
+            processes_peak,
+            sched_time_inversions: sched_time_inversions.saturating_sub(e_inversions),
         }
     }
 }
@@ -702,8 +718,6 @@ struct MiscInner {
     proxies: BTreeMap<String, ProxyStats>,
     /// Last published per-service server stats, keyed by service name.
     servers: BTreeMap<String, ServerStats>,
-    /// Windowed flight recorder, when enabled.
-    timeseries: Option<TimeSeries>,
     /// Slow-call watchdog, when enabled.
     watchdog: Option<WatchdogConfig>,
     /// Exemplars the watchdog has pinned so far.
@@ -787,9 +801,13 @@ fn span_bytes(rec: &SpanRecord) -> u64 {
 /// stripe count.
 #[derive(Debug)]
 pub struct MetricsRegistry {
+    /// High-water mark of allocated span ids (ids are lane-striped, so
+    /// this is a watermark, not a count — see [`MetricsRegistry::span_count`]
+    /// for the count). Used by the reply/retransmit plausibility checks:
+    /// any id above the watermark was certainly never allocated.
     next_span: AtomicU64,
-    /// Mirrors `misc.timeseries.is_some()` so hot paths can skip the
-    /// misc lock (and the series-name formatting feeding it) with a
+    /// Mirrors "the flight recorder is on" so hot paths can skip the
+    /// lane lock (and the series-name formatting feeding it) with a
     /// single relaxed load when the recorder is off.
     ts_enabled: AtomicBool,
     /// Mirrors `misc.watchdog.is_some()` for the same reason.
@@ -801,28 +819,75 @@ pub struct MetricsRegistry {
     retire_enabled: AtomicBool,
     /// Keep every nth closed span resident (0 = keep none).
     retire_keep_every: AtomicU64,
-    /// Global close sequence driving the keep-every-nth sampler; global
-    /// so the sampling decision is independent of the shard count.
-    closed_seq: AtomicU64,
     retired: AtomicU64,
     sampled_kept: AtomicU64,
     /// Retransmissions noted for spans already retired (attributable to
     /// the run but no longer to a record).
     retired_retransmissions: AtomicU64,
-    // -- residency gauges --
-    resident: AtomicU64,
-    resident_peak: AtomicU64,
-    table_bytes: AtomicU64,
-    table_bytes_peak: AtomicU64,
     // -- self-measurement --
     sm_enabled: AtomicBool,
     self_ns: AtomicU64,
     self_calls: AtomicU64,
+    // -- writer lanes --
+    /// Per-lane sequenced state. Each concurrent deterministic writer
+    /// (a scheduler domain) owns one lane, selected by the thread's
+    /// ambient lane ([`set_ambient_lane`]): span-id striping, the
+    /// retirement sampler's close sequence, residency gauges, and the
+    /// flight recorder all advance per lane so parallel domains never
+    /// interleave on order-sensitive state. One lane (the default)
+    /// reproduces the unstriped behavior exactly. Unlike the shard /
+    /// stripe layout, the lane count is part of the run configuration:
+    /// it changes span ids and sampling decisions, the way a different
+    /// seed would.
+    lanes: Box<[WriterLane]>,
     // -- sharded state --
     span_shards: Box<[Mutex<HashMap<u64, SpanRecord>>]>,
     stripes: Box<[Mutex<StatStripe>]>,
     counters: Box<[CounterCell]>,
     misc: Mutex<MiscInner>,
+}
+
+/// Per-writer-lane sequenced state (see [`MetricsRegistry::lanes`]).
+#[derive(Debug, Default)]
+struct WriterLane {
+    /// Spans this lane has opened; span id = `count * nlanes + lane + 1`.
+    spans_opened: AtomicU64,
+    /// Lane-local close sequence driving the keep-every-nth retirement
+    /// sampler (lane-local so the decision is independent of how the
+    /// other lanes interleave; still independent of the shard count).
+    closed_seq: AtomicU64,
+    // Residency gauges. A span is opened, closed and retired by the
+    // same simulated process, hence the same lane, so lane-local
+    // current values are exact; the cross-lane peak is reported as the
+    // sum of lane peaks — a deterministic upper bound on the true
+    // concurrent peak (exact with one lane).
+    resident: AtomicU64,
+    resident_peak: AtomicU64,
+    table_bytes: AtomicU64,
+    table_bytes_peak: AtomicU64,
+    /// This lane's slice of the flight recorder, when enabled. Reports
+    /// merge the lanes deterministically (see [`TimeSeries::merged`]).
+    timeseries: Mutex<Option<TimeSeries>>,
+}
+
+thread_local! {
+    /// The lane this thread writes to; see [`set_ambient_lane`].
+    static AMBIENT_LANE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Declares which writer lane the calling thread records into (clamped
+/// modulo the registry's lane count at use). The simulator sets this on
+/// every thread that executes a scheduler domain — worker threads before
+/// each domain round, simulated-process threads once at spawn — so that
+/// all order-sensitive observability state advances deterministically
+/// per domain. Threads that never call this write to lane 0.
+pub fn set_ambient_lane(lane: usize) {
+    AMBIENT_LANE.with(|l| l.set(lane));
+}
+
+/// The calling thread's current writer lane (unclamped).
+pub fn ambient_lane() -> usize {
+    AMBIENT_LANE.with(|l| l.get())
 }
 
 impl Default for MetricsRegistry {
@@ -863,17 +928,13 @@ impl MetricsRegistry {
             enabled: AtomicBool::new(true),
             retire_enabled: AtomicBool::new(false),
             retire_keep_every: AtomicU64::new(0),
-            closed_seq: AtomicU64::new(0),
             retired: AtomicU64::new(0),
             sampled_kept: AtomicU64::new(0),
             retired_retransmissions: AtomicU64::new(0),
-            resident: AtomicU64::new(0),
-            resident_peak: AtomicU64::new(0),
-            table_bytes: AtomicU64::new(0),
-            table_bytes_peak: AtomicU64::new(0),
             sm_enabled: AtomicBool::new(false),
             self_ns: AtomicU64::new(0),
             self_calls: AtomicU64::new(0),
+            lanes: (0..1).map(|_| WriterLane::default()).collect(),
             span_shards: (0..span_shards)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
@@ -885,6 +946,32 @@ impl MetricsRegistry {
                 .collect(),
             misc: Mutex::new(MiscInner::default()),
         }
+    }
+
+    /// Sets the number of writer lanes (clamped to ≥ 1). One lane per
+    /// concurrent deterministic writer — the simulator calls this with
+    /// its domain count before any span opens. Unlike the shard/stripe
+    /// layout this is run *configuration*: span ids are striped across
+    /// lanes and the retirement sampler advances per lane, so a
+    /// different lane count is a different (equally valid) run. Must be
+    /// called before recording starts — it resets lane-sequenced state.
+    pub fn set_writer_lanes(&mut self, n: usize) {
+        let n = n.max(1);
+        let recorder = self.lanes[0]
+            .timeseries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|ts| (ts.width_ns(), ts.capacity()));
+        self.lanes = (0..n).map(|_| WriterLane::default()).collect();
+        if let Some((width, cap)) = recorder {
+            self.enable_timeseries(width, cap);
+        }
+    }
+
+    /// How many writer lanes the registry has.
+    pub fn writer_lanes(&self) -> usize {
+        self.lanes.len()
     }
 
     #[inline]
@@ -906,6 +993,18 @@ impl MetricsRegistry {
 
     fn misc(&self) -> std::sync::MutexGuard<'_, MiscInner> {
         self.misc.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The calling thread's writer-lane index.
+    #[inline]
+    fn lane_idx(&self) -> usize {
+        ambient_lane() % self.lanes.len()
+    }
+
+    /// The calling thread's writer lane.
+    #[inline]
+    fn lane(&self) -> &WriterLane {
+        &self.lanes[self.lane_idx()]
     }
 
     /// The calling thread's counter stripe. Threads are assigned
@@ -947,18 +1046,23 @@ impl MetricsRegistry {
         }
     }
 
-    /// Bookkeeping for a record leaving the table.
+    /// Bookkeeping for a record leaving the table. Retire happens on
+    /// the same lane that opened the span (same simulated process), so
+    /// the lane-local residency gauges stay exact.
     fn note_evicted(&self, rec: &SpanRecord) {
+        let lane = self.lane();
         self.retired.fetch_add(1, Ordering::Relaxed);
-        self.resident.fetch_sub(1, Ordering::Relaxed);
-        self.table_bytes
+        lane.resident.fetch_sub(1, Ordering::Relaxed);
+        lane.table_bytes
             .fetch_sub(span_bytes(rec), Ordering::Relaxed);
     }
 
     /// The keep-every-nth retirement sampling decision for the next
-    /// closed span (also advances the global close sequence).
+    /// closed span (also advances the calling lane's close sequence;
+    /// lane-local so the decision is independent of how concurrent
+    /// lanes interleave, and of the shard count as before).
     fn retire_keeps(&self) -> bool {
-        let seq = self.closed_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let seq = self.lane().closed_seq.fetch_add(1, Ordering::Relaxed) + 1;
         match self.retire_keep_every.load(Ordering::Relaxed) {
             0 => false,
             n => seq.is_multiple_of(n),
@@ -1021,7 +1125,17 @@ impl MetricsRegistry {
             return SpanId::NONE;
         }
         let t0 = self.sm_start();
-        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed) + 1);
+        // Ids are striped across writer lanes: lane `l` of `n` allocates
+        // `count*n + l + 1`, so concurrent lanes never contend and every
+        // lane's sequence is deterministic. One lane degenerates to the
+        // dense `count + 1` sequence. `next_span` tracks the high-water
+        // mark for the plausibility checks.
+        let li = self.lane_idx();
+        let lane = &self.lanes[li];
+        let nlanes = self.lanes.len() as u64;
+        let count = lane.spans_opened.fetch_add(1, Ordering::Relaxed);
+        let id = SpanId(count * nlanes + li as u64 + 1);
+        self.next_span.fetch_max(id.0, Ordering::Relaxed);
         let rec = SpanRecord {
             id,
             parent,
@@ -1036,10 +1150,10 @@ impl MetricsRegistry {
         };
         let bytes = span_bytes(&rec);
         self.shard(id.0).insert(id.0, rec);
-        let resident = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
-        self.resident_peak.fetch_max(resident, Ordering::Relaxed);
-        let total = self.table_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        self.table_bytes_peak.fetch_max(total, Ordering::Relaxed);
+        let resident = lane.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        lane.resident_peak.fetch_max(resident, Ordering::Relaxed);
+        let total = lane.table_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        lane.table_bytes_peak.fetch_max(total, Ordering::Relaxed);
         self.sm_end(t0);
         id
     }
@@ -1172,8 +1286,12 @@ impl MetricsRegistry {
             }
         }
         if closed.kind == SpanKind::Invoke && self.ts_enabled.load(Ordering::Relaxed) {
-            let mut misc = self.misc();
-            if let Some(ts) = misc.timeseries.as_mut() {
+            let mut guard = self
+                .lane()
+                .timeseries
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(ts) = guard.as_mut() {
                 let outcome = if ok { "calls_ok" } else { "calls_err" };
                 ts.add(now_ns, &format!("{outcome}@{}", key.0), 1);
                 ts.observe(now_ns, &format!("latency@{}", key.0), dur);
@@ -1229,10 +1347,7 @@ impl MetricsRegistry {
             }
         }
         if let Some(service) = service {
-            let mut misc = self.misc();
-            if let Some(ts) = misc.timeseries.as_mut() {
-                ts.add(now_ns, &format!("retx@{service}"), 1);
-            }
+            self.ts_add(now_ns, &format!("retx@{service}"), 1);
         }
         self.sm_end(t0);
     }
@@ -1346,25 +1461,40 @@ impl MetricsRegistry {
         self.shard(id.0).get(&id.0).cloned()
     }
 
-    /// Number of spans opened so far.
+    /// Number of spans opened so far (summed over writer lanes).
     pub fn span_count(&self) -> u64 {
-        self.next_span.load(Ordering::Relaxed)
+        self.lanes
+            .iter()
+            .map(|l| l.spans_opened.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Spans currently resident in the table (open + retained).
     pub fn resident_spans(&self) -> u64 {
-        self.resident.load(Ordering::Relaxed)
+        self.lanes
+            .iter()
+            .map(|l| l.resident.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// The plane's self-measurement gauges, as they stand right now.
+    /// Current values are exact lane sums; the peaks are the sum of
+    /// per-lane peaks — a deterministic upper bound on the true
+    /// concurrent peak (exact with one writer lane).
     pub fn obs_plane(&self) -> ObsPlaneReport {
+        let lsum = |field: fn(&WriterLane) -> &AtomicU64| -> u64 {
+            self.lanes
+                .iter()
+                .map(|l| field(l).load(Ordering::Relaxed))
+                .sum()
+        };
         ObsPlaneReport {
             spans_retired: self.retired.load(Ordering::Relaxed),
             spans_sampled: self.sampled_kept.load(Ordering::Relaxed),
-            spans_resident: self.resident.load(Ordering::Relaxed),
-            spans_resident_peak: self.resident_peak.load(Ordering::Relaxed),
-            span_table_bytes: self.table_bytes.load(Ordering::Relaxed),
-            span_table_bytes_peak: self.table_bytes_peak.load(Ordering::Relaxed),
+            spans_resident: lsum(|l| &l.resident),
+            spans_resident_peak: lsum(|l| &l.resident_peak),
+            span_table_bytes: lsum(|l| &l.table_bytes),
+            span_table_bytes_peak: lsum(|l| &l.table_bytes_peak),
             self_ns: self.self_ns.load(Ordering::Relaxed),
             self_calls: self.self_calls.load(Ordering::Relaxed),
         }
@@ -1456,11 +1586,14 @@ impl MetricsRegistry {
     // -- flight recorder ---------------------------------------------------
 
     /// Turns on the windowed flight recorder with `width_ns`-wide
-    /// windows and a ring of at most `capacity` windows. Idempotent in
-    /// effect but resets the recording when called again.
+    /// windows and a ring of at most `capacity` windows *per writer
+    /// lane*. Idempotent in effect but resets the recording when called
+    /// again.
     pub fn enable_timeseries(&self, width_ns: u64, capacity: usize) {
-        let mut misc = self.misc();
-        misc.timeseries = Some(TimeSeries::new(width_ns, capacity));
+        for lane in self.lanes.iter() {
+            let mut ts = lane.timeseries.lock().unwrap_or_else(|e| e.into_inner());
+            *ts = Some(TimeSeries::new(width_ns, capacity));
+        }
         self.ts_enabled.store(true, Ordering::Relaxed);
     }
 
@@ -1472,42 +1605,78 @@ impl MetricsRegistry {
         self.ts_enabled.load(Ordering::Relaxed)
     }
 
-    /// Adds `delta` to counter `series` in the window covering `at_ns`.
-    /// No-op while the recorder is off.
+    /// Adds `delta` to counter `series` in the window covering `at_ns`
+    /// (in the calling lane's recorder). No-op while the recorder is off.
     pub fn ts_add(&self, at_ns: u64, series: &str, delta: u64) {
         if !self.timeseries_enabled() {
             return;
         }
-        if let Some(ts) = self.misc().timeseries.as_mut() {
+        let mut guard = self
+            .lane()
+            .timeseries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(ts) = guard.as_mut() {
             ts.add(at_ns, series, delta);
         }
     }
 
-    /// Samples gauge `series` at `value` in the window covering `at_ns`.
-    /// No-op while the recorder is off.
+    /// Samples gauge `series` at `value` in the window covering `at_ns`
+    /// (in the calling lane's recorder). No-op while the recorder is off.
     pub fn ts_gauge(&self, at_ns: u64, series: &str, value: u64) {
         if !self.timeseries_enabled() {
             return;
         }
-        if let Some(ts) = self.misc().timeseries.as_mut() {
+        let mut guard = self
+            .lane()
+            .timeseries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(ts) = guard.as_mut() {
             ts.gauge(at_ns, series, value);
         }
     }
 
-    /// Records `value` into windowed histogram `series`. No-op while the
-    /// recorder is off.
+    /// Records `value` into windowed histogram `series` (in the calling
+    /// lane's recorder). No-op while the recorder is off.
     pub fn ts_observe(&self, at_ns: u64, series: &str, value: u64) {
         if !self.timeseries_enabled() {
             return;
         }
-        if let Some(ts) = self.misc().timeseries.as_mut() {
+        let mut guard = self
+            .lane()
+            .timeseries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(ts) = guard.as_mut() {
             ts.observe(at_ns, series, value);
         }
     }
 
-    /// Snapshot of the flight recording, if the recorder is on.
+    /// Snapshot of the flight recording, if the recorder is on. With
+    /// one writer lane this is that lane's report verbatim; with more,
+    /// the lanes are merged deterministically by window (counters sum,
+    /// histograms merge, gauge extrema combine — see
+    /// [`TimeSeries::merged`]).
     pub fn timeseries_report(&self) -> Option<TimeSeriesReport> {
-        self.misc().timeseries.as_ref().map(|ts| ts.report())
+        if self.lanes.len() == 1 {
+            return self.lanes[0]
+                .timeseries
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .map(|ts| ts.report());
+        }
+        let guards: Vec<_> = self
+            .lanes
+            .iter()
+            .map(|l| l.timeseries.lock().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let lanes: Vec<&TimeSeries> = guards.iter().filter_map(|g| g.as_ref()).collect();
+        if lanes.is_empty() {
+            return None;
+        }
+        Some(TimeSeries::merged(&lanes).report())
     }
 
     /// Arms the slow-call watchdog. Exemplars accumulate from this point
@@ -1738,7 +1907,7 @@ impl MetricsRegistry {
             obs: self.obs_plane(),
             trace_evicted: 0,
             meta: misc.meta.clone(),
-            timeseries: misc.timeseries.as_ref().map(|ts| ts.report()),
+            timeseries: self.timeseries_report(),
             exemplars: misc.exemplars.clone(),
             exemplars_suppressed: misc.exemplars_suppressed,
         }
@@ -1905,6 +2074,7 @@ impl RunReport {
                     events_dispatched,
                     processes_spawned,
                     processes_peak,
+                    sched_time_inversions,
                 } = self.net;
                 w.field_u64("msgs_sent", msgs_sent);
                 w.field_u64("msgs_delivered", msgs_delivered);
@@ -1915,6 +2085,7 @@ impl RunReport {
                 w.field_u64("events_dispatched", events_dispatched);
                 w.field_u64("processes_spawned", processes_spawned);
                 w.field_u64("processes_peak", processes_peak);
+                w.field_u64("sched_time_inversions", sched_time_inversions);
             });
             w.field_obj("rpc", |w| {
                 w.field_obj("client", |w| {
@@ -2405,6 +2576,7 @@ mod tests {
             events_dispatched: 30,
             processes_spawned: 3,
             processes_peak: 3,
+            sched_time_inversions: 0,
         };
         let b = MetricsSnapshot {
             msgs_sent: 15,
@@ -2416,16 +2588,41 @@ mod tests {
             events_dispatched: 45,
             processes_spawned: 5,
             processes_peak: 4,
+            sched_time_inversions: 0,
         };
         let d = b.since(&a);
         assert_eq!(d.msgs_sent, 5);
         assert_eq!(d.msgs_delivered, 4);
         assert_eq!(d.bytes_sent, 260);
         assert_eq!(d.processes_spawned, 2);
-        assert_eq!(d.processes_peak, 1);
+        // Gauge semantics: the window reports the peak as of its end,
+        // not a counter-style diff (which would read 0 in any window
+        // where the high-water mark did not rise).
+        assert_eq!(d.processes_peak, 4);
         // Reversed order saturates instead of wrapping.
         let r = a.since(&b);
         assert_eq!(r.msgs_sent, 0);
+    }
+
+    #[test]
+    fn snapshot_since_peak_is_a_gauge_in_flat_windows() {
+        // Regression for the flight-recorder window diff: a window in
+        // which the process high-water mark did not move used to report
+        // `processes_peak == 0` because the gauge was diffed like a
+        // counter. The window must report the level, not the rise.
+        let a = MetricsSnapshot {
+            processes_spawned: 5,
+            processes_peak: 5,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            processes_spawned: 7,
+            processes_peak: 5,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.processes_spawned, 2);
+        assert_eq!(d.processes_peak, 5, "flat window must report the level");
     }
 
     #[test]
@@ -2487,6 +2684,7 @@ mod tests {
             events_dispatched: 500,
             processes_spawned: 12,
             processes_peak: 8,
+            sched_time_inversions: 2,
         };
         let later = MetricsSnapshot {
             msgs_sent: 40,
@@ -2498,8 +2696,17 @@ mod tests {
             events_dispatched: 200,
             processes_spawned: 6,
             processes_peak: 4,
+            sched_time_inversions: 1,
         };
-        assert_eq!(later.since(&earlier), MetricsSnapshot::default());
+        // Counters saturate to zero; the peak gauge carries the later
+        // snapshot's level through untouched.
+        assert_eq!(
+            later.since(&earlier),
+            MetricsSnapshot {
+                processes_peak: 4,
+                ..MetricsSnapshot::default()
+            }
+        );
         // Mixed: only some fields went backwards.
         let mixed = MetricsSnapshot {
             msgs_sent: 150,

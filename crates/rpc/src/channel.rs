@@ -321,12 +321,17 @@ impl Channel {
     /// out.
     fn expire(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
-        let expired: Vec<u64> = self
+        let mut expired: Vec<u64> = self
             .calls
             .iter()
             .filter(|(_, r)| matches!(r.state, CallState::Outstanding) && r.deadline <= now)
             .map(|(&id, _)| id)
             .collect();
+        // HashMap iteration order varies run to run; retransmitting in
+        // map order would let two calls with equal deadlines swap their
+        // send order between seeds-identical runs. Sorted ids keep the
+        // retransmission stream a pure function of simulation state.
+        expired.sort_unstable();
         for id in expired {
             let rec = self.calls.get_mut(&id).expect("expired call exists");
             rec.attempt += 1;
@@ -528,14 +533,20 @@ impl Channel {
         if let Err(e) = self.poll(cx.ctx()) {
             return simnet::Poll::Ready(Err(e));
         }
+        // Arm the earliest retransmit deadline *before* checking for
+        // completion: when this call settles, a sibling pipelined call
+        // may still be outstanding, and this poll may be the last one
+        // the process makes before parking. Arming only on the Pending
+        // path would leave that sibling with no timer — a lost wakeup,
+        // not a slowdown. A wake for a deadline that retransmission
+        // later supersedes is harmless: the timer is gen-stale by the
+        // time it fires.
+        if let Some(dl) = self.next_deadline() {
+            cx.wake_at(dl);
+        }
         match self.try_take(h) {
             Some(result) => simnet::Poll::Ready(result),
-            None => {
-                if let Some(dl) = self.next_deadline() {
-                    cx.wake_at(dl);
-                }
-                simnet::Poll::Pending
-            }
+            None => simnet::Poll::Pending,
         }
     }
 

@@ -29,6 +29,7 @@ pub struct Metrics {
     processes_spawned: AtomicU64,
     processes_live: AtomicU64,
     processes_peak: AtomicU64,
+    sched_time_inversions: AtomicU64,
 }
 
 impl Metrics {
@@ -74,8 +75,37 @@ impl Metrics {
         (spawned, self.processes_peak.load(Ordering::Relaxed))
     }
 
+    /// Spawn accounting without the peak fold, for multi-domain rounds
+    /// where concurrent domains cannot order their spawns: the round
+    /// barrier folds a deterministic bound in via
+    /// [`Metrics::note_peak_bound`] instead.
+    pub(crate) fn on_proc_spawn_counts(&self) {
+        self.processes_spawned.fetch_add(1, Ordering::Relaxed);
+        self.processes_live.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn on_proc_finish(&self) {
         self.processes_live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current live-process count.
+    pub(crate) fn live(&self) -> u64 {
+        self.processes_live.load(Ordering::Relaxed)
+    }
+
+    /// Raises the peak to at least `bound` and returns the new peak.
+    pub(crate) fn note_peak_bound(&self, bound: u64) -> u64 {
+        self.processes_peak
+            .fetch_max(bound, Ordering::Relaxed)
+            .max(bound)
+    }
+
+    /// Counts one scheduler time inversion — an event dispatched at a
+    /// clock later than its scheduled time. Structurally zero; nonzero
+    /// means conservative lookahead was violated (e.g. a cross-domain
+    /// latency was lowered mid-round).
+    pub(crate) fn on_time_inversion(&self) {
+        self.sched_time_inversions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copies current counter values.
@@ -90,6 +120,7 @@ impl Metrics {
             events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
             processes_spawned: self.processes_spawned.load(Ordering::Relaxed),
             processes_peak: self.processes_peak.load(Ordering::Relaxed),
+            sched_time_inversions: self.sched_time_inversions.load(Ordering::Relaxed),
         }
     }
 }

@@ -218,6 +218,24 @@ impl Network {
         self.latency_overrides.remove(&LinkKey::new(a, b));
     }
 
+    /// The smallest possible base latency between nodes in *different*
+    /// scheduling domains (node `i` belongs to domain `i % ndomains`):
+    /// the remote latency, unless some cross-domain pair has a lower
+    /// override. This is the scheduler's conservative lookahead bound —
+    /// no cross-domain message can arrive sooner than this (scaled down
+    /// by the jitter factor). Nodes in the same domain never constrain
+    /// the bound: their traffic stays inside one event queue.
+    pub fn min_cross_domain_base_latency(&self, ndomains: usize) -> Duration {
+        let mut min = self.config.remote_latency;
+        for (k, d) in &self.latency_overrides {
+            let cross = k.0 .0 as usize % ndomains != k.1 .0 as usize % ndomains;
+            if cross && *d < min {
+                min = *d;
+            }
+        }
+        min
+    }
+
     /// Cuts the link between `a` and `b`: messages in either direction are
     /// blackholed until [`Network::heal`].
     pub fn partition(&mut self, a: NodeId, b: NodeId) {

@@ -46,11 +46,16 @@
 //!
 //! # Determinism
 //!
-//! Polls run inline on the scheduler thread in event order — the
-//! "worker pool" is deliberately degenerate (size one), which is what
-//! makes runs bit-for-bit reproducible: same seed, same event order,
-//! same polls. The `Process` trait is `Send` so the door stays open for
-//! a sharded scheduler later without an API break.
+//! Polls run on the thread driving the machine's scheduler *domain* —
+//! the main thread by default, a worker thread when the simulation is
+//! sharded with [`Simulation::with_domains`] and given a pool via
+//! [`Simulation::with_threads`]. Either way the domain executes its
+//! events in deterministic order and the cross-domain merge is decided
+//! by `(time, src_domain, seq)`, never by thread timing, so runs stay
+//! bit-for-bit reproducible: same seed, same event order, same polls,
+//! at any thread count (see the `sched` module docs). The `Process`
+//! trait is `Send` because a machine may be polled from a worker
+//! thread.
 //!
 //! # Example
 //!

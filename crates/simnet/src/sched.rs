@@ -16,10 +16,35 @@
 //!   thousands of concurrent processes (see the [`poll`](crate::poll)
 //!   module and experiment E16).
 //!
-//! Either way **exactly one process runs at any instant**, and all
-//! randomness comes from a single seeded RNG drawn in event order, so
-//! runs are fully deterministic: same seed, same interleaving, same
-//! results.
+//! # Domains and parallel execution
+//!
+//! The event queue is sharded into **domains**: nodes are partitioned
+//! round-robin (`node % ndomains`, see [`Simulation::with_domains`]) and
+//! each domain owns its own virtual clock, event heap, tie-breaking
+//! sequence counter, RNG stream and trace ring. Domains advance in
+//! *barrier rounds* under conservative lookahead: each round computes
+//! the global minimum event time and lets every domain execute events up
+//! to `min cross-domain link latency` past it; cross-domain effects
+//! (message deliveries, spawns, kills) are buffered in per-source
+//! outboxes and merged at the barrier in `(time, src domain, send
+//! order)` order, with fresh target-local sequence numbers. Because the
+//! merge order and every per-domain decision are functions of the seed
+//! and the topology alone, a run is **bit-for-bit identical for any
+//! worker-thread count** ([`Simulation::with_threads`]): threads only
+//! decide which OS thread executes a domain's round, never what the
+//! round does.
+//!
+//! With the default single domain the round structure degenerates to
+//! exactly the classic sequential loop: one heap, one clock, one RNG
+//! drawn in event order — same seed, same interleaving, same results.
+//!
+//! Within one domain at most one process runs at any instant, and all
+//! of a domain's randomness comes from its own seeded RNG drawn in
+//! event order. Caveats that come with multiple domains are documented
+//! on the relevant methods: cross-domain [`Ctx::spawn`]/[`Ctx::kill`]
+//! take effect one lookahead later, and mutating the network topology
+//! from *inside* a multi-domain simulation mid-round is detectably
+//! unsafe (see `sched_time_inversions`) rather than silently wrong.
 //!
 //! This is the repo's substitute for the paper's testbed of Unix processes
 //! on a LAN (see `DESIGN.md` §6): processes get the natural blocking style
@@ -28,13 +53,14 @@
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::{Mutex, MutexGuard};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,8 +69,8 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::msg::Message;
 use crate::net::{Fate, Network, NetworkConfig};
 use crate::poll::{Poll, ProcCx, Process};
-use crate::time::SimTime;
-use crate::trace::{Trace, TraceDump, TraceEvent};
+use crate::time::{duration_to_nanos, SimTime};
+use crate::trace::{Trace, TraceDump, TraceEvent, TraceRecord};
 
 /// Error returned by blocking [`Ctx`] operations once the simulation is
 /// shutting down. A process receiving `Stopped` should return promptly.
@@ -111,9 +137,28 @@ struct EvKey {
 
 enum EvKind {
     Wake(ProcId),
-    Timeout { pid: ProcId, gen: u64 },
-    Deliver { msg: Message },
+    Timeout {
+        pid: ProcId,
+        gen: u64,
+    },
+    Deliver {
+        msg: Message,
+    },
     Kill(ProcId),
+    /// Deferred registration of a process spawned from *another* domain:
+    /// the entry (and its endpoint binding) materializes at this instant
+    /// in the target domain's own timeline, so concurrent deliveries and
+    /// binds in the target can never race the registration.
+    ApplySpawn {
+        pid: ProcId,
+        endpoint: Endpoint,
+        entry: Box<ProcEntry>,
+    },
+    /// Deferred cross-domain kill: unbind + teardown runs at this
+    /// instant in the victim's domain.
+    RemoteKill {
+        target: Endpoint,
+    },
 }
 
 struct Ev {
@@ -168,6 +213,9 @@ struct ProcEntry {
     /// parks (poll-driven); stale timeout events carry an older
     /// generation and are ignored.
     gen: u64,
+    /// The domain the process's node maps to. Every event that touches
+    /// this entry executes in this domain.
+    domain: usize,
     kind: ProcKind,
     panic_msg: Option<String>,
 }
@@ -175,82 +223,203 @@ struct ProcEntry {
 struct Registry {
     procs: HashMap<ProcId, ProcEntry>,
     endpoints: HashMap<Endpoint, ProcId>,
-    next_proc: u32,
-    next_ephemeral: HashMap<NodeId, u32>,
+    /// Identifier-allocation stripe count (== domain count). Ids are
+    /// striped by the *allocating* domain — `id = count · stripes +
+    /// stripe` — so domains running concurrently mint disjoint sequences
+    /// that are each deterministic in the allocating domain's own
+    /// execution order. With one stripe this is exactly the classic
+    /// sequential counter.
+    stripes: u32,
+    /// Per-stripe count of pids handed out.
+    next_proc: Vec<u32>,
+    /// Per `(node, stripe)` count of ephemeral ports handed out.
+    next_ephemeral: HashMap<(NodeId, u32), u32>,
 }
 
 impl Registry {
-    fn alloc_pid(&mut self) -> ProcId {
-        let pid = ProcId(self.next_proc);
-        self.next_proc += 1;
+    fn alloc_pid(&mut self, stripe: u32) -> ProcId {
+        let c = &mut self.next_proc[stripe as usize];
+        let pid = ProcId(*c * self.stripes + stripe);
+        *c += 1;
         pid
     }
 
-    fn alloc_ephemeral_port(&mut self, node: NodeId) -> PortId {
-        let next = self
-            .next_ephemeral
-            .entry(node)
-            .or_insert(PortId::EPHEMERAL_BASE);
-        let port = PortId(*next);
-        *next += 1;
+    fn alloc_ephemeral_port(&mut self, node: NodeId, stripe: u32) -> PortId {
+        let c = self.next_ephemeral.entry((node, stripe)).or_insert(0);
+        let port = PortId(PortId::EPHEMERAL_BASE + *c * self.stripes + stripe);
+        *c += 1;
         port
     }
 }
 
-/// The scheduler's hot state: the virtual clock, the pending-event
-/// heap, and the tie-breaking sequence counter. All three live under
-/// ONE mutex so the run loop pops the next event and advances time in
-/// a single acquisition, and `push_event` allocates a seq and enqueues
-/// without a lock handoff in between. Keeping them together also
-/// removes a subtle race surface: no thread can ever observe a clock
-/// that is out of step with the heap it was derived from.
-struct SchedState {
+/// One domain's share of the scheduler: its virtual clock, pending-event
+/// heap, tie-breaking sequence counter, RNG stream, trace ring and
+/// process-accounting ledger. Clock, heap and seq live under ONE mutex
+/// (per domain) so the round loop pops the next event and advances time
+/// in a single acquisition — no observer can see a clock out of step
+/// with the heap it was derived from.
+struct DomainState {
     now: SimTime,
     events: BinaryHeap<Ev>,
     seq: u64,
+    /// This domain's deterministic RNG stream. Domain 0 is seeded with
+    /// the simulation seed itself (so a single-domain run draws exactly
+    /// the classic sequence); further domains derive their stream from
+    /// the seed and the domain index.
+    rng: StdRng,
+    /// This domain's slice of the timeline; merged on
+    /// [`Simulation::take_trace`] by `(time, domain, push order)`.
+    trace: Option<Trace>,
+    /// Processes spawned into this domain (lifetime total).
+    spawned: u64,
+    /// Processes of this domain currently alive.
+    live: u64,
+    /// Net spawn-minus-finish delta accumulated this round.
+    round_delta: i64,
+    /// Maximum prefix value of `round_delta` this round — the domain's
+    /// contribution to the deterministic `processes_peak` upper bound.
+    round_rise: i64,
+}
+
+impl DomainState {
+    fn new(d: usize, seed: u64) -> DomainState {
+        // Domain 0 draws the exact stream a 1-domain simulation draws;
+        // the golden-ratio multiplier decorrelates the other streams.
+        let rng_seed = if d == 0 {
+            seed
+        } else {
+            seed.wrapping_add((d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        DomainState {
+            now: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(rng_seed),
+            trace: None,
+            spawned: 0,
+            live: 0,
+            round_delta: 0,
+            round_rise: 0,
+        }
+    }
+}
+
+/// Pre-formatted flight-recorder series names for one domain, so the
+/// per-event hot path never allocates. Single-domain simulations keep
+/// the classic un-suffixed names; multi-domain ones get `@d<i>`.
+struct DomainSeries {
+    lag: String,
+    depth: String,
+    spawned: String,
+    current: String,
+}
+
+impl DomainSeries {
+    fn new(d: usize, ndomains: usize) -> DomainSeries {
+        if ndomains == 1 {
+            DomainSeries {
+                lag: "sched_lag".to_string(),
+                depth: "sched_depth".to_string(),
+                spawned: "processes_spawned".to_string(),
+                current: "processes_current".to_string(),
+            }
+        } else {
+            DomainSeries {
+                lag: format!("sched_lag@d{d}"),
+                depth: format!("sched_depth@d{d}"),
+                spawned: format!("processes_spawned@d{d}"),
+                current: format!("processes_current@d{d}"),
+            }
+        }
+    }
+}
+
+/// A cross-domain event parked in its source domain's outbox until the
+/// round barrier merges it into the target heap.
+struct OutboundEv {
+    dst: usize,
+    time: SimTime,
+    kind: EvKind,
 }
 
 struct Shared {
-    sched: Mutex<SchedState>,
+    domains: Box<[Mutex<DomainState>]>,
+    /// Per-*source*-domain buffers of cross-domain events. Only the
+    /// owning domain's execution pushes, so there is no contention; the
+    /// barrier drains them all and merges deterministically.
+    outboxes: Box<[Mutex<Vec<OutboundEv>>]>,
+    series: Box<[DomainSeries]>,
+    /// The current round's conservative lookahead in nanoseconds
+    /// (`u64::MAX` for a single domain). Deferred cross-domain effects
+    /// (spawn/kill) are timestamped `now + lookahead` so they land at or
+    /// beyond the round horizon in the target's timeline.
+    round_lookahead_ns: AtomicU64,
     registry: Mutex<Registry>,
-    network: Mutex<Network>,
+    network: RwLock<Network>,
     metrics: Arc<Metrics>,
     obs: Arc<obs::MetricsRegistry>,
-    rng: Mutex<StdRng>,
-    trace: Mutex<Option<Trace>>,
     /// RNG seed the simulation was built with, stamped into report
     /// provenance so artifacts from different seeds are never compared.
     seed: u64,
 }
 
 impl Shared {
-    fn now(&self) -> SimTime {
-        self.sched.lock().now
+    fn ndomains(&self) -> usize {
+        self.domains.len()
     }
 
-    fn record(&self, event: TraceEvent) {
-        let mut guard = self.trace.lock();
-        if let Some(trace) = guard.as_mut() {
-            trace.push(self.now(), event);
+    /// The domain a node's processes and events belong to.
+    fn domain_of(&self, node: NodeId) -> usize {
+        node.0 as usize % self.domains.len()
+    }
+
+    fn domain_now(&self, d: usize) -> SimTime {
+        self.domains[d].lock().now
+    }
+
+    /// The most advanced domain clock — what an outside observer calls
+    /// "now". With one domain this is the classic scheduler clock.
+    fn max_now(&self) -> SimTime {
+        self.domains
+            .iter()
+            .map(|d| d.lock().now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Records `event` in domain `d`'s trace ring at that domain's
+    /// current instant. One lock acquisition covers both reads so the
+    /// timestamp can never drift from the ring it lands in.
+    fn record(&self, d: usize, event: TraceEvent) {
+        let mut st = self.domains[d].lock();
+        let now = st.now;
+        if let Some(trace) = st.trace.as_mut() {
+            trace.push(now, event);
         }
     }
 
-    fn push_event(&self, time: SimTime, kind: EvKind) {
-        let mut sched = self.sched.lock();
-        sched.seq += 1;
-        let key = EvKey {
-            time,
-            seq: sched.seq,
-        };
-        sched.events.push(Ev { key, kind });
+    /// Enqueues an event into domain `d`'s own heap with a fresh
+    /// domain-local sequence number.
+    fn push_event_domain(&self, d: usize, time: SimTime, kind: EvKind) {
+        let mut st = self.domains[d].lock();
+        st.seq += 1;
+        let key = EvKey { time, seq: st.seq };
+        st.events.push(Ev { key, kind });
     }
 
     /// Plans delivery for a payload and enqueues the resulting events.
     /// `span` is the causal span the send happens on behalf of; it
     /// rides along in the [`Message`] so the delivery (or loss) trace
     /// event stays attributed to the request.
+    ///
+    /// All random draws (loss, duplication, jitter) come from the
+    /// *sending* domain's RNG stream, in that domain's execution order —
+    /// the target domain's stream is untouched, which is what keeps the
+    /// fate of every message independent of how rounds interleave.
     fn send(&self, src: Endpoint, dst: Endpoint, payload: Bytes, span: obs::SpanId) {
-        let now = self.now();
+        let sd = self.domain_of(src.node);
+        let dd = self.domain_of(dst.node);
+        let now = self.domain_now(sd);
         self.metrics.on_send(payload.len());
         // Per-link wire bytes for the flight recorder. The enabled check
         // is one relaxed load; the series-name formatting only happens
@@ -262,16 +431,20 @@ impl Shared {
                 payload.len() as u64,
             );
         }
-        self.record(TraceEvent::Sent {
-            src,
-            dst,
-            bytes: payload.len(),
-            span,
-        });
+        self.record(
+            sd,
+            TraceEvent::Sent {
+                src,
+                dst,
+                bytes: payload.len(),
+                span,
+            },
+        );
+        // Lock order: network before domain, never the reverse.
         let fate = {
-            let net = self.network.lock();
-            let mut rng = self.rng.lock();
-            net.plan(src.node, dst.node, payload.len(), now, &mut *rng)
+            let net = self.network.read();
+            let mut st = self.domains[sd].lock();
+            net.plan(src.node, dst.node, payload.len(), now, &mut st.rng)
         };
         match fate {
             Fate::Deliver(times) => {
@@ -279,28 +452,37 @@ impl Shared {
                     self.metrics.on_duplicate();
                 }
                 for t in times {
-                    self.push_event(
-                        t,
-                        EvKind::Deliver {
-                            msg: Message {
-                                src,
-                                dst,
-                                payload: payload.clone(),
-                                sent_at: now,
-                                delivered_at: t,
-                                span,
-                            },
+                    let kind = EvKind::Deliver {
+                        msg: Message {
+                            src,
+                            dst,
+                            payload: payload.clone(),
+                            sent_at: now,
+                            delivered_at: t,
+                            span,
                         },
-                    );
+                    };
+                    if dd == sd {
+                        self.push_event_domain(sd, t, kind);
+                    } else {
+                        // Cross-domain: park in the source outbox; the
+                        // round barrier merges outboxes in (time, src
+                        // domain, send order) order.
+                        self.outboxes[sd].lock().push(OutboundEv {
+                            dst: dd,
+                            time: t,
+                            kind,
+                        });
+                    }
                 }
             }
             Fate::Dropped => {
                 self.metrics.on_drop();
-                self.record(TraceEvent::Dropped { src, dst, span });
+                self.record(sd, TraceEvent::Dropped { src, dst, span });
             }
             Fate::Blackholed => {
                 self.metrics.on_blackhole();
-                self.record(TraceEvent::Blackholed { src, dst, span });
+                self.record(sd, TraceEvent::Blackholed { src, dst, span });
             }
         }
     }
@@ -313,11 +495,14 @@ impl Shared {
             .and_then(|e| e.mailbox.pop_front())
     }
 
-    /// Allocates a pid and binds its primary endpoint (common to both
-    /// process kinds).
-    fn bind_new_proc(&self, node: NodeId, port: Option<PortId>) -> (ProcId, Endpoint) {
+    /// Allocates a pid and the primary endpoint for a new process.
+    /// Identifiers are striped by the allocating domain (`stripe`), so
+    /// concurrent domains mint disjoint, individually-deterministic id
+    /// sequences. The endpoint is *not* bound here — binding happens at
+    /// registration time, in the target domain's timeline.
+    fn alloc_proc(&self, stripe: u32, node: NodeId, port: Option<PortId>) -> (ProcId, Endpoint) {
         let mut reg = self.registry.lock();
-        let pid = reg.alloc_pid();
+        let pid = reg.alloc_pid(stripe);
         let port = match port {
             Some(p) => {
                 assert!(
@@ -326,50 +511,114 @@ impl Shared {
                 );
                 p
             }
-            None => reg.alloc_ephemeral_port(node),
+            None => reg.alloc_ephemeral_port(node, stripe),
         };
-        let endpoint = Endpoint::new(node, port);
-        assert!(
-            !reg.endpoints.contains_key(&endpoint),
-            "endpoint {endpoint} already bound"
-        );
-        reg.endpoints.insert(endpoint, pid);
-        (pid, endpoint)
+        (pid, Endpoint::new(node, port))
     }
 
-    /// Registers `entry`, records the spawn, samples the process gauges
-    /// and schedules the first wake at the current instant.
-    fn finish_spawn(&self, pid: ProcId, endpoint: Endpoint, entry: ProcEntry) {
+    /// Binds the endpoint, inserts the entry, records the spawn and
+    /// schedules the first wake — all in domain `d`'s timeline.
+    /// `in_round` distinguishes spawns made by running processes from
+    /// out-of-round spawns made by the driving thread between rounds.
+    fn register_proc(
+        &self,
+        d: usize,
+        pid: ProcId,
+        endpoint: Endpoint,
+        entry: ProcEntry,
+        in_round: bool,
+    ) {
         let proc_name = entry.name.clone();
-        self.registry.lock().procs.insert(pid, entry);
-        self.note_proc_spawned();
-        self.record(TraceEvent::Spawned {
-            pid,
-            name: proc_name,
-            endpoint,
-        });
-        // Start the process at the current instant.
-        let now = self.now();
-        self.push_event(now, EvKind::Wake(pid));
+        {
+            let mut reg = self.registry.lock();
+            assert!(
+                !reg.endpoints.contains_key(&endpoint),
+                "endpoint {endpoint} already bound"
+            );
+            reg.endpoints.insert(endpoint, pid);
+            reg.procs.insert(pid, entry);
+        }
+        self.note_proc_spawned(d, in_round);
+        self.record(
+            d,
+            TraceEvent::Spawned {
+                pid,
+                name: proc_name,
+                endpoint,
+            },
+        );
+        // Start the process at the domain's current instant.
+        let now = self.domain_now(d);
+        self.push_event_domain(d, now, EvKind::Wake(pid));
     }
 
-    fn note_proc_spawned(&self) {
-        let (spawned, peak) = self.metrics.on_proc_spawn();
-        if self.obs.timeseries_enabled() {
-            let now_ns = self.now().as_nanos();
-            self.obs.ts_gauge(now_ns, "processes_spawned", spawned);
-            self.obs.ts_gauge(now_ns, "processes_peak", peak);
+    /// Updates process-count metrics and gauges for a spawn landing in
+    /// domain `d`.
+    ///
+    /// Single-domain simulations take the classic exact path (`peak`
+    /// updated inline). Multi-domain simulations cannot order concurrent
+    /// spawns across domains without serializing them, so in-round they
+    /// only bump counters and a per-domain ledger; the round barrier
+    /// folds the ledgers into a deterministic *upper bound* on the peak
+    /// (see `finish_round`). Out-of-round spawns (from the driving
+    /// thread, nothing else running) still take the exact path.
+    fn note_proc_spawned(&self, d: usize, in_round: bool) {
+        let nd = self.ndomains();
+        let ts = self.obs.timeseries_enabled();
+        if nd == 1 {
+            let (spawned, peak) = self.metrics.on_proc_spawn();
+            if ts {
+                let now_ns = self.domain_now(0).as_nanos();
+                self.obs.ts_gauge(now_ns, "processes_spawned", spawned);
+                self.obs.ts_gauge(now_ns, "processes_peak", peak);
+            }
+            return;
+        }
+        if in_round {
+            self.metrics.on_proc_spawn_counts();
+        } else {
+            // Out-of-round: no other domain is executing, the global
+            // live count is exact — keep the classic peak fold.
+            let _ = self.metrics.on_proc_spawn();
+        }
+        let (dom_spawned, dom_live, now) = {
+            let mut st = self.domains[d].lock();
+            st.spawned += 1;
+            st.live += 1;
+            st.round_delta += 1;
+            st.round_rise = st.round_rise.max(st.round_delta);
+            (st.spawned, st.live, st.now)
+        };
+        if ts {
+            let now_ns = now.as_nanos();
+            self.obs
+                .ts_gauge(now_ns, &self.series[d].spawned, dom_spawned);
+            self.obs.ts_gauge(now_ns, &self.series[d].current, dom_live);
+        }
+    }
+
+    /// Process-count bookkeeping for a process that finished or was
+    /// killed in domain `d`.
+    fn note_proc_finished(&self, d: usize) {
+        self.metrics.on_proc_finish();
+        if self.ndomains() > 1 {
+            let mut st = self.domains[d].lock();
+            st.live = st.live.saturating_sub(1);
+            st.round_delta -= 1;
         }
     }
 
     fn spawn_proc(
         self: &Arc<Self>,
+        spawner: Option<usize>,
         name: String,
         node: NodeId,
         port: Option<PortId>,
         body: Box<dyn FnOnce(&mut Ctx) + Send + 'static>,
     ) -> Endpoint {
-        let (pid, endpoint) = self.bind_new_proc(node, port);
+        let target = self.domain_of(node);
+        let stripe = spawner.unwrap_or(target) as u32;
+        let (pid, endpoint) = self.alloc_proc(stripe, node, port);
 
         let (resume_tx, resume_rx) = bounded::<Resume>(1);
         let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
@@ -378,6 +627,7 @@ impl Shared {
             pid,
             name: name.clone(),
             endpoint,
+            domain: target,
             shared: Arc::clone(self),
             resume_rx: Some(resume_rx),
             yield_tx: Some(yield_tx.clone()),
@@ -389,6 +639,9 @@ impl Shared {
         let handle = std::thread::Builder::new()
             .name(format!("sim-{name}"))
             .spawn(move || {
+                // Everything this process records flows through its
+                // domain's obs writer lane.
+                obs::set_ambient_lane(target);
                 // Wait for the scheduler to start us (or abort pre-start).
                 match ctx.resume_rx.as_ref().expect("threaded ctx").recv() {
                     Ok(Resume::Start) => {}
@@ -408,6 +661,7 @@ impl Shared {
             mailbox: VecDeque::new(),
             state: ProcState::NotStarted,
             gen: 0,
+            domain: target,
             kind: ProcKind::Thread {
                 resume_tx,
                 yield_rx,
@@ -415,7 +669,7 @@ impl Shared {
             },
             panic_msg: None,
         };
-        self.finish_spawn(pid, endpoint, entry);
+        self.commit_spawn(spawner, target, pid, endpoint, entry);
         endpoint
     }
 
@@ -423,17 +677,21 @@ impl Shared {
     /// the process table. See the [`poll`](crate::poll) module.
     fn spawn_polled(
         self: &Arc<Self>,
+        spawner: Option<usize>,
         name: String,
         node: NodeId,
         port: Option<PortId>,
         process: Box<dyn Process>,
     ) -> Endpoint {
-        let (pid, endpoint) = self.bind_new_proc(node, port);
+        let target = self.domain_of(node);
+        let stripe = spawner.unwrap_or(target) as u32;
+        let (pid, endpoint) = self.alloc_proc(stripe, node, port);
 
         let ctx = Ctx {
             pid,
             name: name.clone(),
             endpoint,
+            domain: target,
             shared: Arc::clone(self),
             // No scheduler channels: a poll-driven process parks by
             // returning Pending, never by a thread handoff.
@@ -449,6 +707,7 @@ impl Shared {
             mailbox: VecDeque::new(),
             state: ProcState::NotStarted,
             gen: 0,
+            domain: target,
             kind: ProcKind::Polled {
                 machine: Some(PolledMachine {
                     process,
@@ -457,14 +716,72 @@ impl Shared {
             },
             panic_msg: None,
         };
-        self.finish_spawn(pid, endpoint, entry);
+        self.commit_spawn(spawner, target, pid, endpoint, entry);
         endpoint
     }
 
-    /// Schedules a crash of the process owning `target` at the current
-    /// instant. Endpoints are unbound immediately so no further traffic
-    /// reaches the victim.
-    fn request_kill(&self, target: Endpoint) -> bool {
+    /// Registers a freshly built process entry. Same-domain (and
+    /// out-of-round) spawns register immediately, exactly like the
+    /// sequential scheduler. A spawn *from another domain's execution*
+    /// is instead shipped through the outbox as an `ApplySpawn` that
+    /// lands one lookahead later in the target's timeline — the earliest
+    /// instant the target can causally observe anything from the
+    /// spawner's current round.
+    fn commit_spawn(
+        &self,
+        spawner: Option<usize>,
+        target: usize,
+        pid: ProcId,
+        endpoint: Endpoint,
+        entry: ProcEntry,
+    ) {
+        match spawner {
+            Some(s) if s != target => {
+                let now = self.domain_now(s);
+                let la = self.round_lookahead_ns.load(Ordering::Relaxed);
+                let at = SimTime::from_nanos(now.as_nanos().saturating_add(la));
+                self.outboxes[s].lock().push(OutboundEv {
+                    dst: target,
+                    time: at,
+                    kind: EvKind::ApplySpawn {
+                        pid,
+                        endpoint,
+                        entry: Box::new(entry),
+                    },
+                });
+            }
+            _ => self.register_proc(target, pid, endpoint, entry, spawner.is_some()),
+        }
+    }
+
+    /// Schedules a crash of the process owning `target`. Same-domain
+    /// kills unbind the endpoint and schedule the `Kill` at the current
+    /// instant, exactly like the sequential scheduler. A kill *from
+    /// another domain's execution* takes effect one lookahead later in
+    /// the victim's timeline and optimistically returns `true` (the
+    /// caller cannot observe the victim's state without crossing the
+    /// same latency anyway).
+    fn request_kill(&self, from: Option<usize>, target: Endpoint) -> bool {
+        let td = self.domain_of(target.node);
+        match from {
+            Some(s) if s != td => {
+                let now = self.domain_now(s);
+                let la = self.round_lookahead_ns.load(Ordering::Relaxed);
+                let at = SimTime::from_nanos(now.as_nanos().saturating_add(la));
+                self.outboxes[s].lock().push(OutboundEv {
+                    dst: td,
+                    time: at,
+                    kind: EvKind::RemoteKill { target },
+                });
+                true
+            }
+            _ => self.kill_local(td, target),
+        }
+    }
+
+    /// Kill running in the victim's own domain: unbind endpoints, clear
+    /// the mailbox, schedule teardown at the domain's current instant.
+    fn kill_local(&self, d: usize, target: Endpoint) -> bool {
         let mut reg = self.registry.lock();
         let Some(pid) = reg.endpoints.get(&target).copied() else {
             return false;
@@ -484,9 +801,527 @@ impl Shared {
             entry.mailbox.clear();
         }
         drop(reg);
-        self.record(TraceEvent::Killed { pid });
-        self.push_event(self.now(), EvKind::Kill(pid));
+        self.record(d, TraceEvent::Killed { pid });
+        self.push_event_domain(d, self.domain_now(d), EvKind::Kill(pid));
         true
+    }
+
+    /// The conservative lookahead for the coming round, in nanoseconds:
+    /// how far past the global minimum clock a domain may safely run.
+    /// Any cross-domain message sent at `t` arrives no earlier than
+    /// `t + min cross-domain base latency × (1 − jitter)`; we subtract
+    /// one more nanosecond to stay strictly below even after float
+    /// truncation. A single domain has no cross-domain traffic at all —
+    /// its horizon is unbounded.
+    fn round_lookahead(&self) -> u64 {
+        if self.ndomains() == 1 {
+            return u64::MAX;
+        }
+        let net = self.network.read();
+        let base = duration_to_nanos(net.min_cross_domain_base_latency(self.ndomains()));
+        let jitter = net.config().jitter;
+        (((base as f64) * (1.0 - jitter)) as u64).saturating_sub(1)
+    }
+}
+
+/// The round-execution engine. Everything here runs with `&self` — a
+/// worker thread executes `domain_round` for the domains it owns, and
+/// all shared state sits behind the per-domain mutexes, the registry
+/// mutex, the network rwlock and relaxed atomics.
+impl Shared {
+    /// Executes one barrier round for domain `d`: pop-and-run every
+    /// event with time `t` satisfying `t <= limit && (t == gm || t <
+    /// horizon)`. The `t == gm` clause guarantees progress even at zero
+    /// lookahead (and lets `SimTime::MAX`-scheduled events eventually
+    /// run); the strict `<` keeps the horizon conservative under float
+    /// truncation.
+    fn domain_round(&self, d: usize, gm: SimTime, horizon: SimTime, limit: SimTime) {
+        loop {
+            // One lock acquisition pops the next runnable event AND
+            // advances the domain clock to it, so no observer can see
+            // the old time paired with the drained heap (or vice versa).
+            let popped = {
+                let mut st = self.domains[d].lock();
+                match st.events.peek() {
+                    Some(ev)
+                        if ev.key.time <= limit && (ev.key.time == gm || ev.key.time < horizon) =>
+                    {
+                        let ev = st.events.pop().expect("peeked event vanished");
+                        // An event scheduled before the clock it runs at
+                        // is a time inversion — the bug class lookahead
+                        // can introduce (e.g. a topology mutation that
+                        // lowered a cross-domain latency mid-round).
+                        // Count it honestly instead of clamping it away;
+                        // the clock itself stays monotone.
+                        let inverted = ev.key.time < st.now;
+                        if !inverted {
+                            st.now = ev.key.time;
+                        }
+                        Some((ev, st.now, st.events.len() as u64, inverted))
+                    }
+                    _ => None,
+                }
+            };
+            let Some((ev, dispatched_at, depth, inverted)) = popped else {
+                break;
+            };
+            if inverted {
+                debug_assert!(
+                    false,
+                    "simnet: time inversion in domain {d}: event at {:?} dispatched at {:?}",
+                    ev.key.time, dispatched_at
+                );
+                self.metrics.on_time_inversion();
+            }
+            self.metrics.on_event();
+            if self.obs.timeseries_enabled() {
+                let now_ns = dispatched_at.as_nanos();
+                // Scheduler lag: dispatch time minus the event's
+                // scheduled time. The single-lock pop advances the clock
+                // to the event it pops, so this is structurally zero —
+                // recorded anyway as an invariant monitor (a nonzero
+                // window means the scheduler contract broke, e.g. a
+                // counted time inversion) and as the anchor the
+                // genuinely varying heap-depth gauge hangs on.
+                self.obs.ts_observe(
+                    now_ns,
+                    &self.series[d].lag,
+                    now_ns.saturating_sub(ev.key.time.as_nanos()),
+                );
+                self.obs.ts_gauge(now_ns, &self.series[d].depth, depth);
+            }
+            self.dispatch(d, ev.kind);
+        }
+    }
+
+    /// Barrier step: drain every outbox and merge the parked
+    /// cross-domain events into their target heaps in `(time, source
+    /// domain, send order)` order, assigning fresh target-local sequence
+    /// numbers. The merge order is a pure function of what each domain
+    /// did in its own timeline, so it is identical for every worker
+    /// count.
+    fn flush_outboxes(&self) {
+        let mut all: Vec<(SimTime, usize, usize, OutboundEv)> = Vec::new();
+        for (src, outbox) in self.outboxes.iter().enumerate() {
+            let drained = std::mem::take(&mut *outbox.lock());
+            for (idx, ev) in drained.into_iter().enumerate() {
+                all.push((ev.time, src, idx, ev));
+            }
+        }
+        if all.is_empty() {
+            return;
+        }
+        all.sort_by_key(|a| (a.0, a.1, a.2));
+        for (_, _, _, ev) in all {
+            self.push_event_domain(ev.dst, ev.time, ev.kind);
+        }
+    }
+
+    /// Folds the per-domain spawn ledgers accumulated this round into a
+    /// deterministic upper bound on the concurrent-process peak:
+    /// `live-at-round-start + Σ max(0, per-domain max prefix rise)`.
+    /// Each domain's rise is exact in its own timeline; summing them
+    /// bounds every possible interleaving from above and depends only on
+    /// per-domain facts — so the reported peak is identical for every
+    /// worker count (and exact whenever one domain drives the growth).
+    fn finish_round(&self, live_start: u64, gm: SimTime) {
+        let mut rise_sum: u64 = 0;
+        for dom in self.domains.iter() {
+            let st = dom.lock();
+            if st.round_rise > 0 {
+                rise_sum += st.round_rise as u64;
+            }
+        }
+        if rise_sum == 0 {
+            return;
+        }
+        let new_peak = self.metrics.note_peak_bound(live_start + rise_sum);
+        if self.obs.timeseries_enabled() {
+            self.obs.ts_gauge(gm.as_nanos(), "processes_peak", new_peak);
+        }
+    }
+
+    fn dispatch(&self, d: usize, kind: EvKind) {
+        match kind {
+            EvKind::Wake(pid) => match self.proc_status(pid) {
+                Some((ProcState::NotStarted, false)) => self.resume_and_wait(d, pid, Resume::Start),
+                Some((ProcState::Sleeping, false)) => self.resume_and_wait(d, pid, Resume::Woken),
+                Some((ProcState::NotStarted | ProcState::Parked, true)) => {
+                    self.poll_process(d, pid)
+                }
+                _ => {} // finished or stale
+            },
+            EvKind::Timeout { pid, gen } => {
+                // A timer is live only if the process still blocks on the
+                // park that armed it: the generation bumps on every park.
+                let polled = {
+                    let reg = self.registry.lock();
+                    reg.procs.get(&pid).and_then(|e| {
+                        if e.gen != gen {
+                            return None;
+                        }
+                        match (&e.kind, e.state) {
+                            (ProcKind::Thread { .. }, ProcState::BlockedRecv) => Some(false),
+                            (ProcKind::Polled { .. }, ProcState::Parked) => Some(true),
+                            _ => None,
+                        }
+                    })
+                };
+                match polled {
+                    Some(false) => self.resume_and_wait(d, pid, Resume::TimedOut),
+                    Some(true) => self.poll_process(d, pid),
+                    None => {}
+                }
+            }
+            EvKind::Kill(pid) => match self.proc_status(pid) {
+                Some((ProcState::Finished, _)) | None => {}
+                Some((_, true)) => {
+                    // A killed state machine just drops: a crash runs no
+                    // farewell code (destructors still run, as they would
+                    // for a thread unwinding out of Stopped).
+                    self.finish_polled(d, pid, None);
+                }
+                Some((_, false)) => {
+                    // Tear the victim down now: keep resuming it with
+                    // Shutdown until its body returns.
+                    loop {
+                        match self.proc_status(pid) {
+                            Some((ProcState::Finished, _)) | None => break,
+                            _ => self.resume_and_wait(d, pid, Resume::Shutdown),
+                        }
+                    }
+                }
+            },
+            EvKind::ApplySpawn {
+                pid,
+                endpoint,
+                entry,
+            } => {
+                // A cross-domain spawn materializing in its target
+                // domain's timeline.
+                self.register_proc(d, pid, endpoint, *entry, true);
+            }
+            EvKind::RemoteKill { target } => {
+                // A cross-domain kill arriving in the victim's timeline.
+                // The endpoint may already be gone (victim finished or
+                // was killed locally first) — that's a no-op, and the
+                // optimistic `true` the remote caller saw is the same
+                // answer a racing local kill would have produced.
+                let _ = self.kill_local(d, target);
+            }
+            EvKind::Deliver { msg } => {
+                let (delivered_src, delivered_dst, delivered_bytes, delivered_span) =
+                    (msg.src, msg.dst, msg.payload.len(), msg.span);
+                // What the delivery should do to the receiving process:
+                // resume a thread blocked in recv, poll a parked machine,
+                // or nothing (it will find the message when it next runs).
+                #[derive(PartialEq)]
+                enum After {
+                    Nothing,
+                    ResumeThread,
+                    PollMachine,
+                }
+                let target = {
+                    let mut reg = self.registry.lock();
+                    let pid = reg.endpoints.get(&msg.dst).copied();
+                    match pid {
+                        Some(pid) => {
+                            let entry = reg.procs.get_mut(&pid).expect("endpoint maps to proc");
+                            if entry.state == ProcState::Finished {
+                                None
+                            } else {
+                                entry.mailbox.push_back(msg);
+                                let after = match (&entry.kind, entry.state) {
+                                    (ProcKind::Thread { .. }, ProcState::BlockedRecv) => {
+                                        After::ResumeThread
+                                    }
+                                    // Every delivery wakes a parked machine:
+                                    // it parked after seeing an empty
+                                    // mailbox, so this message is news. No
+                                    // wakeup can be lost — racing
+                                    // completions each schedule a poll.
+                                    (ProcKind::Polled { .. }, ProcState::Parked) => {
+                                        After::PollMachine
+                                    }
+                                    _ => After::Nothing,
+                                };
+                                Some((pid, after))
+                            }
+                        }
+                        None => None,
+                    }
+                };
+                match target {
+                    Some((pid, after)) => {
+                        self.metrics.on_deliver();
+                        self.record(
+                            d,
+                            TraceEvent::Delivered {
+                                src: delivered_src,
+                                dst: delivered_dst,
+                                bytes: delivered_bytes,
+                                span: delivered_span,
+                            },
+                        );
+                        match after {
+                            After::ResumeThread => self.resume_and_wait(d, pid, Resume::Delivered),
+                            After::PollMachine => self.poll_process(d, pid),
+                            After::Nothing => {}
+                        }
+                    }
+                    None => {
+                        self.metrics.on_blackhole();
+                        self.record(
+                            d,
+                            TraceEvent::Blackholed {
+                                src: delivered_src,
+                                dst: delivered_dst,
+                                span: delivered_span,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The process's state plus whether it is poll-driven.
+    fn proc_status(&self, pid: ProcId) -> Option<(ProcState, bool)> {
+        self.registry
+            .lock()
+            .procs
+            .get(&pid)
+            .map(|e| (e.state, matches!(e.kind, ProcKind::Polled { .. })))
+    }
+
+    /// Polls a poll-driven process once. The machine is taken out of the
+    /// registry for the duration, so no lock is held while user code
+    /// runs (and the machine may freely spawn or kill other processes).
+    fn poll_process(&self, d: usize, pid: ProcId) {
+        let machine = {
+            let mut reg = self.registry.lock();
+            let Some(entry) = reg.procs.get_mut(&pid) else {
+                return;
+            };
+            if entry.state == ProcState::Finished {
+                return;
+            }
+            match &mut entry.kind {
+                ProcKind::Polled { machine } => machine.take(),
+                ProcKind::Thread { .. } => unreachable!("poll of thread-backed process"),
+            }
+        };
+        let Some(mut m) = machine else {
+            return;
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| m.process.poll(&mut m.cx)));
+        let wake = m.cx.take_wake();
+        match result {
+            Ok(Poll::Pending) => {
+                let gen = {
+                    let mut reg = self.registry.lock();
+                    let entry = reg.procs.get_mut(&pid).expect("proc vanished");
+                    entry.gen += 1;
+                    entry.state = ProcState::Parked;
+                    match &mut entry.kind {
+                        ProcKind::Polled { machine } => *machine = Some(m),
+                        ProcKind::Thread { .. } => unreachable!(),
+                    }
+                    entry.gen
+                };
+                if let Some(at) = wake {
+                    let at = at.max(self.domain_now(d));
+                    self.push_event_domain(d, at, EvKind::Timeout { pid, gen });
+                }
+            }
+            Ok(Poll::Ready(())) => {
+                drop(m);
+                self.finish_polled(d, pid, None);
+            }
+            Err(p) => {
+                drop(m);
+                self.finish_polled(d, pid, Some(panic_message(p.as_ref())));
+            }
+        }
+    }
+
+    /// Marks a poll-driven process finished, dropping its machine (and
+    /// with it the process's share of the table memory).
+    fn finish_polled(&self, d: usize, pid: ProcId, panic_msg: Option<String>) {
+        let newly_finished = {
+            let mut reg = self.registry.lock();
+            let Some(entry) = reg.procs.get_mut(&pid) else {
+                return;
+            };
+            let newly = entry.state != ProcState::Finished;
+            entry.state = ProcState::Finished;
+            if panic_msg.is_some() {
+                entry.panic_msg = panic_msg;
+            }
+            if let ProcKind::Polled { machine } = &mut entry.kind {
+                *machine = None;
+            }
+            newly
+        };
+        if newly_finished {
+            self.note_proc_finished(d);
+            self.record(d, TraceEvent::Finished { pid });
+        }
+    }
+
+    /// Resumes `pid` and blocks until it yields again, then records the
+    /// yield. The registry lock is **not** held while the process runs.
+    fn resume_and_wait(&self, d: usize, pid: ProcId, resume: Resume) {
+        let (tx, rx) = {
+            let reg = self.registry.lock();
+            let entry = reg.procs.get(&pid).expect("resume of unknown proc");
+            match &entry.kind {
+                ProcKind::Thread {
+                    resume_tx,
+                    yield_rx,
+                    ..
+                } => (resume_tx.clone(), yield_rx.clone()),
+                ProcKind::Polled { .. } => unreachable!("resume of poll-driven process"),
+            }
+        };
+        tx.send(resume).expect("process thread gone before resume");
+        let y = rx.recv().expect("process thread gone before yield");
+        let mut reg = self.registry.lock();
+        let entry = reg.procs.get_mut(&pid).expect("proc vanished");
+        match y {
+            YieldMsg::Sleep(until) => {
+                entry.state = ProcState::Sleeping;
+                drop(reg);
+                self.push_event_domain(d, until, EvKind::Wake(pid));
+            }
+            YieldMsg::Recv { deadline } => {
+                entry.gen += 1;
+                entry.state = ProcState::BlockedRecv;
+                let gen = entry.gen;
+                drop(reg);
+                if let Some(dl) = deadline {
+                    self.push_event_domain(d, dl, EvKind::Timeout { pid, gen });
+                }
+            }
+            YieldMsg::Finished { panic_msg } => {
+                entry.state = ProcState::Finished;
+                entry.panic_msg = panic_msg;
+                drop(reg);
+                self.note_proc_finished(d);
+                self.record(d, TraceEvent::Finished { pid });
+            }
+        }
+    }
+
+    /// Tells every live process to stop: threads are resumed with
+    /// `Shutdown` until they return (then joined); poll-driven machines
+    /// get one final poll with the stop flag set — the mirror of a
+    /// thread seeing [`Stopped`] — and are then dropped regardless.
+    /// Runs on the driving thread only; teardown is ordered by pid so
+    /// the `Finished` trace tail is deterministic.
+    fn shutdown(&self) {
+        let mut pids: Vec<(ProcId, bool, usize)> = {
+            let reg = self.registry.lock();
+            reg.procs
+                .iter()
+                .filter(|(_, e)| e.state != ProcState::Finished)
+                .map(|(pid, e)| (*pid, matches!(e.kind, ProcKind::Polled { .. }), e.domain))
+                .collect()
+        };
+        pids.sort_by_key(|(pid, _, _)| pid.0);
+        for (pid, polled, d) in pids {
+            if polled {
+                self.shutdown_polled(d, pid);
+            } else {
+                // A stopping process may legally block a few more times
+                // before noticing; keep resuming it with Shutdown until
+                // it finishes.
+                loop {
+                    match self.proc_status(pid) {
+                        Some((ProcState::Finished, _)) | None => break,
+                        _ => self.resume_and_wait(d, pid, Resume::Shutdown),
+                    }
+                }
+            }
+        }
+        let mut handles: Vec<(ProcId, String, JoinHandle<()>)> = {
+            let mut reg = self.registry.lock();
+            reg.procs
+                .iter_mut()
+                .filter_map(|(pid, e)| match &mut e.kind {
+                    ProcKind::Thread { handle, .. } => {
+                        handle.take().map(|h| (*pid, e.name.clone(), h))
+                    }
+                    ProcKind::Polled { .. } => None,
+                })
+                .collect()
+        };
+        handles.sort_by_key(|(pid, _, _)| pid.0);
+        for (_, name, h) in handles {
+            if h.join().is_err() {
+                // Panic message already captured via YieldMsg::Finished.
+                eprintln!("simnet: process thread '{name}' terminated abnormally");
+            }
+        }
+        // Drop any undispatched events: an `ApplySpawn` parked in a heap
+        // or outbox owns a ProcEntry whose context points back at this
+        // Shared — clearing here breaks the cycle so the Arc can free.
+        for dom in self.domains.iter() {
+            dom.lock().events.clear();
+        }
+        for outbox in self.outboxes.iter() {
+            outbox.lock().clear();
+        }
+    }
+
+    /// One final poll with the stop flag raised, then finish. Dropping
+    /// the machine here also breaks the `Shared → registry → ProcCx →
+    /// Shared` reference cycle a parked machine's context holds.
+    fn shutdown_polled(&self, d: usize, pid: ProcId) {
+        let machine = {
+            let mut reg = self.registry.lock();
+            let Some(entry) = reg.procs.get_mut(&pid) else {
+                return;
+            };
+            if entry.state == ProcState::Finished {
+                return;
+            }
+            match &mut entry.kind {
+                ProcKind::Polled { machine } => machine.take(),
+                ProcKind::Thread { .. } => unreachable!(),
+            }
+        };
+        let panic_msg = machine.and_then(|mut m| {
+            m.cx.ctx.stopped = true;
+            panic::catch_unwind(AssertUnwindSafe(|| m.process.poll(&mut m.cx)))
+                .err()
+                .map(|p| panic_message(p.as_ref()))
+        });
+        self.finish_polled(d, pid, panic_msg);
+    }
+
+    /// Panics (deterministically, sorted by pid) if any simulated
+    /// process panicked.
+    fn check_panics(&self) {
+        let mut panics: Vec<(u32, String, String)> = {
+            let reg = self.registry.lock();
+            reg.procs
+                .iter()
+                .filter_map(|(pid, e)| {
+                    e.panic_msg
+                        .as_ref()
+                        .map(|m| (pid.0, e.name.clone(), m.clone()))
+                })
+                .collect()
+        };
+        if !panics.is_empty() {
+            panics.sort();
+            let mut s = String::from("simulated process(es) panicked:");
+            for (_, name, msg) in panics {
+                s.push_str(&format!("\n  - {name}: {msg}"));
+            }
+            panic!("{s}");
+        }
     }
 }
 
@@ -501,6 +1336,8 @@ pub struct Ctx {
     pid: ProcId,
     name: String,
     endpoint: Endpoint,
+    /// The domain this process executes in (its node's domain).
+    domain: usize,
     shared: Arc<Shared>,
     /// `None` for poll-driven processes, which never block on the
     /// scheduler and so carry no handoff channels at all.
@@ -517,6 +1354,7 @@ impl std::fmt::Debug for Ctx {
             .field("pid", &self.pid)
             .field("name", &self.name)
             .field("endpoint", &self.endpoint)
+            .field("domain", &self.domain)
             .field("stopped", &self.stopped)
             .finish()
     }
@@ -543,9 +1381,11 @@ impl Ctx {
         self.endpoint
     }
 
-    /// Current simulated time.
+    /// Current simulated time — this process's *domain* clock, which is
+    /// the only clock the process can causally observe. With one domain
+    /// (the default) it is the global clock.
     pub fn now(&self) -> SimTime {
-        self.shared.now()
+        self.shared.domain_now(self.domain)
     }
 
     /// Whether the simulation has asked this process to stop.
@@ -628,7 +1468,7 @@ impl Ctx {
     /// events the network itself cannot see: retransmission decisions,
     /// server executions, proxy cache hits, forwarding and migration.
     pub fn trace(&self, event: TraceEvent) {
-        self.shared.record(event);
+        self.shared.record(self.domain, event);
     }
 
     /// Binds an additional well-known port routed to this process's
@@ -748,13 +1588,16 @@ impl Ctx {
     }
 
     /// Spawns another process on `node` with an ephemeral port, returning
-    /// its endpoint. The new process starts at the current instant.
+    /// its endpoint. A same-domain spawn starts at the current instant;
+    /// a spawn landing in *another* domain starts one cross-domain
+    /// lookahead later (the earliest instant that domain could causally
+    /// learn of it).
     pub fn spawn<F>(&self, name: impl Into<String>, node: NodeId, body: F) -> Endpoint
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
         self.shared
-            .spawn_proc(name.into(), node, None, Box::new(body))
+            .spawn_proc(Some(self.domain), name.into(), node, None, Box::new(body))
     }
 
     /// Spawns a process listening on a well-known port.
@@ -772,8 +1615,13 @@ impl Ctx {
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
-        self.shared
-            .spawn_proc(name.into(), node, Some(port), Box::new(body))
+        self.shared.spawn_proc(
+            Some(self.domain),
+            name.into(),
+            node,
+            Some(port),
+            Box::new(body),
+        )
     }
 
     /// Spawns a poll-driven process on `node` with an ephemeral port
@@ -782,8 +1630,13 @@ impl Ctx {
     where
         P: Process,
     {
-        self.shared
-            .spawn_polled(name.into(), node, None, Box::new(process))
+        self.shared.spawn_polled(
+            Some(self.domain),
+            name.into(),
+            node,
+            None,
+            Box::new(process),
+        )
     }
 
     /// Spawns a poll-driven process listening on a well-known port.
@@ -802,34 +1655,54 @@ impl Ctx {
     where
         P: Process,
     {
-        self.shared
-            .spawn_polled(name.into(), node, Some(port), Box::new(process))
+        self.shared.spawn_polled(
+            Some(self.domain),
+            name.into(),
+            node,
+            Some(port),
+            Box::new(process),
+        )
     }
 
     /// Exclusive access to the network model for runtime fault injection
     /// (partitions, loss, link latency). Do not hold across blocking calls.
-    pub fn net(&self) -> MutexGuard<'_, Network> {
-        self.shared.network.lock()
+    ///
+    /// In a multi-domain simulation, *lowering* a cross-domain latency
+    /// from inside a running process can invalidate the round's
+    /// already-computed lookahead; the scheduler detects the resulting
+    /// time inversions and counts them in `sched_time_inversions`
+    /// rather than failing silently. Mutate topology from the driving
+    /// thread between runs (or raise latencies only) to stay exact.
+    pub fn net(&self) -> RwLockWriteGuard<'_, Network> {
+        self.shared.network.write()
     }
 
-    /// Crashes the process owning `target`: it is torn down at the
-    /// current instant (its blocking call returns [`Stopped`]; a
-    /// well-behaved process then exits) and all of its endpoints are
-    /// unbound, so in-flight and future messages to it blackhole.
-    /// Returns false if no live process owns the endpoint.
+    /// Crashes the process owning `target`: it is torn down (its
+    /// blocking call returns [`Stopped`]; a well-behaved process then
+    /// exits) and all of its endpoints are unbound, so in-flight and
+    /// future messages to it blackhole. Returns false if no live
+    /// process owns the endpoint.
     ///
-    /// Killing your own endpooint is allowed but pointless — prefer
+    /// A same-domain kill lands at the current instant. A kill of a
+    /// process in *another* domain lands one cross-domain lookahead
+    /// later and optimistically returns `true` — the caller cannot
+    /// observe the victim's liveness faster than a message could travel
+    /// anyway.
+    ///
+    /// Killing your own endpoint is allowed but pointless — prefer
     /// returning from the process body.
     pub fn kill(&self, target: Endpoint) -> bool {
-        self.shared.request_kill(target)
+        self.shared.request_kill(Some(self.domain), target)
     }
 
-    /// Runs `f` with the simulation's deterministic RNG.
+    /// Runs `f` with this process's domain RNG — deterministic in the
+    /// domain's execution order. With one domain this is the classic
+    /// simulation-wide RNG stream.
     pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
-        f(&mut self.shared.rng.lock())
+        f(&mut self.shared.domains[self.domain].lock().rng)
     }
 
-    /// Draws a uniformly random `u64` from the simulation RNG.
+    /// Draws a uniformly random `u64` from the domain RNG.
     pub fn rand_u64(&self) -> u64 {
         self.with_rng(|r| r.gen())
     }
@@ -873,6 +1746,97 @@ pub struct RunReport {
     pub trace_evicted: u64,
 }
 
+/// One barrier round's parameters, broadcast to every worker.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    gm: SimTime,
+    horizon: SimTime,
+    limit: SimTime,
+}
+
+/// A small pool of OS threads that execute domain rounds. Domains are
+/// assigned statically (worker `w` owns domains `w, w+size, w+2·size,
+/// …`), so which *thread* runs a domain is fixed — but since domain
+/// rounds are mutually independent up to the barrier, the assignment
+/// (and the pool size) has no effect on results at all.
+struct WorkerPool {
+    job_txs: Vec<Sender<Job>>,
+    done_rx: Receiver<Result<(), String>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(shared: &Arc<Shared>, size: usize) -> WorkerPool {
+        let nd = shared.ndomains();
+        let (done_tx, done_rx) = unbounded::<Result<(), String>>();
+        let mut job_txs = Vec::with_capacity(size);
+        let mut handles = Vec::with_capacity(size);
+        for w in 0..size {
+            let (tx, rx) = unbounded::<Job>();
+            job_txs.push(tx);
+            let shared = Arc::clone(shared);
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("simnet-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                            for d in (w..nd).step_by(size) {
+                                obs::set_ambient_lane(d);
+                                shared.domain_round(d, job.gm, job.horizon, job.limit);
+                            }
+                        }));
+                        let ack = r.map_err(|p| panic_message(p.as_ref()));
+                        if done.send(ack).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("failed to spawn simnet worker thread");
+            handles.push(handle);
+        }
+        WorkerPool {
+            job_txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Broadcasts one round and blocks until every worker acks. All
+    /// acks are collected before any panic propagates, so a worker
+    /// failure can never leave a peer running into the next round.
+    fn run_round(&self, job: Job) {
+        for tx in &self.job_txs {
+            tx.send(job).expect("simnet worker gone");
+        }
+        let mut first_err: Option<String> = None;
+        for _ in 0..self.job_txs.len() {
+            match self.done_rx.recv().expect("simnet worker gone") {
+                Ok(()) => {}
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            panic!("simnet worker panicked: {e}");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.job_txs.clear(); // closes the channels; workers exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// A deterministic discrete-event simulation.
 ///
 /// # Examples
@@ -899,42 +1863,119 @@ pub struct RunReport {
 /// ```
 pub struct Simulation {
     shared: Arc<Shared>,
-    limit_reached: bool,
+    /// Requested worker-thread count; the pool actually built is capped
+    /// at the domain count. Never affects results, only wall-clock.
+    threads: usize,
+    workers: Option<WorkerPool>,
 }
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("now", &self.shared.now())
+            .field("now", &self.shared.max_now())
+            .field("domains", &self.shared.ndomains())
+            .field("threads", &self.threads)
             .finish_non_exhaustive()
     }
 }
 
+fn build_domains(n: usize, seed: u64) -> Box<[Mutex<DomainState>]> {
+    (0..n)
+        .map(|d| Mutex::new(DomainState::new(d, seed)))
+        .collect()
+}
+
+fn build_outboxes(n: usize) -> Box<[Mutex<Vec<OutboundEv>>]> {
+    (0..n).map(|_| Mutex::new(Vec::new())).collect()
+}
+
+fn build_series(n: usize) -> Box<[DomainSeries]> {
+    (0..n).map(|d| DomainSeries::new(d, n)).collect()
+}
+
 impl Simulation {
     /// Creates a simulation with the given network model and RNG seed.
+    /// One domain, one thread: the classic sequential scheduler.
     pub fn new(config: NetworkConfig, seed: u64) -> Simulation {
         Simulation {
             shared: Arc::new(Shared {
-                sched: Mutex::new(SchedState {
-                    now: SimTime::ZERO,
-                    events: BinaryHeap::new(),
-                    seq: 0,
-                }),
+                domains: build_domains(1, seed),
+                outboxes: build_outboxes(1),
+                series: build_series(1),
+                round_lookahead_ns: AtomicU64::new(u64::MAX),
                 registry: Mutex::new(Registry {
                     procs: HashMap::new(),
                     endpoints: HashMap::new(),
-                    next_proc: 0,
+                    stripes: 1,
+                    next_proc: vec![0],
                     next_ephemeral: HashMap::new(),
                 }),
-                network: Mutex::new(Network::new(config)),
+                network: RwLock::new(Network::new(config)),
                 metrics: Arc::new(Metrics::new()),
                 obs: Arc::new(obs::MetricsRegistry::new()),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
-                trace: Mutex::new(None),
                 seed,
             }),
-            limit_reached: false,
+            threads: 1,
+            workers: None,
         }
+    }
+
+    /// Partitions the simulation into `n` scheduling domains: node `i`'s
+    /// processes and events belong to domain `i % n`. For a fixed seed
+    /// and topology the results are **identical for every domain count
+    /// observable by the simulation** — except the documented
+    /// multi-domain approximations (cross-domain spawn/kill land one
+    /// lookahead later; `processes_peak` becomes a deterministic upper
+    /// bound) — and identical across *thread* counts always.
+    ///
+    /// Call before enabling tracing or spawning any process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or a process has already been spawned.
+    #[must_use]
+    pub fn with_domains(mut self, n: usize) -> Simulation {
+        assert!(n > 0, "domain count must be at least 1");
+        let seed = self.shared.seed;
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("set the domain count before spawning any process");
+        shared.domains = build_domains(n, seed);
+        shared.outboxes = build_outboxes(n);
+        shared.series = build_series(n);
+        shared
+            .round_lookahead_ns
+            .store(if n == 1 { u64::MAX } else { 0 }, Ordering::Relaxed);
+        {
+            let mut reg = shared.registry.lock();
+            assert!(reg.procs.is_empty(), "set the domain count before spawning");
+            reg.stripes = n as u32;
+            reg.next_proc = vec![0; n];
+            reg.next_ephemeral.clear();
+        }
+        Arc::get_mut(&mut shared.obs)
+            .expect("set the domain count before sharing the obs registry")
+            .set_writer_lanes(n);
+        self
+    }
+
+    /// Sets the worker-thread count used to execute domain rounds.
+    /// Purely a wall-clock knob: any value produces bit-identical
+    /// results (the determinism tests run the same seed at 1, 2 and 4
+    /// threads and compare bytes). Capped at the domain count.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Simulation {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// The number of scheduling domains.
+    pub fn domains(&self) -> usize {
+        self.shared.ndomains()
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Replaces the observability registry with one using an explicit
@@ -949,15 +1990,18 @@ impl Simulation {
     /// is already shared at that point).
     #[must_use]
     pub fn with_obs_layout(mut self, span_shards: usize, stat_stripes: usize) -> Simulation {
+        let lanes = self.shared.ndomains();
         let shared =
             Arc::get_mut(&mut self.shared).expect("set the obs layout before spawning any process");
-        shared.obs = Arc::new(obs::MetricsRegistry::with_layout(span_shards, stat_stripes));
+        let mut reg = obs::MetricsRegistry::with_layout(span_shards, stat_stripes);
+        reg.set_writer_lanes(lanes);
+        shared.obs = Arc::new(reg);
         self
     }
 
-    /// Current simulated time.
+    /// Current simulated time (the most advanced domain clock).
     pub fn now(&self) -> SimTime {
-        self.shared.now()
+        self.shared.max_now()
     }
 
     /// Current network/scheduler counters.
@@ -975,10 +2019,10 @@ impl Simulation {
     /// counters, per-proxy/per-server stats, per-op latency percentiles
     /// and the span summary, as of the current simulated time.
     pub fn obs_report(&self) -> obs::RunReport {
-        let mut report = self
-            .shared
-            .obs
-            .report(self.shared.metrics.snapshot(), self.shared.now().as_nanos());
+        let mut report = self.shared.obs.report(
+            self.shared.metrics.snapshot(),
+            self.shared.max_now().as_nanos(),
+        );
         report.trace_evicted = self.trace_evicted();
         // The simulator always knows its seed; the harness can overwrite
         // the rest of the provenance via obs().set_run_meta.
@@ -988,36 +2032,60 @@ impl Simulation {
         report
     }
 
-    /// Starts recording a timeline of up to `capacity` events (older
-    /// entries fall off). Call before spawning to capture everything.
+    /// Starts recording a timeline of up to `capacity` events *per
+    /// domain* (older entries fall off). Call before spawning to
+    /// capture everything.
     pub fn enable_trace(&self, capacity: usize) {
-        *self.shared.trace.lock() = Some(Trace::new(capacity));
+        for dom in self.shared.domains.iter() {
+            dom.lock().trace = Some(Trace::new(capacity));
+        }
     }
 
     /// Drains and returns the recorded timeline (empty if tracing was
-    /// never enabled). Recording continues afterwards. The returned
-    /// [`TraceDump`] carries the count of records the bounded ring
-    /// evicted, so a truncated timeline is never mistaken for a
-    /// complete one; draining resets the counter.
+    /// never enabled). Recording continues afterwards. Domain slices
+    /// are merged by `(time, domain, record order)` — a pure function
+    /// of per-domain facts, so the merged timeline is identical for
+    /// every thread count. The returned [`TraceDump`] carries the count
+    /// of records the bounded rings evicted, so a truncated timeline is
+    /// never mistaken for a complete one; draining resets the counters.
     pub fn take_trace(&self) -> TraceDump {
-        self.shared
-            .trace
-            .lock()
-            .as_mut()
-            .map(|t| t.drain())
-            .unwrap_or_default()
+        let nd = self.shared.ndomains();
+        if nd == 1 {
+            return self.shared.domains[0]
+                .lock()
+                .trace
+                .as_mut()
+                .map(|t| t.drain())
+                .unwrap_or_default();
+        }
+        let mut tagged: Vec<(SimTime, usize, usize, TraceRecord)> = Vec::new();
+        let mut evicted = 0;
+        for (d, dom) in self.shared.domains.iter().enumerate() {
+            let dump = match dom.lock().trace.as_mut() {
+                Some(t) => t.drain(),
+                None => continue,
+            };
+            evicted += dump.evicted;
+            for (idx, rec) in dump.records.into_iter().enumerate() {
+                tagged.push((rec.at, d, idx, rec));
+            }
+        }
+        tagged.sort_by_key(|a| (a.0, a.1, a.2));
+        TraceDump {
+            records: tagged.into_iter().map(|(_, _, _, r)| r).collect(),
+            evicted,
+        }
     }
 
-    /// Records evicted from the trace ring since tracing was enabled
+    /// Records evicted from the trace rings since tracing was enabled
     /// (without draining). Also surfaced by [`RunReport::trace_evicted`]
     /// and reset by [`Simulation::take_trace`].
     pub fn trace_evicted(&self) -> u64 {
         self.shared
-            .trace
-            .lock()
-            .as_ref()
-            .map(|t| t.truncated)
-            .unwrap_or(0)
+            .domains
+            .iter()
+            .map(|d| d.lock().trace.as_ref().map(|t| t.truncated).unwrap_or(0))
+            .sum()
     }
 
     /// Drains the trace ring and merges it with the span records in the
@@ -1046,8 +2114,8 @@ impl Simulation {
     }
 
     /// Exclusive access to the network model (between runs or before one).
-    pub fn net(&self) -> MutexGuard<'_, Network> {
-        self.shared.network.lock()
+    pub fn net(&self) -> RwLockWriteGuard<'_, Network> {
+        self.shared.network.write()
     }
 
     /// Spawns a process on `node` with an ephemeral port.
@@ -1056,7 +2124,7 @@ impl Simulation {
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
         self.shared
-            .spawn_proc(name.into(), node, None, Box::new(body))
+            .spawn_proc(None, name.into(), node, None, Box::new(body))
     }
 
     /// Spawns a process listening on a well-known port.
@@ -1076,7 +2144,7 @@ impl Simulation {
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
         self.shared
-            .spawn_proc(name.into(), node, Some(port), Box::new(body))
+            .spawn_proc(None, name.into(), node, Some(port), Box::new(body))
     }
 
     /// Spawns a poll-driven process on `node` with an ephemeral port.
@@ -1089,7 +2157,7 @@ impl Simulation {
         P: Process,
     {
         self.shared
-            .spawn_polled(name.into(), node, None, Box::new(process))
+            .spawn_polled(None, name.into(), node, None, Box::new(process))
     }
 
     /// Spawns a poll-driven process listening on a well-known port.
@@ -1109,7 +2177,7 @@ impl Simulation {
         P: Process,
     {
         self.shared
-            .spawn_polled(name.into(), node, Some(port), Box::new(process))
+            .spawn_polled(None, name.into(), node, Some(port), Box::new(process))
     }
 
     /// Runs the simulation until no events remain, then shuts all
@@ -1120,67 +2188,82 @@ impl Simulation {
     /// Panics if any simulated process panicked, propagating its message.
     pub fn run(&mut self) -> RunReport {
         let report = self.run_until(SimTime::MAX);
-        self.shutdown();
-        self.check_panics();
+        self.shared.shutdown();
+        self.shared.check_panics();
         report
     }
 
-    /// Runs until the event queue is empty or virtual time would exceed
-    /// `limit`. Processes stay alive; call again to continue, or call
-    /// [`Simulation::run`] to finish.
+    /// Runs until the event queues are empty or virtual time would
+    /// exceed `limit`. Processes stay alive; call again to continue, or
+    /// call [`Simulation::run`] to finish.
+    ///
+    /// Execution proceeds in barrier rounds: compute the global minimum
+    /// event time, let every domain run up to the conservative lookahead
+    /// horizon, then merge cross-domain outboxes. With one domain a
+    /// single round drains everything — the classic sequential loop.
     ///
     /// # Panics
     ///
     /// Panics if any simulated process panicked.
     pub fn run_until(&mut self, limit: SimTime) -> RunReport {
+        let nd = self.shared.ndomains();
+        let nw = self.threads.min(nd);
+        if nw > 1 && self.workers.as_ref().map(|p| p.size()) != Some(nw) {
+            self.workers = Some(WorkerPool::new(&self.shared, nw));
+        }
+        let mut beyond_limit = false;
         loop {
-            // One lock acquisition pops the next runnable event AND
-            // advances the clock to it, so no observer can see the old
-            // time paired with the drained heap (or vice versa).
-            let ev = {
-                let mut sched = self.shared.sched.lock();
-                match sched.events.peek() {
-                    Some(ev) if ev.key.time <= limit => {
-                        let ev = sched.events.pop().expect("peeked event vanished");
-                        sched.now = ev.key.time;
-                        // Clock and heap depth captured under the same
-                        // lock as the pop, so the flight-recorder sample
-                        // below describes exactly this dispatch.
-                        Some((ev, sched.now, sched.events.len() as u64))
-                    }
-                    Some(_) => {
-                        self.limit_reached = true;
-                        None
-                    }
-                    None => None,
+            // Round setup runs alone on the driving thread: reset the
+            // per-round spawn ledgers and find the global minimum.
+            let mut gm: Option<SimTime> = None;
+            for dom in self.shared.domains.iter() {
+                let mut st = dom.lock();
+                st.round_delta = 0;
+                st.round_rise = 0;
+                if let Some(ev) = st.events.peek() {
+                    gm = Some(match gm {
+                        Some(g) => g.min(ev.key.time),
+                        None => ev.key.time,
+                    });
                 }
-            };
-            let Some((ev, dispatched_at, depth)) = ev else {
-                break;
-            };
-            self.shared.metrics.on_event();
-            if self.shared.obs.timeseries_enabled() {
-                let now_ns = dispatched_at.as_nanos();
-                // Scheduler lag: dispatch time minus the event's
-                // scheduled time. The single-lock pop advances the clock
-                // to the event it pops, so this is structurally zero —
-                // recorded anyway as an invariant monitor (a nonzero
-                // window means the scheduler contract broke) and as the
-                // anchor the genuinely varying heap-depth gauge hangs on.
-                self.shared.obs.ts_observe(
-                    now_ns,
-                    "sched_lag",
-                    now_ns.saturating_sub(ev.key.time.as_nanos()),
-                );
-                self.shared.obs.ts_gauge(now_ns, "sched_depth", depth);
             }
-            self.dispatch(ev.kind);
+            let Some(gm) = gm else { break };
+            if gm > limit {
+                beyond_limit = true;
+                break;
+            }
+            let la = self.shared.round_lookahead();
+            self.shared.round_lookahead_ns.store(la, Ordering::Relaxed);
+            let horizon = SimTime::from_nanos(gm.as_nanos().saturating_add(la));
+            let live_start = self.shared.metrics.live();
+            let job = Job { gm, horizon, limit };
+            if nw > 1 {
+                self.workers
+                    .as_ref()
+                    .expect("pool built above")
+                    .run_round(job);
+            } else {
+                for d in 0..nd {
+                    if nd > 1 {
+                        obs::set_ambient_lane(d);
+                    }
+                    self.shared.domain_round(d, gm, horizon, limit);
+                }
+                if nd > 1 {
+                    obs::set_ambient_lane(0);
+                }
+            }
+            self.shared.flush_outboxes();
+            if nd > 1 {
+                self.shared.finish_round(live_start, gm);
+            }
         }
-        if self.limit_reached {
-            self.shared.sched.lock().now = limit;
-            self.limit_reached = false;
+        if beyond_limit {
+            for dom in self.shared.domains.iter() {
+                dom.lock().now = limit;
+            }
         }
-        self.check_panics();
+        self.shared.check_panics();
         let (finished, alive) = {
             let reg = self.shared.registry.lock();
             let finished = reg
@@ -1191,348 +2274,11 @@ impl Simulation {
             (finished, reg.procs.len() - finished)
         };
         RunReport {
-            end_time: self.shared.now(),
+            end_time: self.shared.max_now(),
             metrics: self.shared.metrics.snapshot(),
             finished,
             alive,
             trace_evicted: self.trace_evicted(),
-        }
-    }
-
-    fn dispatch(&mut self, kind: EvKind) {
-        match kind {
-            EvKind::Wake(pid) => match self.proc_status(pid) {
-                Some((ProcState::NotStarted, false)) => self.resume_and_wait(pid, Resume::Start),
-                Some((ProcState::Sleeping, false)) => self.resume_and_wait(pid, Resume::Woken),
-                Some((ProcState::NotStarted | ProcState::Parked, true)) => self.poll_process(pid),
-                _ => {} // finished or stale
-            },
-            EvKind::Timeout { pid, gen } => {
-                // A timer is live only if the process still blocks on the
-                // park that armed it: the generation bumps on every park.
-                let polled = {
-                    let reg = self.shared.registry.lock();
-                    reg.procs.get(&pid).and_then(|e| {
-                        if e.gen != gen {
-                            return None;
-                        }
-                        match (&e.kind, e.state) {
-                            (ProcKind::Thread { .. }, ProcState::BlockedRecv) => Some(false),
-                            (ProcKind::Polled { .. }, ProcState::Parked) => Some(true),
-                            _ => None,
-                        }
-                    })
-                };
-                match polled {
-                    Some(false) => self.resume_and_wait(pid, Resume::TimedOut),
-                    Some(true) => self.poll_process(pid),
-                    None => {}
-                }
-            }
-            EvKind::Kill(pid) => match self.proc_status(pid) {
-                Some((ProcState::Finished, _)) | None => {}
-                Some((_, true)) => {
-                    // A killed state machine just drops: a crash runs no
-                    // farewell code (destructors still run, as they would
-                    // for a thread unwinding out of Stopped).
-                    self.finish_polled(pid, None);
-                }
-                Some((_, false)) => {
-                    // Tear the victim down now: keep resuming it with
-                    // Shutdown until its body returns.
-                    loop {
-                        match self.proc_status(pid) {
-                            Some((ProcState::Finished, _)) | None => break,
-                            _ => self.resume_and_wait(pid, Resume::Shutdown),
-                        }
-                    }
-                }
-            },
-            EvKind::Deliver { msg } => {
-                let (delivered_src, delivered_dst, delivered_bytes, delivered_span) =
-                    (msg.src, msg.dst, msg.payload.len(), msg.span);
-                // What the delivery should do to the receiving process:
-                // resume a thread blocked in recv, poll a parked machine,
-                // or nothing (it will find the message when it next runs).
-                #[derive(PartialEq)]
-                enum After {
-                    Nothing,
-                    ResumeThread,
-                    PollMachine,
-                }
-                let target = {
-                    let mut reg = self.shared.registry.lock();
-                    let pid = reg.endpoints.get(&msg.dst).copied();
-                    match pid {
-                        Some(pid) => {
-                            let entry = reg.procs.get_mut(&pid).expect("endpoint maps to proc");
-                            if entry.state == ProcState::Finished {
-                                None
-                            } else {
-                                entry.mailbox.push_back(msg);
-                                let after = match (&entry.kind, entry.state) {
-                                    (ProcKind::Thread { .. }, ProcState::BlockedRecv) => {
-                                        After::ResumeThread
-                                    }
-                                    // Every delivery wakes a parked machine:
-                                    // it parked after seeing an empty
-                                    // mailbox, so this message is news. No
-                                    // wakeup can be lost — racing
-                                    // completions each schedule a poll.
-                                    (ProcKind::Polled { .. }, ProcState::Parked) => {
-                                        After::PollMachine
-                                    }
-                                    _ => After::Nothing,
-                                };
-                                Some((pid, after))
-                            }
-                        }
-                        None => None,
-                    }
-                };
-                match target {
-                    Some((pid, after)) => {
-                        self.shared.metrics.on_deliver();
-                        self.shared.record(TraceEvent::Delivered {
-                            src: delivered_src,
-                            dst: delivered_dst,
-                            bytes: delivered_bytes,
-                            span: delivered_span,
-                        });
-                        match after {
-                            After::ResumeThread => self.resume_and_wait(pid, Resume::Delivered),
-                            After::PollMachine => self.poll_process(pid),
-                            After::Nothing => {}
-                        }
-                    }
-                    None => {
-                        self.shared.metrics.on_blackhole();
-                        self.shared.record(TraceEvent::Blackholed {
-                            src: delivered_src,
-                            dst: delivered_dst,
-                            span: delivered_span,
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    /// The process's state plus whether it is poll-driven.
-    fn proc_status(&self, pid: ProcId) -> Option<(ProcState, bool)> {
-        self.shared
-            .registry
-            .lock()
-            .procs
-            .get(&pid)
-            .map(|e| (e.state, matches!(e.kind, ProcKind::Polled { .. })))
-    }
-
-    /// Polls a poll-driven process once. The machine is taken out of the
-    /// registry for the duration, so no lock is held while user code
-    /// runs (and the machine may freely spawn or kill other processes).
-    fn poll_process(&mut self, pid: ProcId) {
-        let machine = {
-            let mut reg = self.shared.registry.lock();
-            let Some(entry) = reg.procs.get_mut(&pid) else {
-                return;
-            };
-            if entry.state == ProcState::Finished {
-                return;
-            }
-            match &mut entry.kind {
-                ProcKind::Polled { machine } => machine.take(),
-                ProcKind::Thread { .. } => unreachable!("poll of thread-backed process"),
-            }
-        };
-        let Some(mut m) = machine else {
-            return;
-        };
-        let result = panic::catch_unwind(AssertUnwindSafe(|| m.process.poll(&mut m.cx)));
-        let wake = m.cx.take_wake();
-        match result {
-            Ok(Poll::Pending) => {
-                let gen = {
-                    let mut reg = self.shared.registry.lock();
-                    let entry = reg.procs.get_mut(&pid).expect("proc vanished");
-                    entry.gen += 1;
-                    entry.state = ProcState::Parked;
-                    match &mut entry.kind {
-                        ProcKind::Polled { machine } => *machine = Some(m),
-                        ProcKind::Thread { .. } => unreachable!(),
-                    }
-                    entry.gen
-                };
-                if let Some(at) = wake {
-                    let at = at.max(self.shared.now());
-                    self.shared.push_event(at, EvKind::Timeout { pid, gen });
-                }
-            }
-            Ok(Poll::Ready(())) => {
-                drop(m);
-                self.finish_polled(pid, None);
-            }
-            Err(p) => {
-                drop(m);
-                self.finish_polled(pid, Some(panic_message(p.as_ref())));
-            }
-        }
-    }
-
-    /// Marks a poll-driven process finished, dropping its machine (and
-    /// with it the process's share of the table memory).
-    fn finish_polled(&mut self, pid: ProcId, panic_msg: Option<String>) {
-        let newly_finished = {
-            let mut reg = self.shared.registry.lock();
-            let Some(entry) = reg.procs.get_mut(&pid) else {
-                return;
-            };
-            let newly = entry.state != ProcState::Finished;
-            entry.state = ProcState::Finished;
-            if panic_msg.is_some() {
-                entry.panic_msg = panic_msg;
-            }
-            if let ProcKind::Polled { machine } = &mut entry.kind {
-                *machine = None;
-            }
-            newly
-        };
-        if newly_finished {
-            self.shared.metrics.on_proc_finish();
-            self.shared.record(TraceEvent::Finished { pid });
-        }
-    }
-
-    /// Resumes `pid` and blocks until it yields again, then records the
-    /// yield. The registry lock is **not** held while the process runs.
-    fn resume_and_wait(&mut self, pid: ProcId, resume: Resume) {
-        let (tx, rx) = {
-            let reg = self.shared.registry.lock();
-            let entry = reg.procs.get(&pid).expect("resume of unknown proc");
-            match &entry.kind {
-                ProcKind::Thread {
-                    resume_tx,
-                    yield_rx,
-                    ..
-                } => (resume_tx.clone(), yield_rx.clone()),
-                ProcKind::Polled { .. } => unreachable!("resume of poll-driven process"),
-            }
-        };
-        tx.send(resume).expect("process thread gone before resume");
-        let y = rx.recv().expect("process thread gone before yield");
-        let mut reg = self.shared.registry.lock();
-        let entry = reg.procs.get_mut(&pid).expect("proc vanished");
-        match y {
-            YieldMsg::Sleep(until) => {
-                entry.state = ProcState::Sleeping;
-                drop(reg);
-                self.shared.push_event(until, EvKind::Wake(pid));
-            }
-            YieldMsg::Recv { deadline } => {
-                entry.gen += 1;
-                entry.state = ProcState::BlockedRecv;
-                let gen = entry.gen;
-                drop(reg);
-                if let Some(dl) = deadline {
-                    self.shared.push_event(dl, EvKind::Timeout { pid, gen });
-                }
-            }
-            YieldMsg::Finished { panic_msg } => {
-                entry.state = ProcState::Finished;
-                entry.panic_msg = panic_msg;
-                drop(reg);
-                self.shared.metrics.on_proc_finish();
-                self.shared.record(TraceEvent::Finished { pid });
-            }
-        }
-    }
-
-    /// Tells every live process to stop: threads are resumed with
-    /// `Shutdown` until they return (then joined); poll-driven machines
-    /// get one final poll with the stop flag set — the mirror of a
-    /// thread seeing [`Stopped`] — and are then dropped regardless.
-    fn shutdown(&mut self) {
-        let pids: Vec<(ProcId, bool)> = {
-            let reg = self.shared.registry.lock();
-            reg.procs
-                .iter()
-                .filter(|(_, e)| e.state != ProcState::Finished)
-                .map(|(pid, e)| (*pid, matches!(e.kind, ProcKind::Polled { .. })))
-                .collect()
-        };
-        for (pid, polled) in pids {
-            if polled {
-                self.shutdown_polled(pid);
-            } else {
-                // A stopping process may legally block a few more times
-                // before noticing; keep resuming it with Shutdown until
-                // it finishes.
-                loop {
-                    match self.proc_status(pid) {
-                        Some((ProcState::Finished, _)) | None => break,
-                        _ => self.resume_and_wait(pid, Resume::Shutdown),
-                    }
-                }
-            }
-        }
-        let handles: Vec<(String, JoinHandle<()>)> = {
-            let mut reg = self.shared.registry.lock();
-            reg.procs
-                .values_mut()
-                .filter_map(|e| match &mut e.kind {
-                    ProcKind::Thread { handle, .. } => handle.take().map(|h| (e.name.clone(), h)),
-                    ProcKind::Polled { .. } => None,
-                })
-                .collect()
-        };
-        for (name, h) in handles {
-            if h.join().is_err() {
-                // Panic message already captured via YieldMsg::Finished.
-                eprintln!("simnet: process thread '{name}' terminated abnormally");
-            }
-        }
-    }
-
-    /// One final poll with the stop flag raised, then finish. Dropping
-    /// the machine here also breaks the `Shared → registry → ProcCx →
-    /// Shared` reference cycle a parked machine's context holds.
-    fn shutdown_polled(&mut self, pid: ProcId) {
-        let machine = {
-            let mut reg = self.shared.registry.lock();
-            let Some(entry) = reg.procs.get_mut(&pid) else {
-                return;
-            };
-            if entry.state == ProcState::Finished {
-                return;
-            }
-            match &mut entry.kind {
-                ProcKind::Polled { machine } => machine.take(),
-                ProcKind::Thread { .. } => unreachable!(),
-            }
-        };
-        let panic_msg = machine.and_then(|mut m| {
-            m.cx.ctx.stopped = true;
-            panic::catch_unwind(AssertUnwindSafe(|| m.process.poll(&mut m.cx)))
-                .err()
-                .map(|p| panic_message(p.as_ref()))
-        });
-        self.finish_polled(pid, panic_msg);
-    }
-
-    fn check_panics(&self) {
-        let panics: Vec<(String, String)> = {
-            let reg = self.shared.registry.lock();
-            reg.procs
-                .values()
-                .filter_map(|e| e.panic_msg.as_ref().map(|m| (e.name.clone(), m.clone())))
-                .collect()
-        };
-        if !panics.is_empty() {
-            let mut s = String::from("simulated process(es) panicked:");
-            for (name, msg) in panics {
-                s.push_str(&format!("\n  - {name}: {msg}"));
-            }
-            panic!("{s}");
         }
     }
 }
@@ -1542,7 +2288,7 @@ impl Drop for Simulation {
         // Don't leave process threads parked forever; ignore errors since
         // we may be unwinding already.
         if !std::thread::panicking() {
-            self.shutdown();
+            self.shared.shutdown();
         }
     }
 }
@@ -1942,5 +2688,171 @@ mod trace_tests {
         sim.spawn("p", NodeId(0), |_ctx| {});
         sim.run();
         assert!(sim.take_trace().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod domain_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+    /// A closed-loop echo workload spread over 8 nodes, run to
+    /// completion. Returns everything an outside observer can see.
+    fn run_workload(domains: usize, threads: usize, seed: u64) -> (String, String, u64, u64) {
+        let mut sim = Simulation::new(NetworkConfig::lan().with_jitter(0.2).with_loss(0.05), seed)
+            .with_domains(domains)
+            .with_threads(threads);
+        sim.enable_trace(65536);
+        let mut servers = Vec::new();
+        for n in 0..4u32 {
+            servers.push(
+                sim.spawn_at(format!("server{n}"), NodeId(n), PortId(1), |ctx| {
+                    while let Ok(m) = ctx.recv() {
+                        ctx.send(m.src, m.payload);
+                    }
+                }),
+            );
+        }
+        for c in 0..8u32 {
+            let server = servers[(c % 4) as usize];
+            sim.spawn(format!("client{c}"), NodeId(4 + c), move |ctx| {
+                for _ in 0..10 {
+                    ctx.send(server, Bytes::from_static(b"req"));
+                    if ctx.recv_timeout(Duration::from_millis(5)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        let report = sim.run_until(SimTime::from_millis(40));
+        let trace: String = sim.take_trace().iter().map(|r| format!("{r}\n")).collect();
+        let summary = format!(
+            "end={} sent={} delivered={} dropped={} events={} finished={} alive={}",
+            report.end_time.as_nanos(),
+            report.metrics.msgs_sent,
+            report.metrics.msgs_delivered,
+            report.metrics.msgs_dropped,
+            report.metrics.events_dispatched,
+            report.finished,
+            report.alive
+        );
+        (
+            summary,
+            trace,
+            report.metrics.processes_peak,
+            report.metrics.sched_time_inversions,
+        )
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let base = run_workload(4, 1, 42);
+        for threads in [2, 4] {
+            let other = run_workload(4, threads, 42);
+            assert_eq!(base.0, other.0, "summary differs at {threads} threads");
+            assert_eq!(base.1, other.1, "trace differs at {threads} threads");
+            assert_eq!(base.2, other.2, "peak differs at {threads} threads");
+        }
+        assert_eq!(base.3, 0, "no time inversions in an undisturbed run");
+    }
+
+    #[test]
+    fn single_domain_ignores_thread_count() {
+        let a = run_workload(1, 1, 7);
+        let b = run_workload(1, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_domain_spawn_and_kill_are_deterministic() {
+        fn run_once(threads: usize) -> (String, u64) {
+            let mut sim = Simulation::new(NetworkConfig::lan(), 9)
+                .with_domains(3)
+                .with_threads(threads);
+            sim.enable_trace(4096);
+            let spawned = Arc::new(AtomicU64::new(0));
+            let s = Arc::clone(&spawned);
+            // driver on node 0 (domain 0) spawns a child on node 1
+            // (domain 1), then kills a victim on node 2 (domain 2).
+            let victim = sim.spawn_at(
+                "victim",
+                NodeId(2),
+                PortId(9),
+                |ctx| {
+                    while ctx.recv().is_ok() {}
+                },
+            );
+            sim.spawn("driver", NodeId(0), move |ctx| {
+                let child = ctx.spawn("child", NodeId(1), move |cctx| {
+                    if cctx.recv().is_ok() {
+                        s.fetch_add(1, AtomicOrdering::SeqCst);
+                    }
+                });
+                ctx.send(child, Bytes::from_static(b"hi"));
+                ctx.sleep(Duration::from_millis(1)).unwrap();
+                assert!(ctx.kill(victim), "cross-domain kill is optimistic");
+            });
+            sim.run();
+            let trace: String = sim.take_trace().iter().map(|r| format!("{r}\n")).collect();
+            (trace, spawned.load(AtomicOrdering::SeqCst))
+        }
+        let a = run_once(1);
+        let b = run_once(3);
+        assert_eq!(a, b, "cross-domain spawn/kill must not depend on threads");
+        assert_eq!(a.1, 1, "child must receive the driver's message");
+    }
+
+    #[test]
+    fn striped_ids_are_unique_across_domains() {
+        let sim = Simulation::new(NetworkConfig::lan(), 0).with_domains(4);
+        let mut eps = std::collections::HashSet::new();
+        for n in 0..12u32 {
+            // Spawned from the driving thread: stripe = target domain.
+            let ep = sim.spawn(format!("p{n}"), NodeId(n), |ctx| {
+                // Spawn a sibling on a *different* node from in here, so
+                // in-round cross-domain allocation paths get exercised.
+                if ctx.node().0 < 4 {
+                    let peer = NodeId(ctx.node().0 + 20);
+                    ctx.spawn("peer", peer, |_| {});
+                }
+            });
+            assert!(eps.insert(ep), "duplicate endpoint {ep}");
+        }
+        let mut sim = sim;
+        let report = sim.run();
+        assert_eq!(report.alive, 0);
+        assert_eq!(report.finished, 16, "12 parents + 4 in-round children");
+    }
+
+    #[test]
+    fn run_until_resumes_identically_across_threads() {
+        fn staged(threads: usize) -> (u64, u64, String) {
+            let mut sim = Simulation::new(NetworkConfig::lan(), 5)
+                .with_domains(2)
+                .with_threads(threads);
+            sim.enable_trace(4096);
+            let server = sim.spawn_at("server", NodeId(0), PortId(1), |ctx| {
+                while let Ok(m) = ctx.recv() {
+                    ctx.send(m.src, m.payload);
+                }
+            });
+            sim.spawn("client", NodeId(1), move |ctx| {
+                for _ in 0..5 {
+                    ctx.send(server, Bytes::from_static(b"x"));
+                    if ctx.recv_timeout(Duration::from_millis(4)).is_err() {
+                        return;
+                    }
+                }
+            });
+            let mid = sim.run_until(SimTime::from_millis(2));
+            let fin = sim.run_until(SimTime::MAX);
+            let trace: String = sim.take_trace().iter().map(|r| format!("{r}\n")).collect();
+            (
+                mid.metrics.events_dispatched,
+                fin.metrics.msgs_delivered,
+                trace,
+            )
+        }
+        assert_eq!(staged(1), staged(2));
     }
 }

@@ -1,0 +1,243 @@
+//! Thread-count invariance of the sharded scheduler, proved at the
+//! property level: for a fixed seed and a fixed domain count, the
+//! `RunReport` JSON, the event trace, and every observable byte of the
+//! run are identical whether the domains execute on 1, 2, 3 or 4
+//! worker threads. Threads are a pure wall-clock knob — the
+//! deterministic `(time, src_domain, seq)` merge decides every
+//! ordering question before any thread gets to race.
+//!
+//! The workloads deliberately cover the paths where parallelism could
+//! leak: lossy/jittery links (per-domain RNG draws), cross-domain
+//! request/reply traffic (outbox merge), in-flight `ctx.spawn` onto
+//! foreign nodes (striped pid/port allocation + `ApplySpawn`),
+//! mid-run `ctx.kill` of a foreign-domain victim (`RemoteKill`), a
+//! `run_until` pause and resume (round state survives re-entry), and
+//! shutdown with processes still parked (deterministic teardown).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use simnet::{NetworkConfig, NodeId, PortId, SimTime, Simulation};
+
+/// A random topology + traffic description. Everything observable must
+/// be a function of this struct alone, never of the thread count.
+#[derive(Debug, Clone)]
+struct Workload {
+    seed: u64,
+    domains: usize,
+    /// Echo servers (one per node, nodes 0..servers).
+    servers: u8,
+    /// Clients (nodes 100..100+clients), each doing `calls` echo RTTs.
+    clients: u8,
+    calls: u8,
+    loss: f64,
+    jitter: f64,
+    /// Per-link latency overrides `(a, b, micros)` — these feed the
+    /// conservative-lookahead bound, so shrinking one below the config
+    /// default exercises the tightest horizon the scheduler allows.
+    overrides: Vec<(u32, u32, u64)>,
+    /// Whether a driver kills one server mid-run (cross-domain
+    /// `RemoteKill`) and spawns a late child on a foreign node
+    /// (cross-domain `ApplySpawn`).
+    disruptor: bool,
+    /// Pause point for a `run_until` + resume split, in microseconds;
+    /// 0 means run to completion in one call.
+    pause_us: u64,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        (any::<u64>(), 1usize..5, 1u8..4, 1u8..6, 1u8..5),
+        (
+            0.0f64..0.3,
+            0.0f64..0.5,
+            proptest::collection::vec((0u32..6, 0u32..6, 20u64..500), 0..4),
+            any::<bool>(),
+            prop_oneof![Just(0u64), 200u64..3000],
+        ),
+    )
+        .prop_map(
+            |(
+                (seed, domains, servers, clients, calls),
+                (loss, jitter, overrides, disruptor, pause_us),
+            )| {
+                Workload {
+                    seed,
+                    domains,
+                    servers,
+                    clients,
+                    calls,
+                    loss,
+                    jitter,
+                    overrides,
+                    disruptor,
+                    pause_us,
+                }
+            },
+        )
+}
+
+/// FNV-1a over a string, for compact trace fingerprints.
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One full run at `threads` workers. Returns every byte an outside
+/// observer can see: the `RunReport` JSON, the full event trace, the
+/// summary counters, and the number of echoes completed.
+fn run(w: &Workload, threads: usize) -> (String, u64, String, u64) {
+    let cfg = NetworkConfig::lan().with_loss(w.loss).with_jitter(w.jitter);
+    let mut sim = Simulation::new(cfg, w.seed)
+        .with_domains(w.domains)
+        .with_threads(threads);
+    sim.enable_trace(1 << 16);
+    {
+        let mut net = sim.net();
+        for &(a, b, us) in &w.overrides {
+            net.set_link_latency(NodeId(a), NodeId(b), Duration::from_micros(us));
+        }
+    }
+
+    let mut servers = Vec::new();
+    for n in 0..w.servers {
+        servers.push(
+            sim.spawn_at(format!("server{n}"), NodeId(n as u32), PortId(1), |ctx| {
+                while let Ok(m) = ctx.recv() {
+                    ctx.send(m.src, m.payload);
+                }
+            }),
+        );
+    }
+
+    let echoes = Arc::new(AtomicU64::new(0));
+    for c in 0..w.clients {
+        let server = servers[(c as usize) % servers.len()];
+        let calls = w.calls;
+        let done = Arc::clone(&echoes);
+        sim.spawn(format!("client{c}"), NodeId(100 + c as u32), move |ctx| {
+            for i in 0..calls {
+                ctx.send(server, Bytes::copy_from_slice(&[c, i]));
+                match ctx.recv_timeout(Duration::from_millis(2)) {
+                    Ok(Some(_)) => {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Lost to the lossy link — move on.
+                    Ok(None) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+    }
+
+    if w.disruptor {
+        // Node 50 lands in a different domain than server 0 whenever
+        // `domains > 1`, so the kill rides the cross-domain outbox; the
+        // late child lands on node 51 and exercises `ApplySpawn`.
+        let victim = servers[0];
+        sim.spawn("disruptor", NodeId(50), move |ctx| {
+            ctx.sleep(Duration::from_micros(700)).unwrap();
+            ctx.kill(victim);
+            let child = ctx.spawn("late-child", NodeId(51), |cctx| {
+                let _ = cctx.recv_timeout(Duration::from_millis(1));
+            });
+            ctx.send(child, Bytes::from_static(b"wake"));
+        });
+    }
+
+    let report = if w.pause_us > 0 {
+        // Pause mid-flight, observe, resume: round state (clocks,
+        // outboxes, lookahead) must survive re-entry identically.
+        let _mid = sim.run_until(SimTime::from_micros(w.pause_us));
+        sim.run()
+    } else {
+        sim.run()
+    };
+
+    let trace: String = sim.take_trace().iter().map(|r| format!("{r}\n")).collect();
+    let json = sim.obs_report().to_json();
+    let summary = format!(
+        "end={} sent={} delivered={} dropped={} blackholed={} events={} \
+         spawned={} peak={} inversions={} finished={} alive={}",
+        report.end_time.as_nanos(),
+        report.metrics.msgs_sent,
+        report.metrics.msgs_delivered,
+        report.metrics.msgs_dropped,
+        report.metrics.msgs_blackholed,
+        report.metrics.events_dispatched,
+        report.metrics.processes_spawned,
+        report.metrics.processes_peak,
+        report.metrics.sched_time_inversions,
+        report.finished,
+        report.alive
+    );
+    (summary, fnv(&trace), json, echoes.load(Ordering::Relaxed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline invariant: same workload, threads 1..4 → identical
+    /// summary counters, identical trace bytes, identical report JSON,
+    /// identical application-level outcome. And no run may ever count a
+    /// time inversion — the conservative horizon forbids them.
+    #[test]
+    fn report_and_trace_invariant_across_thread_counts(w in arb_workload()) {
+        let base = run(&w, 1);
+        prop_assert!(
+            base.0.contains("inversions=0"),
+            "single-thread run counted a time inversion: {}", base.0
+        );
+        for threads in 2..=4usize {
+            let other = run(&w, threads);
+            prop_assert_eq!(&other.0, &base.0, "summary differs at {} threads", threads);
+            prop_assert_eq!(other.1, base.1, "trace differs at {} threads", threads);
+            prop_assert_eq!(&other.2, &base.2, "report JSON differs at {} threads", threads);
+            prop_assert_eq!(other.3, base.3, "echo count differs at {} threads", threads);
+        }
+    }
+
+    /// Re-running the same workload at the same thread count is also a
+    /// fixed point — parallel execution did not smuggle in any hidden
+    /// global state between runs.
+    #[test]
+    fn parallel_runs_are_repeatable(w in arb_workload()) {
+        let a = run(&w, 4);
+        let b = run(&w, 4);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Kill/shutdown mid-run, pinned (non-random) so the cross-domain
+/// `RemoteKill` + `ApplySpawn` + paused-resume combination is exercised
+/// on every test run, not only when proptest happens to draw it.
+#[test]
+fn disrupted_paused_run_is_thread_invariant() {
+    let w = Workload {
+        seed: 0xD15_7077,
+        domains: 3,
+        servers: 3,
+        clients: 4,
+        calls: 4,
+        loss: 0.1,
+        jitter: 0.3,
+        overrides: vec![(0, 50, 40), (1, 2, 60)],
+        disruptor: true,
+        pause_us: 900,
+    };
+    let base = run(&w, 1);
+    for threads in [2, 3, 4] {
+        assert_eq!(
+            run(&w, threads),
+            base,
+            "disrupted run diverged at {threads} threads"
+        );
+    }
+}
