@@ -80,13 +80,31 @@ if [ "${1:-}" != "quick" ]; then
   cargo run -q --release -p bench --bin perfgate -- --warn-only \
     target/BENCH_e18.json BENCH_e18.json
 
+  step "E19 bulk-data-plane smoke (pass-by-ref + edge caches + BENCH_e19.json)"
+  # 3 WAN regions under Zipf + flash-crowd traffic; asserts by-reference
+  # results are bit-identical to inline marshalling, >=5x fewer RPC-path
+  # bytes through the catalog, the edge hierarchy absorbs repeat fetches,
+  # and the bulk leg is byte-identical across 1/4 scheduler threads.
+  PROXIDE_E19_SMOKE=1 PROXIDE_BENCH_DIR=target \
+    cargo run -q --release -p bench --bin e19_bulkplane
+
+  step "perfgate (E19 baseline self-compare + warn-only smoke compare)"
+  cargo run -q --release -p bench --bin perfgate -- BENCH_e19.json BENCH_e19.json
+  # Smoke runs a shrunken workload: incomparable config, warn-only.
+  cargo run -q --release -p bench --bin perfgate -- --warn-only \
+    target/BENCH_e19.json BENCH_e19.json
+
   step "threaded-determinism gate (1-thread vs 4-thread trace artifacts)"
-  # The E18 smoke run above exported the causal trace of its 1-thread
-  # and 4-thread legs. Both must be well-formed and byte-for-byte equal:
-  # threads are a wall-clock knob, never an ordering knob.
+  # The E18/E19 smoke runs above exported the causal traces of their
+  # 1-thread and 4-thread legs. All must be well-formed and each pair
+  # byte-for-byte equal: threads are a wall-clock knob, never an
+  # ordering knob.
   cargo run -q --release -p bench --bin tracectl -- check target/traces/e18-t1.trace.jsonl
   cargo run -q --release -p bench --bin tracectl -- check target/traces/e18-t4.trace.jsonl
   cmp target/traces/e18-t1.trace.jsonl target/traces/e18-t4.trace.jsonl
+  cargo run -q --release -p bench --bin tracectl -- check target/traces/e19-t1.trace.jsonl
+  cargo run -q --release -p bench --bin tracectl -- check target/traces/e19-t4.trace.jsonl
+  cmp target/traces/e19-t1.trace.jsonl target/traces/e19-t4.trace.jsonl
 
   step "E15 flight-recorder smoke (windowed telemetry + exemplars + validators)"
   # Runs the chaos sweep, asserts re-bucketing invariance, conservation,

@@ -1,0 +1,6 @@
+//! Runs experiment e19 standalone. Set `PROXIDE_E19_SMOKE=1` for the
+//! fast CI configuration.
+fn main() {
+    let ok = bench::experiments::e19_bulkplane::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -9,6 +9,7 @@ pub mod e15_flight;
 pub mod e16_million;
 pub mod e17_obsplane;
 pub mod e18_multicore;
+pub mod e19_bulkplane;
 pub mod e1_access_methods;
 pub mod e2_cache_sweep;
 pub mod e3_migration;
@@ -41,6 +42,7 @@ pub fn run_all() -> bool {
         e16_million::run(),
         e17_obsplane::run(),
         e18_multicore::run(),
+        e19_bulkplane::run(),
     ];
     let mut all = true;
     for o in &outputs {

@@ -46,6 +46,10 @@ pub enum Verdict {
     Improved,
     /// Worse than the baseline by more than the tolerance.
     Regressed,
+    /// Not compared: the metric scales with wall clock and the two
+    /// artifacts were produced on hosts with different core counts, so a
+    /// delta would measure the hardware, not the change.
+    Skipped,
 }
 
 impl Verdict {
@@ -55,6 +59,7 @@ impl Verdict {
             Verdict::Pass => "ok",
             Verdict::Improved => "IMPROVED",
             Verdict::Regressed => "REGRESSED",
+            Verdict::Skipped => "skipped (host cores differ)",
         }
     }
 }
@@ -111,6 +116,12 @@ impl GateOutcome {
                 m.verdict.label()
             ));
         }
+        if self.metrics.iter().any(|m| m.verdict == Verdict::Skipped) {
+            out.push_str(
+                "note: wall-clock metrics skipped — artifacts were produced on hosts \
+                 with different core counts (host_cores stamp)\n",
+            );
+        }
         out
     }
 }
@@ -135,6 +146,10 @@ impl std::fmt::Display for GateError {
 }
 
 /// The metrics gated in a `BENCH_*.json` `best` object, with direction.
+/// Every current metric is wall-clock-derived, so all of them are
+/// skipped when the artifacts' `host_cores` stamps differ; a future
+/// hardware-independent metric (simulated bytes, virtual time) would opt
+/// out of the skip here.
 const METRICS: &[(&str, bool)] = &[
     ("wall_ms", false),
     ("events_per_sec", true),
@@ -205,6 +220,18 @@ pub fn compare(baseline: &str, current: &str, cfg: &GateConfig) -> Result<GateOu
     let base_best = best_of(&base, "baseline")?;
     let cur_best = best_of(&cur, "current")?;
 
+    // Wall-clock metrics only compare like-for-like hardware. When both
+    // artifacts carry a top-level `host_cores` stamp and the counts
+    // differ, the wall-clock-scaling metrics are reported but *skipped*
+    // rather than judged — a 32-core baseline regressing on a 4-core CI
+    // runner is a fact about the runner. Artifacts missing the stamp
+    // (pre-stamp baselines) compare as before.
+    let cores = |doc: &Json| doc.get("host_cores").and_then(Json::as_f64);
+    let cores_differ = match (cores(&base), cores(&cur)) {
+        (Some(b), Some(c)) => b != c,
+        _ => false,
+    };
+
     let mut metrics = Vec::with_capacity(METRICS.len());
     for &(name, higher_is_better) in METRICS {
         let field = |doc: &Json, which: &str| -> Result<f64, GateError> {
@@ -214,6 +241,17 @@ pub fn compare(baseline: &str, current: &str, cfg: &GateConfig) -> Result<GateOu
         };
         let b = field(&base_best, "baseline")?;
         let c = field(&cur_best, "current")?;
+        if cores_differ {
+            metrics.push(MetricVerdict {
+                name,
+                baseline: b,
+                current: c,
+                delta: 0.0,
+                higher_is_better,
+                verdict: Verdict::Skipped,
+            });
+            continue;
+        }
         if b <= 0.0 {
             return Err(GateError::Malformed(format!(
                 "baseline: best.{name} is {b}, cannot take a ratio"
@@ -366,6 +404,53 @@ mod tests {
              \"best\":{\"wall_ms\":10,\"events_per_sec\":100000,\
              \"msgs_per_sec\":100000,\"bytes_per_sec\":100000}}";
         assert!(compare(legacy, &cur, &GateConfig::default()).is_ok());
+    }
+
+    fn artifact_on_host(wall: f64, eps: f64, cores: u32) -> String {
+        format!(
+            "{{\"experiment\":\"E14\",\"mode\":\"full\",\"host_cores\":{cores},\
+             \"config\":{{\"clients\":4,\"depth\":16}},\
+             \"meta\":{{\"config_hash\":\"abc123\"}},\
+             \"best\":{{\"wall_ms\":{wall},\"events_per_sec\":{eps},\
+             \"msgs_per_sec\":{eps},\"bytes_per_sec\":{eps}}}}}"
+        )
+    }
+
+    #[test]
+    fn differing_host_cores_skips_wall_clock_metrics() {
+        // A 2x-slower run on a smaller host: every metric is skipped, not
+        // regressed — the delta would measure the hardware.
+        let base = artifact_on_host(10.0, 100_000.0, 32);
+        let small = artifact_on_host(20.0, 50_000.0, 4);
+        let out = compare(&base, &small, &GateConfig::default()).expect("comparable");
+        assert!(!out.regressed());
+        assert_eq!(out.metrics.len(), 4);
+        assert!(out.metrics.iter().all(|m| m.verdict == Verdict::Skipped));
+        let table = out.render();
+        assert!(table.contains("skipped (host cores differ)"));
+        assert!(table.contains("different core counts"));
+    }
+
+    #[test]
+    fn matching_host_cores_compares_normally() {
+        let base = artifact_on_host(10.0, 100_000.0, 8);
+        let bad = artifact_on_host(20.0, 50_000.0, 8);
+        let out = compare(&base, &bad, &GateConfig::default()).expect("comparable");
+        assert!(out.regressed());
+        assert!(out.metrics.iter().all(|m| m.verdict == Verdict::Regressed));
+        assert!(!out.render().contains("skipped"));
+    }
+
+    #[test]
+    fn missing_host_cores_stamp_compares_normally() {
+        // Pre-stamp baselines keep gating: the stamp only arms the skip
+        // when *both* sides carry it.
+        let legacy = artifact(10.0, 100_000.0, "");
+        let stamped = artifact_on_host(20.0, 50_000.0, 4);
+        let out = compare(&legacy, &stamped, &GateConfig::default()).expect("comparable");
+        assert!(out.regressed());
+        let out = compare(&stamped, &legacy, &GateConfig::default()).expect("comparable");
+        assert!(out.metrics.iter().all(|m| m.verdict != Verdict::Skipped));
     }
 
     #[test]

@@ -85,6 +85,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bulk;
 mod interface;
 mod object;
 pub mod proxies;
@@ -96,6 +97,7 @@ mod session_core;
 mod spec;
 mod stable;
 
+pub use bulk::{BlobClient, BulkEngine, BulkParams};
 pub use interface::{InterfaceDesc, OpDesc, OpKind};
 pub use object::{FactoryRegistry, ObjectCtor, ServiceObject};
 pub use proxy::{protocol, DiscardStrays, OnewaySink, Proxy, ProxyStats};

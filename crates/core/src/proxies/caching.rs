@@ -21,6 +21,7 @@ use simnet::{Ctx, Endpoint, SimTime};
 use wire::Value;
 
 use super::robust_call;
+use crate::bulk::{BulkEngine, BulkParams};
 use crate::interface::InterfaceDesc;
 use crate::proxy::{protocol, OnewaySink, Proxy, ProxyStats};
 use crate::spec::CachingParams;
@@ -50,6 +51,11 @@ pub struct CachingProxy {
     /// When `Some`, writes go through this pipelined channel instead of
     /// blocking on a round trip (write-behind mode).
     write_behind: Option<Channel>,
+    /// When `Some`, over-threshold blobs spill out-of-band and reply
+    /// references resolve out-of-band. Replies are resolved *before*
+    /// they enter the cache, so repeat reads of a bulk value are pure
+    /// local hits — the hierarchical edge cache's client-level tier.
+    bulk: Option<BulkEngine>,
     stats: ProxyStats,
 }
 
@@ -79,6 +85,7 @@ impl CachingProxy {
             order: VecDeque::new(),
             len: 0,
             write_behind: None,
+            bulk: None,
             stats: ProxyStats::default(),
         };
         if proxy.params.coherence.subscribes() {
@@ -141,6 +148,43 @@ impl CachingProxy {
     /// [`Proxy::detach`] drains fully).
     pub fn enable_write_behind(&mut self, cfg: ChannelConfig) {
         self.write_behind = Some(Channel::new(self.service.clone(), self.rpc.server(), cfg));
+    }
+
+    /// Enables the out-of-band bulk data plane (see
+    /// [`crate::bulk::BulkEngine`]). `ns` is the name server used to
+    /// locate blob stores.
+    pub fn enable_bulk(&mut self, params: BulkParams, ns: Endpoint) {
+        self.bulk = Some(BulkEngine::new(params, ns));
+    }
+
+    /// The bulk engine, if [`Self::enable_bulk`] was called — for
+    /// region routing overrides and transfer counters.
+    pub fn bulk_mut(&mut self) -> Option<&mut BulkEngine> {
+        self.bulk.as_mut()
+    }
+
+    fn bulk_spill(
+        &mut self,
+        ctx: &mut Ctx,
+        args: Value,
+        strays: &mut dyn OnewaySink,
+    ) -> Result<Value, RpcError> {
+        match &mut self.bulk {
+            Some(eng) if eng.wants_spill(&args) => eng.spill(ctx, args, strays),
+            _ => Ok(args),
+        }
+    }
+
+    fn bulk_resolve(
+        &mut self,
+        ctx: &mut Ctx,
+        v: Value,
+        strays: &mut dyn OnewaySink,
+    ) -> Result<Value, RpcError> {
+        match &mut self.bulk {
+            Some(eng) if BulkEngine::wants_resolve(&v) => eng.resolve(ctx, v, strays),
+            _ => Ok(v),
+        }
     }
 
     /// Replaces the caching parameters (used by the adaptive proxy when
@@ -292,10 +336,14 @@ impl CachingProxy {
                         strays.push(o);
                     }
                 }
-                // Anything else — late duplicate replies, callback
-                // requests addressed to this endpoint, undecodable
-                // frames — cannot be serviced from here. They used to
-                // vanish silently; now the drop is at least visible.
+                // A request addressed to this process (it is itself a
+                // server, e.g. an edge cache): offer it to the sink,
+                // which may requeue it for service after this call.
+                Ok(rpc::Packet::Request(_)) if strays.push_request(&msg) => {}
+                // Anything else — late duplicate replies, unrequeued
+                // requests, undecodable frames — cannot be serviced
+                // from here. They used to vanish silently; now the drop
+                // is at least visible.
                 Ok(_) | Err(_) => {
                     self.stats.datagrams_discarded += 1;
                     ctx.obs().on_stray_dropped();
@@ -420,6 +468,7 @@ impl Proxy for CachingProxy {
                 // A miss goes remote: drain pending asynchronous writes
                 // first so the server answers after our writes applied.
                 self.flush_write_behind(ctx, strays)?;
+                let args = self.bulk_spill(ctx, args, strays)?;
                 let v = robust_call(
                     &mut self.rpc,
                     &mut self.ns,
@@ -430,6 +479,7 @@ impl Proxy for CachingProxy {
                     strays,
                     &mut self.stats,
                 )?;
+                let v = self.bulk_resolve(ctx, v, strays)?;
                 self.insert(tag, key, v.clone(), ctx.now());
                 Ok(v)
             }
@@ -438,6 +488,10 @@ impl Proxy for CachingProxy {
                 // tag so we read our own writes.
                 let tag = d.tag(&args);
                 self.stats.remote_calls += 1;
+                // Spill before staging: the write-behind channel then
+                // carries only the fixed-size reference, so asynchronous
+                // writes stay cheap on the RPC path too.
+                let args = self.bulk_spill(ctx, args, strays)?;
                 if self.write_behind.is_some() {
                     // Write-behind: stage the call on the pipelined
                     // channel and return immediately. The channel's
@@ -465,6 +519,7 @@ impl Proxy for CachingProxy {
                     strays,
                     &mut self.stats,
                 )?;
+                let v = self.bulk_resolve(ctx, v, strays)?;
                 self.invalidate_tag(&tag);
                 Ok(v)
             }
@@ -474,7 +529,8 @@ impl Proxy for CachingProxy {
                 // preserve ordering.
                 self.stats.remote_calls += 1;
                 self.flush_write_behind(ctx, strays)?;
-                robust_call(
+                let args = self.bulk_spill(ctx, args, strays)?;
+                let v = robust_call(
                     &mut self.rpc,
                     &mut self.ns,
                     &self.service,
@@ -483,7 +539,8 @@ impl Proxy for CachingProxy {
                     args,
                     strays,
                     &mut self.stats,
-                )
+                )?;
+                self.bulk_resolve(ctx, v, strays)
             }
         }
     }
@@ -513,7 +570,12 @@ impl Proxy for CachingProxy {
     }
 
     fn stats(&self) -> ProxyStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some(eng) = &self.bulk {
+            s.bulk_spills = eng.spills;
+            s.bulk_resolves = eng.resolves;
+        }
+        s
     }
 }
 
@@ -544,6 +606,7 @@ mod tests {
             order: VecDeque::new(),
             len: 0,
             write_behind: None,
+            bulk: None,
             stats: ProxyStats::default(),
         }
     }

@@ -55,11 +55,21 @@ pub(crate) fn robust_call(
     let mut relookups = 0;
     loop {
         let result = rpc.call_with_strays(ctx, "", op, args.clone(), |_ctx, stray| {
-            if let Stray::Oneway(o, _) = stray {
-                strays.push((*o).clone());
-                StrayVerdict::Consumed
-            } else {
-                StrayVerdict::Drop
+            match stray {
+                Stray::Oneway(o, _) => {
+                    strays.push((*o).clone());
+                    StrayVerdict::Consumed
+                }
+                // A request landing here mid-call (this process is also
+                // a server, e.g. an edge cache blocked on its origin):
+                // offer it to the sink for requeueing.
+                Stray::Request(_, m) => {
+                    if strays.push_request(m) {
+                        StrayVerdict::Consumed
+                    } else {
+                        StrayVerdict::Drop
+                    }
+                }
             }
         });
         match result {

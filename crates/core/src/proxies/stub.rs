@@ -6,6 +6,7 @@ use simnet::{Ctx, Endpoint};
 use wire::Value;
 
 use super::robust_call;
+use crate::bulk::{BulkEngine, BulkParams};
 use crate::proxy::{OnewaySink, Proxy, ProxyStats};
 
 /// The degenerate proxy: every invocation becomes one remote call.
@@ -20,6 +21,7 @@ pub struct StubProxy {
     rpc: RpcClient,
     ns: NameClient,
     stats: ProxyStats,
+    bulk: Option<BulkEngine>,
 }
 
 impl StubProxy {
@@ -31,12 +33,27 @@ impl StubProxy {
             rpc: RpcClient::new(server),
             ns: NameClient::new(ns),
             stats: ProxyStats::default(),
+            bulk: None,
         }
     }
 
     /// The endpoint currently called (may change after redirects).
     pub fn server(&self) -> Endpoint {
         self.rpc.server()
+    }
+
+    /// Enables the out-of-band bulk data plane: over-threshold blobs in
+    /// arguments are spilled to the store before the call, and
+    /// references in replies are resolved after it. `ns` is the name
+    /// server used to locate blob stores.
+    pub fn enable_bulk(&mut self, params: BulkParams, ns: Endpoint) {
+        self.bulk = Some(BulkEngine::new(params, ns));
+    }
+
+    /// The bulk engine, if [`Self::enable_bulk`] was called — for
+    /// region routing overrides and transfer counters.
+    pub fn bulk_mut(&mut self) -> Option<&mut BulkEngine> {
+        self.bulk.as_mut()
     }
 
     /// Issues many calls through a pipelined [`Channel`] and returns
@@ -94,7 +111,11 @@ impl Proxy for StubProxy {
     ) -> Result<Value, RpcError> {
         self.stats.invocations += 1;
         self.stats.remote_calls += 1;
-        robust_call(
+        let args = match &mut self.bulk {
+            Some(eng) if eng.wants_spill(&args) => eng.spill(ctx, args, strays)?,
+            _ => args,
+        };
+        let reply = robust_call(
             &mut self.rpc,
             &mut self.ns,
             &self.service,
@@ -103,10 +124,19 @@ impl Proxy for StubProxy {
             args,
             strays,
             &mut self.stats,
-        )
+        )?;
+        match &mut self.bulk {
+            Some(eng) if BulkEngine::wants_resolve(&reply) => eng.resolve(ctx, reply, strays),
+            _ => Ok(reply),
+        }
     }
 
     fn stats(&self) -> ProxyStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some(eng) = &self.bulk {
+            s.bulk_spills = eng.spills;
+            s.bulk_resolves = eng.resolves;
+        }
+        s
     }
 }

@@ -52,6 +52,10 @@ pub struct Binder {
     ns: NameClient,
     factories: FactoryRegistry,
     proxy_ctors: HashMap<String, Arc<ProxyCtor>>,
+    /// When set, bulk-enabled proxies bound by this binder resolve blob
+    /// references through this service (a region-local edge cache)
+    /// instead of each ref's origin store.
+    bulk_route: Option<String>,
 }
 
 impl fmt::Debug for Binder {
@@ -71,7 +75,19 @@ impl Binder {
             ns: NameClient::new(ns),
             factories: FactoryRegistry::new(),
             proxy_ctors: HashMap::new(),
+            bulk_route: None,
         }
+    }
+
+    /// Routes bulk resolution through a region-local blob service (an
+    /// edge cache) for every bulk-enabled proxy this binder creates
+    /// from now on. `None` restores direct-to-origin fetches.
+    ///
+    /// This is *placement*, not policy: the service still chooses the
+    /// spill contract via its published spec; the client context merely
+    /// names the nearest replica of the store hierarchy.
+    pub fn set_bulk_route(&mut self, route: Option<String>) {
+        self.bulk_route = route;
     }
 
     /// Supplies object factories (needed to host migrated objects).
@@ -179,6 +195,45 @@ impl Binder {
                 // registers itself here under this custom kind.
                 let params = spec.to_value();
                 self.bind_custom(ctx, "replicated", service, record, &iface, &params)
+            }
+            ProxySpec::Bulk { inner, params } => {
+                let proxy: Box<dyn Proxy> = match *inner {
+                    ProxySpec::Stub => {
+                        let mut p = StubProxy::new(service, server, self.ns_ep);
+                        p.enable_bulk(params, self.ns_ep);
+                        if let Some(route) = &self.bulk_route {
+                            p.bulk_mut()
+                                .expect("just enabled")
+                                .set_route(Some(route.clone()));
+                        }
+                        Box::new(p)
+                    }
+                    ProxySpec::Caching(cp) => {
+                        let mut p =
+                            CachingProxy::bind(ctx, service, server, self.ns_ep, iface, cp)?;
+                        p.enable_bulk(params, self.ns_ep);
+                        if let Some(route) = &self.bulk_route {
+                            p.bulk_mut()
+                                .expect("just enabled")
+                                .set_route(Some(route.clone()));
+                        }
+                        Box::new(p)
+                    }
+                    other => {
+                        return Err(RpcError::Wire(WireError::WrongKind {
+                            expected: "bulk inner spec of kind stub or caching",
+                            actual: match other {
+                                ProxySpec::Migratory { .. } => "migratory",
+                                ProxySpec::Replicated { .. } => "replicated",
+                                ProxySpec::Adaptive(_) => "adaptive",
+                                ProxySpec::Bulk { .. } => "bulk",
+                                ProxySpec::Custom { .. } => "custom",
+                                ProxySpec::Stub | ProxySpec::Caching(_) => unreachable!(),
+                            },
+                        }))
+                    }
+                };
+                Ok(proxy)
             }
             ProxySpec::Custom { kind, params } => {
                 self.bind_custom(ctx, &kind, service, record, &iface, &params)

@@ -15,6 +15,8 @@ use rpc::{endpoint_from_value, endpoint_to_value};
 use simnet::Endpoint;
 use wire::{Value, WireError};
 
+use crate::bulk::BulkParams;
+
 /// How a caching proxy keeps its cache coherent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Coherence {
@@ -124,6 +126,16 @@ pub enum ProxySpec {
     },
     /// Monitor the access pattern and switch strategy on the fly.
     Adaptive(AdaptiveParams),
+    /// Wrap an inner proxy in the out-of-band bulk data plane: payloads
+    /// above the spill threshold travel by reference
+    /// ([`wire::Value::Ref`]) with the bytes fetched from a blob store,
+    /// chunked per the published [`BulkParams`] contract.
+    Bulk {
+        /// The proxy doing the actual invocations (`Stub` or `Caching`).
+        inner: Box<ProxySpec>,
+        /// The spill/transfer contract shared by writer and readers.
+        params: BulkParams,
+    },
     /// An extension spec handled by a client-registered proxy factory.
     Custom {
         /// Factory key.
@@ -171,6 +183,11 @@ impl ProxySpec {
                 ("enable_at", Value::F64(p.enable_at)),
                 ("disable_at", Value::F64(p.disable_at)),
                 ("caching", caching_to_value(&p.caching)),
+            ]),
+            ProxySpec::Bulk { inner, params } => Value::record([
+                ("kind", Value::str("bulk")),
+                ("inner", inner.to_value()),
+                ("bulk", params.to_value()),
             ]),
             ProxySpec::Custom { kind, params } => Value::record([
                 ("kind", Value::str("custom")),
@@ -225,6 +242,15 @@ impl ProxySpec {
                     .ok_or(WireError::MissingField("disable_at"))?,
                 caching: caching_from_value(v.get("caching").unwrap_or(&Value::Null))?,
             })),
+            "bulk" => Ok(ProxySpec::Bulk {
+                inner: Box::new(ProxySpec::from_value(
+                    v.get("inner").ok_or(WireError::MissingField("inner"))?,
+                )?),
+                params: match v.get("bulk") {
+                    Some(p) => BulkParams::from_value(p)?,
+                    None => BulkParams::default(),
+                },
+            }),
             "custom" => Ok(ProxySpec::Custom {
                 kind: v.get_str("custom_kind")?.to_owned(),
                 params: v.get("params").cloned().unwrap_or(Value::Null),
@@ -300,6 +326,22 @@ mod tests {
                 read_target: ReadTarget::Primary,
             },
             ProxySpec::Adaptive(AdaptiveParams::default()),
+            ProxySpec::Bulk {
+                inner: Box::new(ProxySpec::Stub),
+                params: BulkParams::default(),
+            },
+            ProxySpec::Bulk {
+                inner: Box::new(ProxySpec::Caching(CachingParams {
+                    coherence: Coherence::Invalidate,
+                    capacity: 64,
+                })),
+                params: BulkParams {
+                    store: "blob-origin".into(),
+                    threshold: 2048,
+                    chunk: 32 * 1024,
+                    depth: 4,
+                },
+            },
             ProxySpec::Custom {
                 kind: "tracing".into(),
                 params: Value::record([("level", Value::U64(2))]),

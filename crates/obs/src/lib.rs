@@ -330,6 +330,12 @@ pub struct ProxyStats {
     /// requests, late duplicate replies, undecodable frames). Non-zero
     /// values flag traffic that used to vanish silently.
     pub datagrams_discarded: u64,
+    /// Payloads the bulk data plane spilled to a blob store and shipped
+    /// by reference instead of inline on the RPC path.
+    pub bulk_spills: u64,
+    /// Out-of-band references the proxy resolved (fetched chunked from a
+    /// blob store) on behalf of its client.
+    pub bulk_resolves: u64,
 }
 
 /// Per-service counters maintained by the service server.
@@ -2130,6 +2136,8 @@ impl RunReport {
                             rebinds,
                             strategy_switches,
                             datagrams_discarded,
+                            bulk_spills,
+                            bulk_resolves,
                         } = *s;
                         w.field_u64("invocations", invocations);
                         w.field_u64("local_hits", local_hits);
@@ -2140,6 +2148,8 @@ impl RunReport {
                         w.field_u64("rebinds", rebinds);
                         w.field_u64("strategy_switches", strategy_switches);
                         w.field_u64("datagrams_discarded", datagrams_discarded);
+                        w.field_u64("bulk_spills", bulk_spills);
+                        w.field_u64("bulk_resolves", bulk_resolves);
                     });
                 }
             });

@@ -12,10 +12,12 @@ use crate::bad_args;
 /// The interface type name (keys the factory registry).
 pub const TYPE_NAME: &str = "proxide.kv";
 
-/// Server-side state of the key-value store.
+/// Server-side state of the key-value store. Values are arbitrary wire
+/// values — strings, blobs, records, or out-of-band [`wire::Value::Ref`]
+/// handles placed there by bulk-enabled proxies.
 #[derive(Debug, Default, Clone)]
 pub struct KvStore {
-    map: BTreeMap<String, String>,
+    map: BTreeMap<String, Value>,
 }
 
 impl KvStore {
@@ -50,9 +52,7 @@ impl KvStore {
         let mut store = KvStore::new();
         if let Some(fields) = v.as_record() {
             for (k, val) in fields {
-                if let Some(s) = val.as_str() {
-                    store.map.insert(k.to_string_owned(), s.to_owned());
-                }
+                store.map.insert(k.to_string_owned(), val.clone());
             }
         }
         Ok(Box::new(store))
@@ -68,11 +68,7 @@ impl ServiceObject for KvStore {
         match op {
             "get" => {
                 let key = args.get_str("key").map_err(bad_args)?;
-                Ok(self
-                    .map
-                    .get(key)
-                    .map(|v| Value::str(v.clone()))
-                    .unwrap_or(Value::Null))
+                Ok(self.map.get(key).cloned().unwrap_or(Value::Null))
             }
             "contains" => {
                 let key = args.get_str("key").map_err(bad_args)?;
@@ -80,9 +76,11 @@ impl ServiceObject for KvStore {
             }
             "put" => {
                 let key = args.get_str("key").map_err(bad_args)?;
-                let value = args.get_str("value").map_err(bad_args)?;
-                let prev = self.map.insert(key.to_owned(), value.to_owned());
-                Ok(prev.map(Value::from).unwrap_or(Value::Null))
+                let value = args
+                    .get("value")
+                    .ok_or_else(|| bad_args(wire::WireError::MissingField("value")))?;
+                let prev = self.map.insert(key.to_owned(), value.clone());
+                Ok(prev.unwrap_or(Value::Null))
             }
             "del" => {
                 let key = args.get_str("key").map_err(bad_args)?;
@@ -100,9 +98,7 @@ impl ServiceObject for KvStore {
 
     fn snapshot(&self) -> Result<Value, RemoteError> {
         Ok(Value::record(
-            self.map
-                .iter()
-                .map(|(k, v)| (k.clone(), Value::str(v.clone()))),
+            self.map.iter().map(|(k, v)| (k.clone(), v.clone())),
         ))
     }
 }

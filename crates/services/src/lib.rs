@@ -17,10 +17,12 @@
 //! | [`directory`] | directory (name → entry) | read-mostly; the replication example |
 //! | [`counter`] | counter | tiny state; the migration example |
 //! | [`queue`] | print queue | write-heavy; where caching must *not* win |
+//! | [`blob`] | blob store | bulk payloads; the out-of-band data plane + edge caches |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod blob;
 pub mod counter;
 pub mod directory;
 pub mod file;
@@ -38,6 +40,7 @@ pub fn all_factories() -> FactoryRegistry {
         .register(directory::TYPE_NAME, directory::Directory::from_snapshot)
         .register(counter::TYPE_NAME, counter::Counter::from_snapshot)
         .register(queue::TYPE_NAME, queue::PrintQueue::from_snapshot)
+        .register(blob::TYPE_NAME, blob::BlobStore::from_snapshot)
 }
 
 /// Converts a wire error into the conventional `BadArgs` remote error.
@@ -58,6 +61,7 @@ mod tests {
             directory::TYPE_NAME,
             counter::TYPE_NAME,
             queue::TYPE_NAME,
+            blob::TYPE_NAME,
         ] {
             assert!(f.knows(t), "missing factory for {t}");
         }

@@ -14,6 +14,7 @@
 //! | 7   | blob   | varint length + bytes |
 //! | 8   | list   | varint count + items  |
 //! | 9   | record | varint count + (str key, value) pairs |
+//! | 10  | ref    | store str + key str + varint payload length + 4-byte CRC-32 |
 //!
 //! Encoding is canonical: a given `Value` always produces the same bytes,
 //! so checksums and duplicate-suppression can operate on the encoding.
@@ -39,7 +40,7 @@
 use bytes::Bytes;
 
 use crate::error::WireError;
-use crate::value::Value;
+use crate::value::{BlobRef, Value};
 use crate::wstr::WStr;
 
 /// Maximum nesting depth accepted by the decoder (guards against stack
@@ -49,6 +50,13 @@ pub const MAX_DEPTH: usize = 32;
 /// Maximum declared length of any string/blob/list/record (guards against
 /// allocation bombs from hostile input).
 pub const MAX_LEN: u64 = 1 << 28;
+
+/// Maximum payload length a [`Value::Ref`] may declare, and the ceiling a
+/// blob store enforces on chunked uploads. A ref's bytes live out-of-band
+/// so they may legitimately exceed [`MAX_LEN`], but a decoder still
+/// refuses absurd declared lengths outright ([`WireError::TooLong`],
+/// before any resolver allocates reassembly buffers for them).
+pub const MAX_BULK_LEN: u64 = 1 << 32;
 
 pub(crate) mod tag {
     pub const NULL: u8 = 0;
@@ -61,6 +69,7 @@ pub(crate) mod tag {
     pub const BLOB: u8 = 7;
     pub const LIST: u8 = 8;
     pub const RECORD: u8 = 9;
+    pub const REF: u8 = 10;
 }
 
 pub(crate) fn put_varint(buf: &mut Vec<u8>, mut n: u64) {
@@ -125,6 +134,15 @@ pub(crate) fn encode_into(v: &Value, buf: &mut Vec<u8>) {
                 buf.extend_from_slice(k.as_bytes());
                 encode_into(v, buf);
             }
+        }
+        Value::Ref(r) => {
+            buf.push(tag::REF);
+            put_varint(buf, r.store.len() as u64);
+            buf.extend_from_slice(r.store.as_bytes());
+            put_varint(buf, r.key.len() as u64);
+            buf.extend_from_slice(r.key.as_bytes());
+            put_varint(buf, r.len);
+            buf.extend_from_slice(&r.crc.to_le_bytes());
         }
     }
 }
@@ -231,6 +249,17 @@ impl<'a> ValueWriter<'a> {
     /// Writes a whole [`Value`] tree by reference.
     pub fn value(&mut self, v: &Value) {
         encode_into(v, self.buf);
+    }
+
+    /// Writes an out-of-band blob reference ([`Value::Ref`]).
+    pub fn blob_ref(&mut self, store: &str, key: &str, len: u64, crc: u32) {
+        self.buf.push(tag::REF);
+        put_varint(self.buf, store.len() as u64);
+        self.buf.extend_from_slice(store.as_bytes());
+        put_varint(self.buf, key.len() as u64);
+        self.buf.extend_from_slice(key.as_bytes());
+        put_varint(self.buf, len);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
     }
 }
 
@@ -382,6 +411,18 @@ impl<'a> Reader<'a> {
         Ok(n as usize)
     }
 
+    /// Reads a [`Value::Ref`] declared payload length. Bulk payloads live
+    /// out-of-band so the ceiling is [`MAX_BULK_LEN`], not [`MAX_LEN`] —
+    /// but a hostile declared length is still rejected cleanly here,
+    /// before any resolver trusts it enough to allocate.
+    fn bulk_length(&mut self) -> Result<u64, WireError> {
+        let n = self.varint()?;
+        if n > MAX_BULK_LEN {
+            return Err(WireError::TooLong(n));
+        }
+        Ok(n)
+    }
+
     /// Reads a length-prefixed UTF-8 string: a zero-copy slice of the
     /// shared buffer when one is attached, a fresh copy otherwise.
     fn string(&mut self) -> Result<WStr, WireError> {
@@ -443,6 +484,19 @@ impl<'a> Reader<'a> {
                 }
                 Ok(Value::Record(fields))
             }
+            tag::REF => {
+                let store = self.string()?;
+                let key = self.string()?;
+                let len = self.bulk_length()?;
+                let raw = self.take(4)?;
+                let crc = u32::from_le_bytes(raw.try_into().unwrap());
+                Ok(Value::Ref(BlobRef {
+                    store,
+                    key,
+                    len,
+                    crc,
+                }))
+            }
             other => Err(WireError::BadTag(other)),
         }
     }
@@ -479,6 +533,14 @@ impl<'a> Reader<'a> {
                     self.skip_value(depth + 1)?;
                 }
                 Ok(())
+            }
+            tag::REF => {
+                let slen = self.length()?;
+                self.take(slen)?;
+                let klen = self.length()?;
+                self.take(klen)?;
+                self.bulk_length()?;
+                self.take(4).map(drop)
             }
             other => Err(WireError::BadTag(other)),
         }
@@ -906,6 +968,74 @@ mod tests {
     fn zigzag_roundtrip() {
         for n in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
             assert_eq!(unzigzag(zigzag(n)), n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_blob_ref() {
+        roundtrip(Value::blob_ref("blob-origin", "spill/7", 0, 0));
+        roundtrip(Value::blob_ref("b", "", MAX_BULK_LEN, u32::MAX));
+        // Refs nest like any other value.
+        roundtrip(Value::record([
+            ("op", Value::str("put")),
+            ("v", Value::blob_ref("store", "k", 1 << 20, 0xABCD_EF01)),
+            ("tail", Value::list([Value::blob_ref("s", "k2", 9, 1)])),
+        ]));
+    }
+
+    #[test]
+    fn blob_ref_writer_matches_tree_encoding() {
+        let v = Value::blob_ref("blob-origin", "spill/42", 123_456, 0x1234_5678);
+        let mut enc = Encoder::new();
+        let streamed =
+            enc.encode_with(|w| w.blob_ref("blob-origin", "spill/42", 123_456, 0x1234_5678));
+        assert_eq!(
+            streamed,
+            encode(&v),
+            "blob_ref writer must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn hostile_bulk_length_rejected_without_allocation() {
+        // A ref declaring an absurd payload length must fail cleanly at
+        // decode (TooLong), never reach a resolver that would allocate a
+        // reassembly buffer for it. Build the hostile frame by hand.
+        let mut raw = vec![super::tag::REF];
+        put_varint(&mut raw, 1);
+        raw.push(b's');
+        put_varint(&mut raw, 1);
+        raw.push(b'k');
+        put_varint(&mut raw, MAX_BULK_LEN + 1);
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode(&raw), Err(WireError::TooLong(MAX_BULK_LEN + 1)));
+        // skip_value walks the same grammar and applies the same guard.
+        let mut r = Reader::new(&raw);
+        assert_eq!(r.skip_value(0), Err(WireError::TooLong(MAX_BULK_LEN + 1)));
+        // A declared length at the ceiling is fine: refs may exceed the
+        // inline MAX_LEN because the bytes never ride the frame.
+        const { assert!(MAX_BULK_LEN > MAX_LEN) };
+        roundtrip(Value::blob_ref("s", "k", MAX_BULK_LEN, 0));
+        // Truncated CRC reports EOF, not garbage.
+        let ok = encode(&Value::blob_ref("s", "k", 10, 7));
+        assert!(matches!(
+            decode(&ok[..ok.len() - 1]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_copy_blob_ref_aliases_the_frame() {
+        let enc = encode(&Value::blob_ref("blob-origin", "some/long/key", 99, 3));
+        let dec = decode_bytes(&enc).unwrap();
+        let r = dec.as_blob_ref().unwrap();
+        let enc_ptr = enc.as_ref().as_ptr() as usize;
+        for s in [&r.store, &r.key] {
+            let p = s.as_bytes().as_ptr() as usize;
+            assert!(
+                p >= enc_ptr && p + s.len() <= enc_ptr + enc.len(),
+                "ref strings should alias the input frame"
+            );
         }
     }
 }

@@ -6,7 +6,8 @@
 //! [`encode`]/[`decode`] and shipped inside a checksummed [`frame`].
 //!
 //! * [`Value`] — the dynamic data model (null/bool/ints/float/str/blob/
-//!   list/record). Strings are [`WStr`]: refcounted, cheaply clonable.
+//!   list/record, plus [`BlobRef`] out-of-band references). Strings are
+//!   [`WStr`]: refcounted, cheaply clonable.
 //! * [`encode`] / [`decode`] — canonical tag-length-value binary codec,
 //!   hardened against hostile input (depth & length limits, canonical
 //!   varints).
@@ -48,11 +49,12 @@ mod value;
 mod wstr;
 
 pub use codec::{
-    decode, decode_bytes, decode_prefix, encode, Encoder, ValueWriter, MAX_DEPTH, MAX_LEN,
+    decode, decode_bytes, decode_prefix, encode, Encoder, ValueWriter, MAX_BULK_LEN, MAX_DEPTH,
+    MAX_LEN,
 };
 pub use crc::{crc32, crc32_bytewise, Crc32};
 pub use error::WireError;
 pub use frame::{frame, unframe, unframe_bytes, FRAME_VERSION, HEADER_LEN};
 pub use raw::{peek_frame, RawRecord};
-pub use value::Value;
+pub use value::{BlobRef, Value};
 pub use wstr::WStr;

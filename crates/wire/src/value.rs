@@ -11,6 +11,26 @@ use bytes::Bytes;
 use crate::error::WireError;
 use crate::wstr::WStr;
 
+/// A service-scoped reference to a payload stored out-of-band.
+///
+/// The bulk data plane substitutes one of these for any blob above the
+/// spill threshold: the RPC path carries this fixed-size handle while the
+/// bytes themselves live in the named blob-store service, fetched lazily
+/// (and chunked) by whoever actually touches the value. `len` and `crc`
+/// pin the content so a resolver can verify the reassembled bytes match
+/// what the producer spilled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlobRef {
+    /// Service name of the blob store holding the bytes.
+    pub store: WStr,
+    /// Key of the payload within that store.
+    pub key: WStr,
+    /// Byte length of the referenced payload.
+    pub len: u64,
+    /// CRC-32 of the payload content.
+    pub crc: u32,
+}
+
 /// A dynamically-typed, self-describing wire value.
 ///
 /// ```
@@ -49,6 +69,9 @@ pub enum Value {
     /// [`Value::get`] ignores order. Keys are [`WStr`] so the zero-copy
     /// decoder can alias them into the incoming frame as well.
     Record(Vec<(WStr, Value)>),
+    /// A reference to a payload stored out-of-band in a blob-store
+    /// service (the bulk data plane's pass-by-reference handle).
+    Ref(BlobRef),
 }
 
 impl Value {
@@ -72,6 +95,16 @@ impl Value {
         Value::Record(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
+    /// Convenience constructor for [`Value::Ref`].
+    pub fn blob_ref(store: impl Into<WStr>, key: impl Into<WStr>, len: u64, crc: u32) -> Value {
+        Value::Ref(BlobRef {
+            store: store.into(),
+            key: key.into(),
+            len,
+            crc,
+        })
+    }
+
     /// Human-readable name of this value's kind (used in errors).
     pub fn kind(&self) -> &'static str {
         match self {
@@ -84,6 +117,7 @@ impl Value {
             Value::Blob(_) => "blob",
             Value::List(_) => "list",
             Value::Record(_) => "record",
+            Value::Ref(_) => "ref",
         }
     }
 
@@ -157,6 +191,14 @@ impl Value {
     pub fn as_record(&self) -> Option<&[(WStr, Value)]> {
         match self {
             Value::Record(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrows the reference if this is a [`Value::Ref`].
+    pub fn as_blob_ref(&self) -> Option<&BlobRef> {
+        match self {
+            Value::Ref(r) => Some(r),
             _ => None,
         }
     }
@@ -264,6 +306,9 @@ impl Value {
             Value::Blob(b) => b.len(),
             Value::List(items) => items.iter().map(Value::payload_len).sum(),
             Value::Record(fields) => fields.iter().map(|(k, v)| k.len() + v.payload_len()).sum(),
+            // The handle itself, not the referenced bytes: the whole point
+            // of a ref is that the payload does not ride with the value.
+            Value::Ref(r) => r.store.len() + r.key.len() + 12,
         }
     }
 }
@@ -310,6 +355,11 @@ impl std::fmt::Display for Value {
                 }
                 write!(f, "}}")
             }
+            Value::Ref(r) => write!(
+                f,
+                "ref({}/{}, {} bytes, crc={:08x})",
+                r.store, r.key, r.len, r.crc
+            ),
         }
     }
 }
@@ -454,5 +504,24 @@ mod tests {
     fn default_is_null() {
         assert_eq!(Value::default(), Value::Null);
         assert_eq!(Value::default().kind(), "null");
+    }
+
+    #[test]
+    fn blob_ref_accessors_and_display() {
+        let v = Value::blob_ref("blob-origin", "k/42", 1_048_576, 0xDEAD_BEEF);
+        assert_eq!(v.kind(), "ref");
+        let r = v.as_blob_ref().unwrap();
+        assert_eq!(r.store.as_str(), "blob-origin");
+        assert_eq!(r.key.as_str(), "k/42");
+        assert_eq!(r.len, 1_048_576);
+        assert_eq!(r.crc, 0xDEAD_BEEF);
+        assert!(v.as_blob().is_none(), "a ref is not an inline blob");
+        assert_eq!(
+            v.to_string(),
+            "ref(blob-origin/k/42, 1048576 bytes, crc=deadbeef)"
+        );
+        // The handle is small no matter how big the referenced payload is.
+        assert_eq!(v.payload_len(), 11 + 4 + 12);
+        assert!(Value::U64(1).as_blob_ref().is_none());
     }
 }

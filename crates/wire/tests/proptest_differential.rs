@@ -10,8 +10,13 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use wire::{
     crc32, crc32_bytewise, decode, decode_bytes, encode, frame, unframe, unframe_bytes, Crc32,
-    Encoder, Value,
+    Encoder, Value, MAX_BULK_LEN,
 };
+
+fn arb_blob_ref() -> impl Strategy<Value = Value> {
+    ("[a-z-]{1,12}", ".{0,16}", 0..=MAX_BULK_LEN, any::<u32>())
+        .prop_map(|(store, key, len, crc)| Value::blob_ref(store, key, len, crc))
+}
 
 fn arb_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
@@ -23,6 +28,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         (-1e300f64..1e300).prop_map(Value::F64),
         ".{0,24}".prop_map(Value::str),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::blob),
+        arb_blob_ref(),
     ];
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
@@ -99,5 +105,15 @@ proptest! {
             prop_assert_eq!(enc.encode(v), encode(v));
             prop_assert_eq!(enc.frame(v), frame(v));
         }
+    }
+
+    /// A blob reference survives encode/decode exactly (both decoders),
+    /// for any store/key/declared-length/CRC combination in range.
+    #[test]
+    fn blob_ref_roundtrips(v in arb_blob_ref()) {
+        let enc = encode(&v);
+        prop_assert_eq!(decode(&enc).unwrap(), v.clone());
+        let shared = Bytes::copy_from_slice(&enc);
+        prop_assert_eq!(decode_bytes(&shared).unwrap(), v);
     }
 }
