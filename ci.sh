@@ -94,6 +94,29 @@ if [ "${1:-}" != "quick" ]; then
   cargo run -q --release -p bench --bin perfgate -- --warn-only \
     target/BENCH_e19.json BENCH_e19.json
 
+  step "E20 continuous-profiler smoke (overhead + conservation + BENCH_e20.json)"
+  # E18 workload, off/on interleaved x5 after a warmup (+ a 4-thread leg);
+  # asserts phase walls tile the round wall exactly, frame paths+calls
+  # are byte-identical across runs and thread counts, profiling leaves
+  # the trace untouched, and the folded flamegraph exports canonically.
+  PROXIDE_E20_SMOKE=1 PROXIDE_BENCH_DIR=target \
+    cargo run -q --release -p bench --bin e20_profiler
+
+  step "perfgate (E20 baseline self-compare + warn-only smoke compare)"
+  cargo run -q --release -p bench --bin perfgate -- BENCH_e20.json BENCH_e20.json
+  # Smoke runs a shrunken workload: incomparable config, warn-only.
+  cargo run -q --release -p bench --bin perfgate -- --warn-only \
+    target/BENCH_e20.json BENCH_e20.json
+
+  step "flamegraph gate (folded export validates + tracectl flame round-trips)"
+  # The smoke run above exported the collapsed flamegraph and the
+  # RunReport it came from. Both must validate, and re-deriving the
+  # folded file from the report must reproduce it byte for byte.
+  cargo run -q --release -p bench --bin tracectl -- check target/traces/e20-profile.folded
+  cargo run -q --release -p bench --bin tracectl -- flame \
+    target/traces/e20-profile.report.json --out=target/traces/e20-profile.rt.folded
+  cmp target/traces/e20-profile.folded target/traces/e20-profile.rt.folded
+
   step "threaded-determinism gate (1-thread vs 4-thread trace artifacts)"
   # The E18/E19 smoke runs above exported the causal traces of their
   # 1-thread and 4-thread legs. All must be well-formed and each pair

@@ -1,0 +1,6 @@
+//! Runs experiment e20 standalone. Set `PROXIDE_E20_SMOKE=1` for the
+//! fast CI configuration.
+fn main() {
+    let ok = bench::experiments::e20_profiler::run().print();
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -15,7 +15,8 @@
 //! tracectl run [--loss P] [--dup P] [--seed N] [--rounds N] [--clients N]
 //!              [--top K] [--sample N] [--out DIR]
 //! tracectl analyze <trace.jsonl> [--top K]
-//! tracectl check <artifact>     # Chrome trace, run report, or timeseries CSV
+//! tracectl check <artifact>     # Chrome trace, run report, timeseries CSV, or folded flamegraph
+//! tracectl flame <report.json> [--out=FILE]
 //! tracectl smoke
 //! ```
 
@@ -83,16 +84,34 @@ fn main() -> ExitCode {
             [ref path] => cmd_check(path),
             _ => usage_error("check takes exactly one artifact path"),
         },
+        Some("flame") => {
+            let (files, flags): (Vec<&String>, Vec<&String>) =
+                args[1..].iter().partition(|a| !a.starts_with("--"));
+            let mut out = None;
+            for f in &flags {
+                match f.strip_prefix("--out=") {
+                    Some(v) => out = Some(v.to_string()),
+                    None => return usage_error(&format!("flame: unknown flag {f}")),
+                }
+            }
+            match files.as_slice() {
+                [path] => cmd_flame(path, out.as_deref()),
+                _ => usage_error("flame takes exactly one <report.json> path"),
+            }
+        }
         Some("smoke") => cmd_run(&RunOpts::default(), true),
         _ => {
             eprintln!(
-                "usage: tracectl <run|analyze|check|smoke> [options]\n\
+                "usage: tracectl <run|analyze|check|flame|smoke> [options]\n\
                  \n\
                  run     [--loss P] [--dup P] [--seed N] [--rounds N] [--clients N]\n\
                  \x20       [--top K] [--sample N] [--out DIR]   drive a chaos run, export + analyze\n\
                  analyze <trace.jsonl> [--top K]                analyze an exported trace\n\
                  check   <artifact>                             validate an exported artifact\n\
-                 \x20                                           (Chrome trace, run report, or timeseries CSV)\n\
+                 \x20                                           (Chrome trace, run report, timeseries CSV,\n\
+                 \x20                                           or folded flamegraph)\n\
+                 flame   <report.json> [--out=FILE]             export a report's profile section as a\n\
+                 \x20                                           collapsed flamegraph\n\
                  smoke                                          self-checking run for CI"
             );
             ExitCode::from(2)
@@ -414,6 +433,21 @@ fn cmd_check(path: &str) -> ExitCode {
             }
         };
     }
+    if path.ends_with(".folded") {
+        return match obs::validate_folded(&text) {
+            Ok(s) => {
+                println!(
+                    "{path}: valid folded flamegraph — {} stacks ({} roots, max depth {}), total value {}, canonical",
+                    s.lines, s.roots, s.max_depth, s.total_value
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID folded flamegraph — {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if path.ends_with(".jsonl") || text.lines().next().is_some_and(|l| l.contains("\"kind\"")) {
         return match obs::from_jsonl(&text) {
             Ok(trace) => {
@@ -457,8 +491,9 @@ fn cmd_check(path: &str) -> ExitCode {
     match obs::validate_report(&text) {
         Ok(s) => {
             println!(
-                "{path}: valid run report — {} timeseries windows, {} exemplars ({} with causal breakdown), {} spans retired / {} resident",
-                s.windows, s.exemplars, s.with_breakdown, s.spans_retired, s.spans_resident
+                "{path}: valid run report — {} timeseries windows, {} exemplars ({} with causal breakdown), {} spans retired / {} resident, {} profile frames ({} evicted)",
+                s.windows, s.exemplars, s.with_breakdown, s.spans_retired, s.spans_resident,
+                s.prof_frames, s.prof_evicted
             );
             ExitCode::SUCCESS
         }
@@ -467,6 +502,65 @@ fn cmd_check(path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Renders the `profile` section of a run-report JSON in the standard
+/// collapsed-flamegraph format (`frame;frame value` per line, ready for
+/// any stock flamegraph renderer), validating the output before writing
+/// it to `--out=FILE` or stdout.
+fn cmd_flame(path: &str, out: Option<&str>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracectl: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match obs::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(frames) = doc
+        .get("profile")
+        .and_then(|p| p.get("frames"))
+        .and_then(|f| f.as_obj())
+    else {
+        eprintln!("{path}: no profile section (was the profiler enabled for this run?)");
+        return ExitCode::FAILURE;
+    };
+    let mut report = obs::ProfileReport::default();
+    for (frame, st) in frames {
+        let (Some(calls), Some(wall_ns)) = (st.u64_field("calls"), st.u64_field("wall_ns")) else {
+            eprintln!("{path}: profile frame {frame:?} lacks calls/wall_ns");
+            return ExitCode::FAILURE;
+        };
+        report
+            .frames
+            .insert(frame.clone(), obs::FrameStat { calls, wall_ns });
+    }
+    if report.frames.is_empty() {
+        eprintln!("{path}: profile section has no frames");
+        return ExitCode::FAILURE;
+    }
+    let folded = obs::profile_to_folded(&report);
+    if let Err(e) = obs::validate_folded(&folded) {
+        eprintln!("{path}: exporter produced an invalid folded artifact — {e}");
+        return ExitCode::FAILURE;
+    }
+    match out {
+        Some(file) => {
+            if let Err(e) = std::fs::write(file, &folded) {
+                eprintln!("tracectl: cannot write {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{path}: wrote {} stacks to {file}", report.frames.len());
+        }
+        None => print!("{folded}"),
+    }
+    ExitCode::SUCCESS
 }
 
 /// Prints the trace summary, top-k critical paths (with the slowest

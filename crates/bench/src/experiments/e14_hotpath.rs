@@ -234,7 +234,7 @@ fn artifact_meta(cfg: Config) -> String {
     meta
 }
 
-fn artifact_json(cfg: Config, mode: &str, reps: &[Rep], best: &Rep) -> String {
+fn artifact_json(cfg: Config, mode: &str, reps: &[Rep], best: &Rep, host_cores: usize) -> String {
     let mut runs = String::new();
     for (i, r) in reps.iter().enumerate() {
         if i > 0 {
@@ -255,6 +255,7 @@ fn artifact_json(cfg: Config, mode: &str, reps: &[Rep], best: &Rep) -> String {
             "  \"title\": \"hot-path macro-benchmark (closed-loop pipelined RPC, wall-clock)\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"meta\": {meta},\n",
+            "  \"host_cores\": {host_cores},\n",
             "  \"config\": {{\"clients\": {clients}, \"calls_per_client\": {cpc}, ",
             "\"depth\": {depth}, \"batch\": {batch}, \"payload_bytes\": {payload}, \"reps\": {reps}}},\n",
             "  \"best\": {{\n",
@@ -273,6 +274,7 @@ fn artifact_json(cfg: Config, mode: &str, reps: &[Rep], best: &Rep) -> String {
         ),
         mode = mode,
         meta = artifact_meta(cfg),
+        host_cores = host_cores,
         clients = cfg.clients,
         cpc = cfg.calls_per_client,
         depth = cfg.depth,
@@ -342,7 +344,8 @@ pub fn run() -> ExperimentOutput {
     ]);
 
     let path = artifact_path();
-    let json = artifact_json(cfg, mode, &reps, &best);
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let json = artifact_json(cfg, mode, &reps, &best, host_cores);
     let wrote = std::fs::write(&path, &json);
     let artifact_detail = match &wrote {
         Ok(()) => format!("wrote {}", path.display()),

@@ -296,7 +296,13 @@ fn artifact_meta(cfg: Config) -> String {
     meta
 }
 
-fn artifact_json(cfg: Config, mode: &str, rep: &Rep, state_bytes: usize) -> String {
+fn artifact_json(
+    cfg: Config,
+    mode: &str,
+    rep: &Rep,
+    state_bytes: usize,
+    host_cores: usize,
+) -> String {
     let rss_proxy = rep.procs_peak * state_bytes as u64;
     format!(
         concat!(
@@ -305,6 +311,7 @@ fn artifact_json(cfg: Config, mode: &str, rep: &Rep, state_bytes: usize) -> Stri
             "  \"title\": \"million-process scale (poll-driven clients, sharded KV, wall-clock)\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"meta\": {meta},\n",
+            "  \"host_cores\": {host_cores},\n",
             "  \"config\": {{\"clients\": {clients}, \"calls_per_client\": {cpc}, ",
             "\"shards\": {shards}, \"nodes\": {nodes}}},\n",
             "  \"best\": {{\n",
@@ -326,6 +333,7 @@ fn artifact_json(cfg: Config, mode: &str, rep: &Rep, state_bytes: usize) -> Stri
         ),
         mode = mode,
         meta = artifact_meta(cfg),
+        host_cores = host_cores,
         clients = cfg.clients,
         cpc = cfg.calls_per_client,
         shards = cfg.shards,
@@ -383,7 +391,8 @@ pub fn run() -> ExperimentOutput {
     ]);
 
     let path = artifact_path();
-    let json = artifact_json(cfg, mode, &rep, state_bytes);
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let json = artifact_json(cfg, mode, &rep, state_bytes, host_cores);
     let wrote = std::fs::write(&path, &json);
     let artifact_detail = match &wrote {
         Ok(()) => format!("wrote {}", path.display()),

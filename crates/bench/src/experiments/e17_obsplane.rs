@@ -324,7 +324,7 @@ fn artifact_meta(cfg: Config) -> String {
 /// The artifact: perfgated `best` numbers come from the obs-ON leg (the
 /// configuration we claim production runs), and the `obs_overhead`
 /// section carries the on-vs-off delta.
-fn artifact_json(cfg: Config, mode: &str, on: &Rep, off: &Rep) -> String {
+fn artifact_json(cfg: Config, mode: &str, on: &Rep, off: &Rep, host_cores: usize) -> String {
     let overhead_pct = (on.wall.as_secs_f64() / off.wall.as_secs_f64() - 1.0) * 100.0;
     format!(
         concat!(
@@ -333,6 +333,7 @@ fn artifact_json(cfg: Config, mode: &str, on: &Rep, off: &Rep) -> String {
             "  \"title\": \"million-span observability plane (obs-on vs obs-off, sharded registry + retirement)\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"meta\": {meta},\n",
+            "  \"host_cores\": {host_cores},\n",
             "  \"config\": {{\"clients\": {clients}, \"calls_per_client\": {cpc}, ",
             "\"shards\": {shards}, \"nodes\": {nodes}, \"ns_replicas\": {nsr}, ",
             "\"retire_keep_every\": {keep}}},\n",
@@ -367,6 +368,7 @@ fn artifact_json(cfg: Config, mode: &str, on: &Rep, off: &Rep) -> String {
         ),
         mode = mode,
         meta = artifact_meta(cfg),
+        host_cores = host_cores,
         clients = cfg.clients,
         cpc = cfg.calls_per_client,
         shards = cfg.shards,
@@ -439,7 +441,8 @@ pub fn run() -> ExperimentOutput {
     }
 
     let path = artifact_path();
-    let json = artifact_json(cfg, mode, &on, &off);
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let json = artifact_json(cfg, mode, &on, &off, host_cores);
     let wrote = std::fs::write(&path, &json);
     let artifact_detail = match &wrote {
         Ok(()) => format!("wrote {}", path.display()),

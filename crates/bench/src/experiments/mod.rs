@@ -11,6 +11,7 @@ pub mod e17_obsplane;
 pub mod e18_multicore;
 pub mod e19_bulkplane;
 pub mod e1_access_methods;
+pub mod e20_profiler;
 pub mod e2_cache_sweep;
 pub mod e3_migration;
 pub mod e4_replication;
@@ -43,6 +44,7 @@ pub fn run_all() -> bool {
         e17_obsplane::run(),
         e18_multicore::run(),
         e19_bulkplane::run(),
+        e20_profiler::run(),
     ];
     let mut all = true;
     for o in &outputs {

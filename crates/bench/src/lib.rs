@@ -159,7 +159,8 @@ pub struct Check {
 /// the blob (proxy-discarded datagrams, trace-ring evictions) plus the
 /// flight-recorder headlines (pinned exemplars, recorded windows) and
 /// the obs-plane honesty counts (spans retired vs resident, time spent
-/// inside the plane itself). `None` only when the blob does not parse.
+/// inside the plane itself) and the profiler's (frames resident vs
+/// evicted, fold overhead). `None` only when the blob does not parse.
 fn obs_summary_line(json: &str) -> Option<String> {
     let doc = obs::json::parse(json).ok()?;
     let discarded: u64 = doc
@@ -206,13 +207,23 @@ fn obs_summary_line(json: &str) -> Option<String> {
         .and_then(|o| o.u64_field("self_ns"))
         .unwrap_or(0)
         / 1_000;
+    let prof = doc.get("profile");
+    let prof_frames = prof
+        .and_then(|p| p.u64_field("frames_resident"))
+        .unwrap_or(0);
+    let prof_evicted = prof
+        .and_then(|p| p.u64_field("frames_evicted"))
+        .unwrap_or(0);
+    let prof_self_us = prof.and_then(|p| p.u64_field("self_ns")).unwrap_or(0) / 1_000;
     Some(format!(
         "datagrams_discarded={discarded} trace_evicted={trace_evicted} \
          exemplars={exemplars} ts_windows={windows} \
          procs_spawned={procs_spawned} procs_peak={procs_peak} \
          sched_time_inversions={inversions} \
          spans_retired={spans_retired} spans_resident={spans_resident} \
-         obs_self_us={obs_self_us}"
+         obs_self_us={obs_self_us} \
+         prof_frames={prof_frames} prof_evicted={prof_evicted} \
+         prof_self_us={prof_self_us}"
     ))
 }
 

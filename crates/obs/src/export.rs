@@ -779,6 +779,11 @@ pub struct ReportSummary {
     pub spans_retired: u64,
     /// Spans resident in the span table at report time.
     pub spans_resident: u64,
+    /// Distinct profiler frame paths resident (0 when the profiler was
+    /// off).
+    pub prof_frames: u64,
+    /// Profiler folds dropped on a full frame table.
+    pub prof_evicted: u64,
 }
 
 /// Structurally validates a `RunReport` JSON document, including the
@@ -793,7 +798,10 @@ pub struct ReportSummary {
 /// * the obs self-measurement section (when present) carries every
 ///   gauge, and retirement conserves spans: retired + resident equals
 ///   the spans the run allocated (`started + oneways`). Reports written
-///   before the sharded registry have no `obs` object and stay valid.
+///   before the sharded registry have no `obs` object and stay valid,
+/// * the profiler section (when present) carries its honesty counters,
+///   `frames_resident` matches the frame map, and every frame path is
+///   well-formed with a nonzero call count.
 ///
 /// # Errors
 ///
@@ -903,6 +911,40 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         }
         summary.spans_retired = retired;
         summary.spans_resident = resident;
+    }
+    if let Some(prof) = doc.get("profile") {
+        let field = |k: &str| {
+            prof.u64_field(k)
+                .ok_or_else(|| format!("profile: missing {k}"))
+        };
+        let resident = field("frames_resident")?;
+        let evicted = field("frames_evicted")?;
+        field("self_ns")?;
+        field("self_calls")?;
+        let frames = prof
+            .get("frames")
+            .and_then(Json::as_obj)
+            .ok_or("profile: missing frames object")?;
+        if frames.len() as u64 != resident {
+            return Err(format!(
+                "profile: frames_resident says {resident}, frames object has {}",
+                frames.len()
+            ));
+        }
+        for (path, st) in frames {
+            let at = |msg: &str| format!("profile frame {path:?}: {msg}");
+            if path.is_empty() || path.split(';').any(str::is_empty) {
+                return Err(at("empty frame in path"));
+            }
+            let calls = st.u64_field("calls").ok_or_else(|| at("missing calls"))?;
+            if calls == 0 {
+                return Err(at("zero calls"));
+            }
+            st.u64_field("wall_ns")
+                .ok_or_else(|| at("missing wall_ns"))?;
+        }
+        summary.prof_frames = resident;
+        summary.prof_evicted = evicted;
     }
     Ok(summary)
 }

@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 pub mod analysis;
 pub mod export;
 pub mod json;
+pub mod profile;
 pub mod timeseries;
 pub mod trace;
 
@@ -45,6 +46,10 @@ pub use analysis::{critical_paths, link_attribution, top_k_slowest, CriticalPath
 pub use export::{
     from_jsonl, timeseries_to_csv, to_chrome_json, to_jsonl, validate_chrome, validate_report,
     validate_timeseries_csv, ChromeSummary, ReportSummary, TimeSeriesCsvSummary,
+};
+pub use profile::{
+    profile_to_folded, scope, set_ambient_profiler, validate_folded, FoldedSummary, FrameStat,
+    ProfileReport, ScopeGuard,
 };
 pub use timeseries::{GaugeStat, TimeSeries, TimeSeriesReport, WindowReport};
 pub use trace::{CausalEvent, CausalTrace, Loc, NetEvent, NetEventKind, TraceSink};
@@ -834,6 +839,15 @@ pub struct MetricsRegistry {
     sm_enabled: AtomicBool,
     self_ns: AtomicU64,
     self_calls: AtomicU64,
+    // -- continuous profiler (see [`profile`]) --
+    /// Mirrors "the profiler is on" for the hot-path relaxed-load check
+    /// ([`MetricsRegistry::profile_enabled`]), like `ts_enabled`.
+    prof_enabled: AtomicBool,
+    /// Per-lane frame-table bound, preserved across `set_writer_lanes`.
+    prof_max_frames: AtomicU64,
+    /// Wall time the profiler spent folding (its own overhead).
+    prof_self_ns: AtomicU64,
+    prof_self_calls: AtomicU64,
     // -- writer lanes --
     /// Per-lane sequenced state. Each concurrent deterministic writer
     /// (a scheduler domain) owns one lane, selected by the thread's
@@ -874,6 +888,9 @@ struct WriterLane {
     /// This lane's slice of the flight recorder, when enabled. Reports
     /// merge the lanes deterministically (see [`TimeSeries::merged`]).
     timeseries: Mutex<Option<TimeSeries>>,
+    /// This lane's slice of the continuous profiler, when enabled
+    /// (bounded folded-stack table; see [`profile::ProfileLane`]).
+    profile: Mutex<Option<profile::ProfileLane>>,
 }
 
 thread_local! {
@@ -899,6 +916,16 @@ pub fn ambient_lane() -> usize {
 impl Default for MetricsRegistry {
     fn default() -> Self {
         MetricsRegistry::with_layout(DEFAULT_SPAN_SHARDS, DEFAULT_STAT_STRIPES)
+    }
+}
+
+impl Drop for MetricsRegistry {
+    fn drop(&mut self) {
+        // Keep the process-wide "any profiler armed" fast-path count
+        // balanced when an armed registry goes away (see `profile`).
+        if self.prof_enabled.load(Ordering::Relaxed) {
+            profile::active_dec();
+        }
     }
 }
 
@@ -940,6 +967,10 @@ impl MetricsRegistry {
             sm_enabled: AtomicBool::new(false),
             self_ns: AtomicU64::new(0),
             self_calls: AtomicU64::new(0),
+            prof_enabled: AtomicBool::new(false),
+            prof_max_frames: AtomicU64::new(0),
+            prof_self_ns: AtomicU64::new(0),
+            prof_self_calls: AtomicU64::new(0),
             lanes: (0..1).map(|_| WriterLane::default()).collect(),
             span_shards: (0..span_shards)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -973,6 +1004,7 @@ impl MetricsRegistry {
         if let Some((width, cap)) = recorder {
             self.enable_timeseries(width, cap);
         }
+        self.prof_rearm_lanes();
     }
 
     /// How many writer lanes the registry has.
@@ -1046,9 +1078,14 @@ impl MetricsRegistry {
     #[inline]
     fn sm_end(&self, t0: Option<std::time::Instant>) {
         if let Some(t0) = t0 {
-            self.self_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.self_ns.fetch_add(ns, Ordering::Relaxed);
             self.self_calls.fetch_add(1, Ordering::Relaxed);
+            // Piggyback the already-measured duration into the profiler
+            // (zero extra clock reads for the measured section itself).
+            if self.profile_enabled() {
+                self.prof_fold("obs;self_measure", 1, ns);
+            }
         }
     }
 
@@ -1914,6 +1951,7 @@ impl MetricsRegistry {
             trace_evicted: 0,
             meta: misc.meta.clone(),
             timeseries: self.timeseries_report(),
+            profile: self.profile_report(),
             exemplars: misc.exemplars.clone(),
             exemplars_suppressed: misc.exemplars_suppressed,
         }
@@ -1995,6 +2033,10 @@ pub struct RunReport {
     pub meta: RunMeta,
     /// The windowed flight recording, when the recorder was on.
     pub timeseries: Option<TimeSeriesReport>,
+    /// The folded-stack wall-time profile, when the profiler was on.
+    /// Frame paths and call counts are deterministic; `wall_ns` is
+    /// host-dependent and reported-not-judged.
+    pub profile: Option<ProfileReport>,
     /// Slow calls pinned by the watchdog.
     pub exemplars: Vec<Exemplar>,
     /// Slow calls observed after the exemplar buffer filled.
@@ -2246,6 +2288,22 @@ impl RunReport {
                 w.field_u64("self_ns", self_ns);
                 w.field_u64("self_calls", self_calls);
             });
+            if let Some(p) = &self.profile {
+                w.field_obj("profile", |w| {
+                    w.field_u64("frames_resident", p.frames_resident);
+                    w.field_u64("frames_evicted", p.frames_evicted);
+                    w.field_u64("self_ns", p.self_ns);
+                    w.field_u64("self_calls", p.self_calls);
+                    w.field_obj("frames", |w| {
+                        for (path, st) in &p.frames {
+                            w.field_obj(path, |w| {
+                                w.field_u64("calls", st.calls);
+                                w.field_u64("wall_ns", st.wall_ns);
+                            });
+                        }
+                    });
+                });
+            }
             w.field_u64("exemplars_suppressed", self.exemplars_suppressed);
             w.field_arr("exemplars", |w| {
                 for ex in &self.exemplars {

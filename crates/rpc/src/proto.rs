@@ -123,6 +123,7 @@ impl Request {
     /// Encodes this request into a framed datagram payload (pooled,
     /// borrow-based: no intermediate `Value` tree).
     pub fn to_bytes(&self) -> Bytes {
+        let _p = obs::scope("rpc;encode");
         with_encoder(|e| e.frame_with(|w| self.write_into(w)))
     }
 
@@ -211,6 +212,7 @@ impl Reply {
     /// Encodes this reply into a framed datagram payload (pooled,
     /// borrow-based: no intermediate `Value` tree).
     pub fn to_bytes(&self) -> Bytes {
+        let _p = obs::scope("rpc;encode");
         with_encoder(|e| e.frame_with(|w| self.write_into(w)))
     }
 
@@ -286,6 +288,7 @@ impl Oneway {
     /// Encodes this notification into a framed datagram payload (pooled,
     /// borrow-based: no intermediate `Value` tree).
     pub fn to_bytes(&self) -> Bytes {
+        let _p = obs::scope("rpc;encode");
         with_encoder(|e| e.frame_with(|w| self.write_into(w)))
     }
 
@@ -321,6 +324,7 @@ impl Batch {
     ///
     /// Panics (debug builds) if an item is itself a batch.
     pub fn to_bytes(&self) -> Bytes {
+        let _p = obs::scope("rpc;encode");
         with_encoder(|e| {
             e.frame_with(|w| {
                 w.begin_record(2);
@@ -370,6 +374,7 @@ impl Batch {
 pub(crate) fn encode_request_batch<'a>(
     requests: impl ExactSizeIterator<Item = &'a Request>,
 ) -> Bytes {
+    let _p = obs::scope("rpc;encode");
     with_encoder(|e| {
         e.frame_with(|w| {
             w.begin_record(2);
@@ -405,6 +410,7 @@ impl Packet {
     /// Returns a [`WireError`] for malformed frames or unknown envelope
     /// kinds.
     pub fn from_bytes(bytes: &[u8]) -> Result<Packet, WireError> {
+        let _p = obs::scope("rpc;decode");
         Packet::from_unframed(unframe(bytes)?)
     }
 
@@ -418,6 +424,7 @@ impl Packet {
     ///
     /// As for [`Packet::from_bytes`].
     pub fn from_frame(bytes: &Bytes) -> Result<Packet, WireError> {
+        let _p = obs::scope("rpc;decode");
         Packet::from_unframed(unframe_bytes(bytes)?)
     }
 

@@ -112,6 +112,7 @@ impl BlobStore {
     }
 
     fn put_chunk(&mut self, args: &Value) -> Result<Value, RemoteError> {
+        let _p = obs::scope("blob;chunk_put");
         let key = args.get_str("key").map_err(bad_args)?;
         let seq = args.get_u64("seq").map_err(bad_args)?;
         let total = args.get_u64("total").map_err(bad_args)?;
@@ -170,6 +171,7 @@ impl BlobStore {
     }
 
     fn get_chunk(&self, args: &Value) -> Result<Value, RemoteError> {
+        let _p = obs::scope("blob;chunk_get");
         let key = args.get_str("key").map_err(bad_args)?;
         let seq = args.get_u64("seq").map_err(bad_args)?;
         let entry = self

@@ -56,7 +56,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -279,6 +279,13 @@ struct DomainState {
     /// Maximum prefix value of `round_delta` this round — the domain's
     /// contribution to the deterministic `processes_peak` upper bound.
     round_rise: i64,
+    /// Events this domain executed in the current round (deterministic:
+    /// a pure function of seed + topology).
+    round_events_run: u64,
+    /// Wall nanoseconds this domain spent popping + dispatching events
+    /// this round (host-dependent; only accumulated while the profiler
+    /// is on).
+    round_busy_ns: u64,
 }
 
 impl DomainState {
@@ -300,6 +307,8 @@ impl DomainState {
             live: 0,
             round_delta: 0,
             round_rise: 0,
+            round_events_run: 0,
+            round_busy_ns: 0,
         }
     }
 }
@@ -312,6 +321,17 @@ struct DomainSeries {
     depth: String,
     spawned: String,
     current: String,
+    /// Profiler-gated lookahead-efficiency pair: events the domain ran
+    /// this round vs events still pending past the horizon.
+    run: String,
+    pending: String,
+    /// Profiler-gated utilization gauges (per-mille of the exec phase).
+    busy_frac: String,
+    stall_frac: String,
+    /// Folded-stack frame paths for the domain's share of the exec
+    /// phase (wall busy vs barrier stall).
+    busy_frame: String,
+    stall_frame: String,
 }
 
 impl DomainSeries {
@@ -322,6 +342,12 @@ impl DomainSeries {
                 depth: "sched_depth".to_string(),
                 spawned: "processes_spawned".to_string(),
                 current: "processes_current".to_string(),
+                run: "sched_round_run".to_string(),
+                pending: "sched_round_pending".to_string(),
+                busy_frac: "sched_busy_frac".to_string(),
+                stall_frac: "sched_stall_frac".to_string(),
+                busy_frame: "sched;round;exec;busy".to_string(),
+                stall_frame: "sched;round;exec;stall".to_string(),
             }
         } else {
             DomainSeries {
@@ -329,6 +355,12 @@ impl DomainSeries {
                 depth: format!("sched_depth@d{d}"),
                 spawned: format!("processes_spawned@d{d}"),
                 current: format!("processes_current@d{d}"),
+                run: format!("sched_round_run@d{d}"),
+                pending: format!("sched_round_pending@d{d}"),
+                busy_frac: format!("sched_busy_frac@d{d}"),
+                stall_frac: format!("sched_stall_frac@d{d}"),
+                busy_frame: format!("sched;round;exec;busy@d{d}"),
+                stall_frame: format!("sched;round;exec;stall@d{d}"),
             }
         }
     }
@@ -640,8 +672,10 @@ impl Shared {
             .name(format!("sim-{name}"))
             .spawn(move || {
                 // Everything this process records flows through its
-                // domain's obs writer lane.
+                // domain's obs writer lane (and its simulation's
+                // profiler).
                 obs::set_ambient_lane(target);
+                obs::set_ambient_profiler(Some(Arc::clone(&ctx.shared.obs)));
                 // Wait for the scheduler to start us (or abort pre-start).
                 match ctx.resume_rx.as_ref().expect("threaded ctx").recv() {
                     Ok(Resume::Start) => {}
@@ -836,6 +870,14 @@ impl Shared {
     /// run); the strict `<` keeps the horizon conservative under float
     /// truncation.
     fn domain_round(&self, d: usize, gm: SimTime, horizon: SimTime, limit: SimTime) {
+        // Profiler bookkeeping: count the events this round runs
+        // (deterministic) and, while the profiler is armed, bracket the
+        // whole drain with two clock reads — per round per domain, not
+        // per event, so the measurement itself stays out of the hot
+        // loop.
+        let profiling = self.obs.profile_enabled();
+        let t_round = profiling.then(Instant::now);
+        let mut events_run: u64 = 0;
         loop {
             // One lock acquisition pops the next runnable event AND
             // advances the domain clock to it, so no observer can see
@@ -891,6 +933,25 @@ impl Shared {
                 self.obs.ts_gauge(now_ns, &self.series[d].depth, depth);
             }
             self.dispatch(d, ev.kind);
+            events_run += 1;
+        }
+        if let Some(t_round) = t_round {
+            let busy_ns = t_round.elapsed().as_nanos() as u64;
+            // Stamp the round ledger for the driver's phase accounting
+            // and record the lookahead-efficiency pair at the domain
+            // clock: how much runnable work this round found vs how much
+            // the horizon deferred. Both values are deterministic, so
+            // the series stay byte-identical across thread counts.
+            let (now_ns, deferred) = {
+                let mut st = self.domains[d].lock();
+                st.round_events_run = events_run;
+                st.round_busy_ns = busy_ns;
+                (st.now.as_nanos(), st.events.len() as u64)
+            };
+            if self.obs.timeseries_enabled() {
+                self.obs.ts_add(now_ns, &self.series[d].run, events_run);
+                self.obs.ts_gauge(now_ns, &self.series[d].pending, deferred);
+            }
         }
     }
 
@@ -1779,6 +1840,9 @@ impl WorkerPool {
             let handle = std::thread::Builder::new()
                 .name(format!("simnet-worker-{w}"))
                 .spawn(move || {
+                    // Worker-side folds (scopes opened inside event
+                    // dispatch) land in this simulation's registry.
+                    obs::set_ambient_profiler(Some(Arc::clone(&shared.obs)));
                     while let Ok(job) = rx.recv() {
                         let r = panic::catch_unwind(AssertUnwindSafe(|| {
                             for d in (w..nd).step_by(size) {
@@ -2197,6 +2261,58 @@ impl Simulation {
     /// exceed `limit`. Processes stay alive; call again to continue, or
     /// call [`Simulation::run`] to finish.
     ///
+    /// Folds one barrier round's wall time into the profiler: the
+    /// `sched;round` pick/exec/merge phase frames (consecutive clock
+    /// reads on the driving thread, so the phases tile the round wall
+    /// time *exactly*), each domain's busy/stall split of the exec
+    /// phase, and — when the flight recorder is also on — the
+    /// per-domain utilization gauges plus the cross-domain imbalance
+    /// figure. Frame call counts (1 per round per frame) and the
+    /// imbalance series are deterministic; every `wall_ns` is
+    /// host-dependent and reported-not-judged.
+    fn profile_round(&self, gm: SimTime, t0: Instant, t1: Instant, t2: Instant) {
+        let t3 = Instant::now();
+        let obs = &self.shared.obs;
+        obs.profile_add("sched;round", 1, (t3 - t0).as_nanos() as u64);
+        obs.profile_add("sched;round;pick", 1, (t1 - t0).as_nanos() as u64);
+        let exec_ns = (t2 - t1).as_nanos() as u64;
+        obs.profile_add("sched;round;exec", 1, exec_ns);
+        obs.profile_add("sched;round;merge", 1, (t3 - t2).as_nanos() as u64);
+        let ts = obs.timeseries_enabled();
+        let gm_ns = gm.as_nanos();
+        let nd = self.shared.ndomains();
+        let mut max_run = 0u64;
+        let mut sum_run = 0u64;
+        for (d, dom) in self.shared.domains.iter().enumerate() {
+            let (busy, run) = {
+                let st = dom.lock();
+                (st.round_busy_ns, st.round_events_run)
+            };
+            // The domain's own clock reads bracket a subset of the exec
+            // phase, so clamp before splitting: busy is what the domain
+            // measured running events, stall is the rest of the phase
+            // (barrier wait + not being scheduled).
+            let busy = busy.min(exec_ns);
+            let series = &self.shared.series[d];
+            obs.profile_add(&series.busy_frame, 1, busy);
+            obs.profile_add(&series.stall_frame, 1, exec_ns - busy);
+            if ts && exec_ns > 0 {
+                obs.ts_gauge(gm_ns, &series.busy_frac, busy * 1000 / exec_ns);
+                obs.ts_gauge(gm_ns, &series.stall_frac, (exec_ns - busy) * 1000 / exec_ns);
+            }
+            max_run = max_run.max(run);
+            sum_run += run;
+        }
+        if ts && nd > 1 && sum_run > 0 {
+            // Cross-domain imbalance: the busiest domain's share of the
+            // round's events relative to a perfectly level split, in
+            // per-mille (1000 = balanced). Event counts only, so the
+            // series is byte-identical across thread counts.
+            let imb = max_run.saturating_mul(1000).saturating_mul(nd as u64) / sum_run;
+            obs.ts_gauge(gm_ns, "sched_imbalance_permille", imb);
+        }
+    }
+
     /// Execution proceeds in barrier rounds: compute the global minimum
     /// event time, let every domain run up to the conservative lookahead
     /// horizon, then merge cross-domain outboxes. With one domain a
@@ -2211,8 +2327,16 @@ impl Simulation {
         if nw > 1 && self.workers.as_ref().map(|p| p.size()) != Some(nw) {
             self.workers = Some(WorkerPool::new(&self.shared, nw));
         }
+        // The driving thread folds the scheduler's round-phase frames
+        // into this simulation's registry (writer lane 0).
+        obs::set_ambient_profiler(Some(Arc::clone(&self.shared.obs)));
+        let profiling = self.shared.obs.profile_enabled();
         let mut beyond_limit = false;
         loop {
+            // Phase brackets: consecutive Instants, so pick + exec +
+            // merge telescope to the round wall time *exactly* — the
+            // conservation E20 asserts holds by construction.
+            let t_round = profiling.then(Instant::now);
             // Round setup runs alone on the driving thread: reset the
             // per-round spawn ledgers and find the global minimum.
             let mut gm: Option<SimTime> = None;
@@ -2237,6 +2361,7 @@ impl Simulation {
             let horizon = SimTime::from_nanos(gm.as_nanos().saturating_add(la));
             let live_start = self.shared.metrics.live();
             let job = Job { gm, horizon, limit };
+            let t_pick = profiling.then(Instant::now);
             if nw > 1 {
                 self.workers
                     .as_ref()
@@ -2253,9 +2378,13 @@ impl Simulation {
                     obs::set_ambient_lane(0);
                 }
             }
+            let t_exec = profiling.then(Instant::now);
             self.shared.flush_outboxes();
             if nd > 1 {
                 self.shared.finish_round(live_start, gm);
+            }
+            if let (Some(t0), Some(t1), Some(t2)) = (t_round, t_pick, t_exec) {
+                self.profile_round(gm, t0, t1, t2);
             }
         }
         if beyond_limit {
